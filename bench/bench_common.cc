@@ -1,0 +1,77 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+
+namespace mlpsim::bench {
+
+BenchSetup
+BenchSetup::fromOptions(const Options &opts)
+{
+    BenchSetup setup;
+    setup.warmupInsts = opts.scaledInsts("warmup", setup.warmupInsts);
+    setup.measureInsts = opts.scaledInsts("insts", setup.measureInsts);
+    setup.annotation.warmupInsts = setup.warmupInsts;
+    return setup;
+}
+
+PreparedWorkload
+prepareWorkload(const std::string &name, const BenchSetup &setup)
+{
+    PreparedWorkload prepared;
+    prepared.name = name;
+    prepared.warmupInsts = setup.warmupInsts;
+    auto generator = workloads::makeWorkload(name);
+    prepared.buffer = std::make_unique<trace::TraceBuffer>(name);
+    prepared.buffer->fill(*generator,
+                          setup.warmupInsts + setup.measureInsts);
+    core::AnnotationOptions annotation = setup.annotation;
+    annotation.warmupInsts = setup.warmupInsts;
+    prepared.annotated = std::make_unique<core::AnnotatedTrace>(
+        *prepared.buffer, annotation);
+    return prepared;
+}
+
+std::vector<PreparedWorkload>
+prepareAll(const BenchSetup &setup, const Options &opts)
+{
+    std::vector<PreparedWorkload> all;
+    for (const auto &name : workloads::commercialWorkloadNames()) {
+        if (opts.has("workload") &&
+            opts.getString("workload", "") != name) {
+            continue;
+        }
+        all.push_back(prepareWorkload(name, setup));
+    }
+    return all;
+}
+
+core::MlpResult
+runMlp(core::MlpConfig config, const PreparedWorkload &workload)
+{
+    config.warmupInsts = workload.warmupInsts;
+    return core::runMlp(config, workload.context());
+}
+
+cyclesim::CycleSimResult
+runCycleSim(cyclesim::CycleSimConfig config,
+            const PreparedWorkload &workload)
+{
+    config.warmupInsts = workload.warmupInsts;
+    return cyclesim::CycleSim(config, workload.context()).run();
+}
+
+void
+printBanner(const std::string &bench_name, const std::string &paper_item,
+            const BenchSetup &setup)
+{
+    std::printf("====================================================\n");
+    std::printf("%s — reproduces %s\n", bench_name.c_str(),
+                paper_item.c_str());
+    std::printf("trace: %llu warm-up + %llu measured instructions per "
+                "workload\n",
+                (unsigned long long)setup.warmupInsts,
+                (unsigned long long)setup.measureInsts);
+    std::printf("====================================================\n");
+}
+
+} // namespace mlpsim::bench

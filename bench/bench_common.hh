@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared infrastructure for the per-table / per-figure bench binaries.
+ *
+ * Every bench materialises each commercial workload once (default:
+ * 1M warm-up + 3M measured instructions, scalable with --warmup/
+ * --insts or the MLPSIM_SCALE environment variable), annotates it, and
+ * prints the paper's rows or series next to this reproduction's
+ * measurements. Absolute values are not expected to match the paper's
+ * proprietary traces; orderings, approximate ratios and crossovers
+ * are.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mlpsim.hh"
+#include "cyclesim/cycle_sim.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workloads/factory.hh"
+
+namespace mlpsim::bench {
+
+/**
+ * One materialised, annotated workload. The trace buffer lives on the
+ * heap so the annotations' back-pointer stays valid when the
+ * PreparedWorkload itself is moved.
+ */
+struct PreparedWorkload
+{
+    std::string name;
+    std::unique_ptr<trace::TraceBuffer> buffer;
+    std::unique_ptr<core::AnnotatedTrace> annotated;
+    uint64_t warmupInsts = 0;
+
+    core::WorkloadContext context() const
+    {
+        return annotated->context();
+    }
+};
+
+/** Instruction budgets and annotation knobs for a bench run. */
+struct BenchSetup
+{
+    uint64_t warmupInsts = 1'000'000;
+    uint64_t measureInsts = 3'000'000;
+    core::AnnotationOptions annotation;
+
+    /** Parse --warmup/--insts (and MLPSIM_SCALE) from @p opts. */
+    static BenchSetup fromOptions(const Options &opts);
+};
+
+/**
+ * Build one workload under @p setup. @p name must be one of
+ * workloads::commercialWorkloadNames().
+ */
+PreparedWorkload prepareWorkload(const std::string &name,
+                                 const BenchSetup &setup);
+
+/** Build all three workloads (or only --workload=<name> if given). */
+std::vector<PreparedWorkload> prepareAll(const BenchSetup &setup,
+                                         const Options &opts);
+
+/** Run the epoch model with warm-up taken from @p workload. */
+core::MlpResult runMlp(core::MlpConfig config,
+                       const PreparedWorkload &workload);
+
+/** Run the timed reference simulator likewise. */
+cyclesim::CycleSimResult runCycleSim(cyclesim::CycleSimConfig config,
+                                     const PreparedWorkload &workload);
+
+/** Print the standard bench banner (what/how much was simulated). */
+void printBanner(const std::string &bench_name,
+                 const std::string &paper_item, const BenchSetup &setup);
+
+} // namespace mlpsim::bench

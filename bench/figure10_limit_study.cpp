@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 10: limit study. Starting from (upper) a runahead machine and
+ * (lower) a conventional 64-entry-window / 256-entry-ROB config-D
+ * machine, MLP with perfect instruction prefetching (perfI), perfect
+ * value prediction (perfVP), perfect branch prediction (perfBP) and
+ * perfVP+perfBP. Paper: on RAE, each perfect feature is worth
+ * +39..48% (db) / +21..23% (web); perfI is worthless for jbb but
+ * perfVP/perfBP give +56%/+45%; perfVP+perfBP reach +134%/+215%/+57%;
+ * gains on the non-RAE baseline are modest.
+ */
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mlpsim;
+using namespace mlpsim::bench;
+
+namespace {
+
+/** Re-annotate a workload with perfect-feature substrates. */
+PreparedWorkload
+prepareVariant(const std::string &name, const BenchSetup &base,
+               bool perf_i, bool perf_bp, bool perf_vp)
+{
+    BenchSetup setup = base;
+    setup.annotation.hierarchy.perfectInstFetch = perf_i;
+    setup.annotation.branch.perfect = perf_bp;
+    setup.annotation.value.perfect = perf_vp;
+    return prepareWorkload(name, setup);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const BenchSetup setup = BenchSetup::fromOptions(opts);
+    printBanner("figure10_limit_study",
+                "Figure 10 (perfect I-fetch / branch / value "
+                "prediction)",
+                setup);
+
+    core::MlpConfig conventional =
+        core::MlpConfig::sized(64, core::IssueConfig::D);
+    conventional.robSize = 256;
+
+    const struct
+    {
+        const char *label;
+        core::MlpConfig cfg;
+    } bases[] = {{"RAE", core::MlpConfig::runahead()},
+                 {"64D/rob256", conventional}};
+
+    for (const auto &base : bases) {
+        std::printf("-- baseline: %s --\n", base.label);
+        TextTable table({"workload", "base", "+perfI", "+perfVP",
+                         "+perfBP", "+perfVP+perfBP", "max gain"});
+        for (const auto &name : workloads::commercialWorkloadNames()) {
+            if (opts.has("workload") &&
+                opts.getString("workload", "") != name) {
+                continue;
+            }
+            const struct
+            {
+                bool i, bp, vp;
+            } variants[] = {{false, false, false},
+                            {true, false, false},
+                            {false, false, true},
+                            {false, true, false},
+                            {false, true, true}};
+            double mlp[5];
+            for (int v = 0; v < 5; ++v) {
+                const auto wl = prepareVariant(
+                    name, setup, variants[v].i, variants[v].bp,
+                    variants[v].vp);
+                core::MlpConfig cfg = base.cfg;
+                cfg.valuePrediction = variants[v].vp;
+                mlp[v] = runMlp(cfg, wl).mlp();
+            }
+            table.addRow(
+                {name, TextTable::num(mlp[0]), TextTable::num(mlp[1]),
+                 TextTable::num(mlp[2]), TextTable::num(mlp[3]),
+                 TextTable::num(mlp[4]),
+                 TextTable::num(100.0 * (mlp[4] / mlp[0] - 1.0), 0) +
+                     "%"});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Paper (RAE baseline): perfI/perfVP/perfBP each "
+                "+39-48%% db, +21-23%% web; perfI +0%% jbb;\n"
+                "perfVP+perfBP: +134%% db, +215%% jbb, +57%% web.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 11: overall performance improvement relative to the "64D"
+ * machine at 1000-cycle off-chip latency. CPI of each configuration is
+ * estimated with the Section 2.2 model from its epoch-model MLP and
+ * miss rate plus CPI_perf / Overlap_CM measured once on the
+ * cycle-accurate simulator (exactly the paper's method). Paper
+ * headlines: runahead improves overall performance by 60%/44%/11%
+ * (db/jbb/web); runahead + perfect branch & value prediction reach
+ * +174%/+103%/+21%.
+ */
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/cpi_model.hh"
+
+using namespace mlpsim;
+using namespace mlpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const BenchSetup setup = BenchSetup::fromOptions(opts);
+    printBanner("figure11_overall_performance",
+                "Figure 11 (overall performance vs 64D, 1000-cycle "
+                "latency)",
+                setup);
+
+    constexpr double penalty = 1000.0;
+
+    core::MlpConfig cfg64d = core::MlpConfig::sized(64,
+                                                    core::IssueConfig::D);
+    core::MlpConfig cfg64d_rob256 = cfg64d;
+    cfg64d_rob256.robSize = 256;
+    core::MlpConfig cfg128d =
+        core::MlpConfig::sized(128, core::IssueConfig::D);
+    core::MlpConfig cfg64e = core::MlpConfig::sized(64,
+                                                    core::IssueConfig::E);
+    core::MlpConfig rae = core::MlpConfig::runahead();
+    core::MlpConfig rae_vp = rae;
+    rae_vp.valuePrediction = true;
+
+    const struct
+    {
+        const char *label;
+        core::MlpConfig cfg;
+        bool perfBp, perfVp;
+    } machines[] = {
+        {"64E", cfg64e, false, false},
+        {"128D", cfg128d, false, false},
+        {"64D/rob256", cfg64d_rob256, false, false},
+        {"RAE", rae, false, false},
+        {"RAE+VP", rae_vp, false, false},
+        {"RAE.perfVP.perfBP", rae_vp, true, true},
+    };
+
+    TextTable table({"workload", "machine", "MLP", "est CPI",
+                     "improvement"});
+    for (const auto &name : workloads::commercialWorkloadNames()) {
+        if (opts.has("workload") &&
+            opts.getString("workload", "") != name) {
+            continue;
+        }
+        const auto wl = prepareWorkload(name, setup);
+
+        // CPI_perf and Overlap_CM measured once on the timed pipeline.
+        cyclesim::CycleSimConfig perfect;
+        perfect.perfectL2 = true;
+        const double cpi_perf = runCycleSim(perfect, wl).cpi();
+        cyclesim::CycleSimConfig timed;
+        timed.offChipLatency = unsigned(penalty);
+        const auto measured = runCycleSim(timed, wl);
+        const double overlap = core::solveOverlapCM(
+            measured.cpi(), cpi_perf, measured.missRatePer100() / 100.0,
+            penalty, measured.mlp());
+
+        auto estimate = [&](const core::MlpResult &r) {
+            core::CpiModelParams params{cpi_perf, overlap,
+                                        r.missRatePer100() / 100.0,
+                                        penalty, r.mlp()};
+            return core::estimateCpi(params);
+        };
+
+        const double base_cpi = estimate(runMlp(cfg64d, wl));
+        for (const auto &m : machines) {
+            core::MlpResult r;
+            if (m.perfBp || m.perfVp) {
+                BenchSetup perfect_setup = setup;
+                perfect_setup.annotation.branch.perfect = m.perfBp;
+                perfect_setup.annotation.value.perfect = m.perfVp;
+                const auto wl2 = prepareWorkload(name, perfect_setup);
+                r = runMlp(m.cfg, wl2);
+            } else {
+                r = runMlp(m.cfg, wl);
+            }
+            const double cpi = estimate(r);
+            table.addRow({name, m.label, TextTable::num(r.mlp()),
+                          TextTable::num(cpi),
+                          TextTable::num(core::speedupPercent(base_cpi,
+                                                              cpi),
+                                         0) +
+                              "%"});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper: RAE +60%%/+44%%/+11%%; "
+                "RAE.perfVP.perfBP +174%%/+103%%/+21%% (db/jbb/web).\n");
+    return 0;
+}

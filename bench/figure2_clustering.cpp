@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 2: clustering of off-chip accesses. For each workload, the
+ * cumulative probability of encountering another useful off-chip
+ * access within N dynamic instructions, next to the CDF a uniform
+ * (exponential) process with the same mean inter-miss distance would
+ * give. The observed curves sitting far above the uniform ones is the
+ * paper's evidence that exploiting MLP is viable despite large average
+ * inter-miss distances.
+ */
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mlpsim;
+using namespace mlpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const BenchSetup setup = BenchSetup::fromOptions(opts);
+    printBanner("figure2_clustering",
+                "Figure 2 (clustering of misses)", setup);
+
+    const unsigned distances[] = {8,   16,  32,   64,   128,
+                                  256, 512, 1024, 2048, 4096};
+
+    TextTable table({"workload", "mean-dist", "N", "observed CDF",
+                     "uniform CDF"});
+    for (const auto &wl : prepareAll(setup, opts)) {
+        const auto &hist = wl.annotated->misses().interMissDistance;
+        const double mean = hist.mean();
+        for (unsigned n : distances) {
+            table.addRow({wl.name, TextTable::num(mean, 0),
+                          std::to_string(n),
+                          TextTable::num(hist.cdfAt(n), 3),
+                          TextTable::num(uniformInterMissCdf(mean, n),
+                                         3)});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper shape: observed >> uniform at small N for all "
+                "three workloads,\nmost extreme for SPECweb99 and "
+                "SPECjbb2000 (Section 2.3).\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how many
+ * instructions per second each component processes, plus an ablation
+ * of the epoch-instruction-horizon design choice called out in
+ * DESIGN.md. These guard against performance regressions in the
+ * simulation loop itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/mlpsim.hh"
+#include "cyclesim/cycle_sim.hh"
+#include "workloads/factory.hh"
+#include "workloads/micro.hh"
+
+namespace {
+
+using namespace mlpsim;
+
+constexpr uint64_t traceInsts = 200'000;
+
+const core::AnnotatedTrace &
+annotatedWorkload(const std::string &name)
+{
+    static std::map<std::string,
+                    std::pair<std::unique_ptr<trace::TraceBuffer>,
+                              std::unique_ptr<core::AnnotatedTrace>>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto buffer = std::make_unique<trace::TraceBuffer>(name);
+        auto generator = workloads::makeWorkload(name);
+        buffer->fill(*generator, traceInsts);
+        auto annotated = std::make_unique<core::AnnotatedTrace>(
+            *buffer, core::AnnotationOptions{});
+        it = cache.emplace(name, std::make_pair(std::move(buffer),
+                                                std::move(annotated)))
+                 .first;
+    }
+    return *it->second.second;
+}
+
+void
+BM_AccessProfiler(benchmark::State &state)
+{
+    auto generator = workloads::makeWorkload("database");
+    trace::TraceBuffer buffer("database");
+    buffer.fill(*generator, traceInsts);
+    memory::AccessProfiler profiler{memory::ProfileConfig{}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profiler.profile(buffer));
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_AccessProfiler);
+
+void
+BM_EpochEngine(benchmark::State &state)
+{
+    const auto &annotated = annotatedWorkload("database");
+    core::MlpConfig cfg = core::MlpConfig::sized(
+        unsigned(state.range(0)), core::IssueConfig::C);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runMlp(cfg, annotated.context()));
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_EpochEngine)->Arg(64)->Arg(256)->Arg(2048);
+
+void
+BM_EpochEngineRunahead(benchmark::State &state)
+{
+    const auto &annotated = annotatedWorkload("database");
+    const core::MlpConfig cfg = core::MlpConfig::runahead();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runMlp(cfg, annotated.context()));
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_EpochEngineRunahead);
+
+/** Ablation: the epoch-instruction-horizon bound (DESIGN.md §7). */
+void
+BM_EpochHorizonAblation(benchmark::State &state)
+{
+    const auto &annotated = annotatedWorkload("specweb99");
+    core::MlpConfig cfg = core::MlpConfig::defaultOoO();
+    cfg.epochInstHorizon = unsigned(state.range(0));
+    double mlp = 0;
+    for (auto _ : state) {
+        mlp = core::runMlp(cfg, annotated.context()).mlp();
+        benchmark::DoNotOptimize(mlp);
+    }
+    state.counters["mlp"] = mlp;
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_EpochHorizonAblation)->Arg(256)->Arg(2048)->Arg(1 << 20);
+
+void
+BM_CycleSim(benchmark::State &state)
+{
+    const auto &annotated = annotatedWorkload("database");
+    cyclesim::CycleSimConfig cfg;
+    cfg.offChipLatency = unsigned(state.range(0));
+    for (auto _ : state) {
+        cyclesim::CycleSim sim(cfg, annotated.context());
+        benchmark::DoNotOptimize(sim.run());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_CycleSim)->Arg(200)->Arg(1000);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto generator = workloads::makeWorkload("specjbb2000");
+        trace::TraceBuffer buffer("jbb");
+        buffer.fill(*generator, traceInsts);
+        benchmark::DoNotOptimize(buffer.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_InOrderModel(benchmark::State &state)
+{
+    const auto &annotated = annotatedWorkload("database");
+    core::MlpConfig cfg;
+    cfg.mode = core::CoreMode::InOrderStallOnUse;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runMlp(cfg, annotated.context()));
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_InOrderModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+#include "branch_unit.hh"
+
+namespace mlpsim::branch {
+
+BranchUnit::BranchUnit(const BranchConfig &config)
+    : cfg(config), gshare(config.gshareEntries, config.historyBits),
+      btb(config.btbEntries, config.btbAssoc), ras(config.rasDepth)
+{
+}
+
+bool
+BranchUnit::predictAndUpdate(const trace::Instruction &inst)
+{
+    using trace::BranchKind;
+
+    ++nBranches;
+    if (cfg.perfect) {
+        // Still maintain RAS/BTB state invariants are unnecessary when
+        // everything is perfect; simply never mispredict.
+        return false;
+    }
+
+    bool mispredict = false;
+    switch (inst.brKind) {
+      case BranchKind::Conditional:
+      {
+        const bool pred_taken = gshare.predict(inst.pc);
+        if (pred_taken != inst.taken) {
+            mispredict = true;
+        } else if (inst.taken) {
+            uint64_t target = 0;
+            if (!btb.lookup(inst.pc, target) || target != inst.target)
+                mispredict = true;
+        }
+        gshare.update(inst.pc, inst.taken);
+        if (inst.taken)
+            btb.update(inst.pc, inst.target);
+        break;
+      }
+      case BranchKind::Call:
+      {
+        uint64_t target = 0;
+        if (!btb.lookup(inst.pc, target) || target != inst.target)
+            mispredict = true;
+        btb.update(inst.pc, inst.target);
+        ras.push(inst.pc + 4);
+        break;
+      }
+      case BranchKind::Return:
+      {
+        if (ras.pop() != inst.target)
+            mispredict = true;
+        break;
+      }
+      case BranchKind::Jump:
+      {
+        uint64_t target = 0;
+        if (!btb.lookup(inst.pc, target) || target != inst.target)
+            mispredict = true;
+        btb.update(inst.pc, inst.target);
+        break;
+      }
+      case BranchKind::None:
+        break;
+    }
+
+    if (mispredict)
+        ++nMispredicts;
+    return mispredict;
+}
+
+double
+BranchUnit::mispredictRate() const
+{
+    return nBranches ? double(nMispredicts) / double(nBranches) : 0.0;
+}
+
+void
+BranchUnit::reset()
+{
+    gshare.reset();
+    btb.reset();
+    ras.reset();
+    nBranches = 0;
+    nMispredicts = 0;
+}
+
+BranchAnnotations
+annotateBranches(const trace::TraceBuffer &buffer,
+                 const BranchConfig &config, uint64_t warmup_insts)
+{
+    BranchAnnotations ann;
+    ann.mispredicted.assign(buffer.size(), 0);
+
+    BranchUnit unit(config);
+    const auto &insts = buffer.instructions();
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (!insts[i].isBranch())
+            continue;
+        const bool miss = unit.predictAndUpdate(insts[i]);
+        if (miss)
+            ann.mispredicted[i] = 1;
+        if (i >= warmup_insts) {
+            ++ann.branches;
+            if (miss)
+                ++ann.mispredicts;
+        }
+    }
+    return ann;
+}
+
+} // namespace mlpsim::branch

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Composite branch prediction unit (gshare + BTB + RAS) and the
+ * program-order misprediction annotator shared by both simulators.
+ *
+ * Like the memory-side AccessProfiler, misprediction outcomes are
+ * precomputed over the trace in program order so the epoch-model
+ * simulator and the cycle-accurate reference agree exactly on *which*
+ * dynamic branches mispredict; they then differ only in how that
+ * misprediction interacts with the window, which is the effect under
+ * study.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/ras.hh"
+#include "trace/trace_buffer.hh"
+
+namespace mlpsim::branch {
+
+/** Front-end predictor configuration (paper Section 5.1 defaults). */
+struct BranchConfig
+{
+    unsigned gshareEntries = 64 * 1024;
+    unsigned historyBits = 16;
+    unsigned btbEntries = 16 * 1024;
+    unsigned btbAssoc = 4;
+    unsigned rasDepth = 16;
+    /** Perfect branch prediction (limit study): nothing mispredicts. */
+    bool perfect = false;
+};
+
+/** Combined direction + target predictor. */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchConfig &config);
+
+    /**
+     * Predict and train on one dynamic branch.
+     * @retval true the branch was mispredicted (direction or target).
+     */
+    bool predictAndUpdate(const trace::Instruction &inst);
+
+    uint64_t branches() const { return nBranches; }
+    uint64_t mispredicts() const { return nMispredicts; }
+    double mispredictRate() const;
+
+    void reset();
+
+  private:
+    BranchConfig cfg;
+    Gshare gshare;
+    Btb btb;
+    ReturnAddressStack ras;
+    uint64_t nBranches = 0;
+    uint64_t nMispredicts = 0;
+};
+
+/** Per-trace branch outcome annotations. */
+struct BranchAnnotations
+{
+    /** One flag per dynamic instruction: mispredicted branch. */
+    std::vector<uint8_t> mispredicted;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+
+    bool
+    isMispredict(size_t i) const
+    {
+        return mispredicted[i] != 0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return branches ? double(mispredicts) / double(branches) : 0.0;
+    }
+};
+
+/**
+ * Run @p config's predictor over @p buffer in program order.
+ * @param warmup_insts Branches before this index train the predictor
+ *        but are excluded from the rate statistics.
+ */
+BranchAnnotations annotateBranches(const trace::TraceBuffer &buffer,
+                                   const BranchConfig &config,
+                                   uint64_t warmup_insts = 0);
+
+} // namespace mlpsim::branch

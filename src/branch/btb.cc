@@ -1,0 +1,70 @@
+#include "btb.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mlpsim::branch {
+
+Btb::Btb(unsigned num_entries, unsigned assoc) : ways(assoc)
+{
+    if (assoc == 0 || num_entries % assoc != 0)
+        fatal("BTB entries must divide into ", assoc, " ways");
+    sets = num_entries / assoc;
+    if (!std::has_single_bit(uint64_t(sets)))
+        fatal("BTB set count must be a power of two, got ", sets);
+    entries.resize(num_entries);
+}
+
+unsigned
+Btb::setOf(uint64_t pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (sets - 1));
+}
+
+bool
+Btb::lookup(uint64_t pc, uint64_t &target) const
+{
+    const Entry *set = &entries[size_t(setOf(pc)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == pc) {
+            target = set[w].target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    ++useClock;
+    Entry *set = &entries[size_t(setOf(pc)) * ways];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = useClock;
+            return;
+        }
+        if (!victim->valid)
+            continue;
+        if (!e.valid || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = useClock;
+}
+
+void
+Btb::reset()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+    useClock = 0;
+}
+
+} // namespace mlpsim::branch

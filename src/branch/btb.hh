@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Branch target buffer: a tagged, set-associative cache of branch
+ * targets. The paper's default front end uses 16K entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlpsim::branch {
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 16 * 1024, unsigned assoc = 4);
+
+    /**
+     * Look up the predicted target for the branch at @p pc.
+     * @param target Filled with the stored target on a hit.
+     * @retval true the BTB holds a target for @p pc.
+     */
+    bool lookup(uint64_t pc, uint64_t &target) const;
+
+    /** Install / refresh the target of the branch at @p pc. */
+    void update(uint64_t pc, uint64_t target);
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned setOf(uint64_t pc) const;
+
+    std::vector<Entry> entries;
+    unsigned sets;
+    unsigned ways;
+    uint64_t useClock = 0;
+};
+
+} // namespace mlpsim::branch

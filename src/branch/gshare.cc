@@ -1,0 +1,50 @@
+#include "gshare.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mlpsim::branch {
+
+Gshare::Gshare(unsigned entries, unsigned history_bits)
+{
+    if (!std::has_single_bit(uint64_t(entries)))
+        fatal("gshare entries must be a power of two, got ", entries);
+    counters.assign(entries, 2); // weakly taken
+    tableMask = entries - 1;
+    if (history_bits > 16)
+        history_bits = 16;
+    historyMask = (1ULL << history_bits) - 1;
+}
+
+unsigned
+Gshare::index(uint64_t pc) const
+{
+    return static_cast<unsigned>(((pc >> 2) ^ history) & tableMask);
+}
+
+bool
+Gshare::predict(uint64_t pc) const
+{
+    return counters[index(pc)] >= 2;
+}
+
+void
+Gshare::update(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = counters[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history = ((history << 1) | uint64_t(taken)) & historyMask;
+}
+
+void
+Gshare::reset()
+{
+    std::fill(counters.begin(), counters.end(), uint8_t(2));
+    history = 0;
+}
+
+} // namespace mlpsim::branch

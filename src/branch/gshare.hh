@@ -1,0 +1,47 @@
+/**
+ * @file
+ * gshare direction predictor (McFarling): a table of 2-bit saturating
+ * counters indexed by PC xor global branch history. The paper's
+ * default front end uses a 64K-entry gshare.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlpsim::branch {
+
+/** Classic gshare conditional-branch direction predictor. */
+class Gshare
+{
+  public:
+    /**
+     * @param entries Counter-table size; must be a power of two.
+     * @param history_bits Global-history length (defaults to covering
+     *        the index width, capped at 16).
+     */
+    explicit Gshare(unsigned entries = 64 * 1024,
+                    unsigned history_bits = 16);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /**
+     * Train with the resolved outcome and advance the global history.
+     * Call exactly once per dynamic conditional branch, after
+     * predict().
+     */
+    void update(uint64_t pc, bool taken);
+
+    void reset();
+
+  private:
+    unsigned index(uint64_t pc) const;
+
+    std::vector<uint8_t> counters; //!< 2-bit saturating counters
+    uint64_t history = 0;
+    uint64_t historyMask;
+    unsigned tableMask;
+};
+
+} // namespace mlpsim::branch

@@ -1,0 +1,43 @@
+#include "ras.hh"
+
+#include "util/logging.hh"
+
+namespace mlpsim::branch {
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+{
+    if (depth == 0)
+        fatal("RAS depth must be positive");
+    slots.assign(depth, 0);
+}
+
+void
+ReturnAddressStack::push(uint64_t return_pc)
+{
+    top = (top + 1) % slots.size();
+    slots[top] = return_pc;
+    if (occupancy < slots.size())
+        ++occupancy;
+}
+
+uint64_t
+ReturnAddressStack::pop()
+{
+    if (occupancy == 0)
+        return 0;
+    const uint64_t value = slots[top];
+    top = (top + unsigned(slots.size()) - 1) % slots.size();
+    --occupancy;
+    return value;
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top = 0;
+    occupancy = 0;
+    for (auto &s : slots)
+        s = 0;
+}
+
+} // namespace mlpsim::branch

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Return address stack: a small circular stack predicting return
+ * targets. The paper's default front end uses 16 entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlpsim::branch {
+
+/** Fixed-depth circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    /** Push the return address of a call. Wraps (overwrites) on
+     *  overflow, like real hardware. */
+    void push(uint64_t return_pc);
+
+    /**
+     * Pop the predicted return target.
+     * @retval 0 the stack is empty (prediction unavailable).
+     */
+    uint64_t pop();
+
+    unsigned size() const { return occupancy; }
+    void reset();
+
+  private:
+    std::vector<uint64_t> slots;
+    unsigned top = 0;
+    unsigned occupancy = 0;
+};
+
+} // namespace mlpsim::branch

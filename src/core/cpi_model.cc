@@ -1,0 +1,43 @@
+#include "cpi_model.hh"
+
+#include "util/logging.hh"
+
+namespace mlpsim::core {
+
+double
+cpiOnChip(const CpiModelParams &params)
+{
+    return params.cpiPerf * (1.0 - params.overlapCM);
+}
+
+double
+cpiOffChip(const CpiModelParams &params)
+{
+    MLPSIM_ASSERT(params.mlp > 0.0, "MLP must be positive");
+    return params.missRatePerInst * params.missPenalty / params.mlp;
+}
+
+double
+estimateCpi(const CpiModelParams &params)
+{
+    return cpiOnChip(params) + cpiOffChip(params);
+}
+
+double
+solveOverlapCM(double measured_cpi, double cpi_perf,
+               double miss_rate_per_inst, double miss_penalty, double mlp)
+{
+    MLPSIM_ASSERT(cpi_perf > 0.0, "CPI_perf must be positive");
+    MLPSIM_ASSERT(mlp > 0.0, "MLP must be positive");
+    const double off_chip = miss_rate_per_inst * miss_penalty / mlp;
+    return 1.0 - (measured_cpi - off_chip) / cpi_perf;
+}
+
+double
+speedupPercent(double baseline_cpi, double test_cpi)
+{
+    MLPSIM_ASSERT(test_cpi > 0.0, "CPI must be positive");
+    return 100.0 * (baseline_cpi / test_cpi - 1.0);
+}
+
+} // namespace mlpsim::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The paper's Section 2.2 performance model relating MLP to CPI:
+ *
+ *   CPI = CPI_perf * (1 - Overlap_CM) + MissRate * MissPenalty / MLP
+ *
+ * The first term is the on-chip component (CPI_on-chip), the second the
+ * off-chip component (CPI_off-chip). Given any four of the five
+ * parameters the fifth can be solved for; Table 1 derives Overlap_CM
+ * from measured CPI, and Tables 4 / Figure 11 estimate CPI from MLPsim
+ * measurements.
+ */
+#pragma once
+
+namespace mlpsim::core {
+
+/** Inputs to the MLP performance model. */
+struct CpiModelParams
+{
+    double cpiPerf = 0.0;        //!< CPI with a perfect outermost cache
+    double overlapCM = 0.0;      //!< compute/memory overlap fraction
+    double missRatePerInst = 0.0; //!< useful off-chip accesses per inst
+    double missPenalty = 0.0;    //!< off-chip latency in cycles
+    double mlp = 1.0;            //!< average memory-level parallelism
+};
+
+/** On-chip CPI component: CPI_perf * (1 - Overlap_CM). */
+double cpiOnChip(const CpiModelParams &params);
+
+/** Off-chip CPI component: MissRate * MissPenalty / MLP. */
+double cpiOffChip(const CpiModelParams &params);
+
+/** Total estimated CPI (sum of the two components). */
+double estimateCpi(const CpiModelParams &params);
+
+/**
+ * Solve the model for Overlap_CM given a measured total CPI
+ * (how Table 1 derives it).
+ */
+double solveOverlapCM(double measured_cpi, double cpi_perf,
+                      double miss_rate_per_inst, double miss_penalty,
+                      double mlp);
+
+/** Relative speedup of @p test over @p baseline (CPI ratio - 1). */
+double speedupPercent(double baseline_cpi, double test_cpi);
+
+} // namespace mlpsim::core

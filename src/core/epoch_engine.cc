@@ -1,0 +1,533 @@
+#include "epoch_engine.hh"
+
+#include "util/logging.hh"
+
+namespace mlpsim::core {
+
+using trace::InstClass;
+using trace::Instruction;
+using trace::noReg;
+
+EpochEngine::EpochEngine(const MlpConfig &config,
+                         const WorkloadContext &workload)
+    : cfg(config), wl(workload),
+      branchesInOrder(config.issue == IssueConfig::A ||
+                      config.issue == IssueConfig::B ||
+                      config.issue == IssueConfig::C),
+      serializingBlocks(config.issue != IssueConfig::E &&
+                        config.mode != CoreMode::Runahead)
+{
+    MLPSIM_ASSERT(wl.buffer && wl.misses && wl.branches,
+                  "workload context incomplete");
+    MLPSIM_ASSERT(cfg.mode == CoreMode::OutOfOrder ||
+                      cfg.mode == CoreMode::Runahead,
+                  "EpochEngine only models OoO/runahead machines");
+    MLPSIM_ASSERT(!cfg.valuePrediction || wl.values,
+                  "value prediction requested without value annotations");
+    MLPSIM_ASSERT(cfg.robSize >= 1 && cfg.issueWindowSize >= 1 &&
+                      cfg.fetchBufferSize >= 1,
+                  "window structures must be non-empty");
+}
+
+bool
+EpochEngine::runaheadActive() const
+{
+    // Runahead is entered when a missing-load epoch trigger blocks the
+    // head of the ROB; from then until the data returns (= epoch
+    // close) the machine fetches and executes without capacity or
+    // serialization constraints.
+    return cfg.mode == CoreMode::Runahead && epochOpen && epochHasLoadMiss;
+}
+
+bool
+EpochEngine::canDispatchMore() const
+{
+    if (runaheadActive()) {
+        const uint64_t next_seq = nextDispatchIdx + 1;
+        return next_seq - triggerSeq <= cfg.maxRunaheadDistance;
+    }
+    return rob.size() < cfg.robSize && iwOccupancy < cfg.issueWindowSize;
+}
+
+const EpochEngine::RobEntry *
+EpochEngine::entryBySeq(uint64_t seq) const
+{
+    if (seq < headSeq || seq >= headSeq + rob.size())
+        return nullptr;
+    return &rob[size_t(seq - headSeq)];
+}
+
+EpochEngine::RobEntry *
+EpochEngine::entryBySeq(uint64_t seq)
+{
+    return const_cast<RobEntry *>(
+        const_cast<const EpochEngine *>(this)->entryBySeq(seq));
+}
+
+bool
+EpochEngine::producerReady(uint64_t prod_seq) const
+{
+    if (prod_seq == 0 || prod_seq < headSeq)
+        return true; // no producer, or producer already retired
+    const RobEntry *producer = entryBySeq(prod_seq);
+    MLPSIM_ASSERT(producer, "producer newer than consumer");
+    return producer->executed &&
+           producer->valueReadyEpoch <= currentEpoch;
+}
+
+bool
+EpochEngine::operandsReady(const RobEntry &entry) const
+{
+    for (unsigned p = 0; p < entry.numProds; ++p) {
+        if (!producerReady(entry.prods[p]))
+            return false;
+    }
+    return true;
+}
+
+bool
+EpochEngine::storeAddrReady(const RobEntry &entry) const
+{
+    for (unsigned p = 0; p < entry.numAddrProds; ++p) {
+        if (!producerReady(entry.prods[p]))
+            return false;
+    }
+    return true;
+}
+
+EpochEngine::RobEntry
+EpochEngine::makeEntry(uint64_t idx)
+{
+    const Instruction &inst = wl.buffer->at(idx);
+    RobEntry entry;
+    entry.seq = idx + 1;
+
+    const bool atomic_mem =
+        inst.cls == InstClass::Serializing && inst.effAddr != 0;
+    entry.isMemOp = inst.isMem();
+    entry.isPrefetch = inst.isPrefetch();
+    entry.isLoadLike = inst.isLoad() || inst.isPrefetch() || atomic_mem;
+    entry.isStore = inst.isStore();
+    entry.isBranch = inst.isBranch();
+    entry.isSerializing = inst.isSerializing();
+    entry.dMiss = wl.misses->dataMiss(idx);
+    entry.sMiss = cfg.finiteStoreBuffer && wl.misses->storeMiss(idx);
+    entry.usefulPmiss = wl.misses->usefulPrefetch(idx);
+    entry.vpCorrect = cfg.valuePrediction && wl.values &&
+                      wl.values->isCorrect(idx);
+
+    // Register renaming: capture the current in-flight producer of each
+    // source. For stores, src[0]/src[2] compute the address and src[1]
+    // is the data; address producers are recorded first so the
+    // config-B "wait for earlier store addresses" check can test them
+    // separately.
+    auto capture = [&](uint8_t reg) {
+        if (reg == noReg)
+            return;
+        const uint64_t prod = regProducer[reg];
+        if (prod != 0)
+            entry.prods[entry.numProds++] = prod;
+    };
+    if (entry.isStore) {
+        capture(inst.src[0]);
+        capture(inst.src[2]);
+        entry.numAddrProds = entry.numProds;
+        capture(inst.src[1]);
+    } else {
+        for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
+            capture(inst.src[s]);
+        entry.numAddrProds = entry.numProds;
+    }
+
+    // Memory dependence: a load (or atomic read) whose address was
+    // written by an in-flight store forwards from that store, so the
+    // store's execution is an additional producer.
+    const uint64_t mem_key = inst.effAddr >> 3;
+    if (entry.isLoadLike && !inst.isPrefetch()) {
+        auto it = storeProducer.find(mem_key);
+        if (it != storeProducer.end() &&
+            entry.numProds < maxProds) {
+            entry.prods[entry.numProds++] = it->second;
+        }
+    }
+    if (entry.isStore || atomic_mem) {
+        storeProducer[mem_key] = entry.seq;
+        entry.storeKey = mem_key + 1;
+    }
+
+    if (inst.hasDst())
+        regProducer[inst.dst] = entry.seq;
+    return entry;
+}
+
+void
+EpochEngine::openEpochIfNeeded(uint64_t idx, bool imiss_trigger,
+                               bool load_trigger)
+{
+    if (epochOpen) {
+        if (load_trigger)
+            epochHasLoadMiss = true;
+        return;
+    }
+    epochOpen = true;
+    triggerIdx = idx;
+    triggerSeq = idx + 1;
+    triggerIsImiss = imiss_trigger;
+    epochHasLoadMiss = load_trigger;
+}
+
+void
+EpochEngine::executeEntry(RobEntry &entry)
+{
+    entry.executed = true;
+    MLPSIM_ASSERT(iwOccupancy > 0, "issue window underflow");
+    --iwOccupancy;
+    entry.valueReadyEpoch = currentEpoch;
+    entry.completeEpoch = currentEpoch;
+
+    const uint64_t idx = entry.seq - 1;
+    if (entry.dMiss) {
+        openEpochIfNeeded(idx, false, true);
+        ++epochAccesses;
+        ++epochDmiss;
+        // The data returns when the epoch's accesses complete, i.e. at
+        // the end of this epoch; retirement waits for the data even
+        // when the value was predicted (the prediction must validate).
+        entry.completeEpoch = currentEpoch + 1;
+        entry.valueReadyEpoch =
+            entry.vpCorrect ? currentEpoch : currentEpoch + 1;
+    }
+    if (entry.usefulPmiss) {
+        openEpochIfNeeded(idx, false, false);
+        ++epochAccesses;
+        ++epochPmiss;
+        // Prefetches are non-binding: they never block retirement.
+    }
+    if (entry.sMiss) {
+        // Store-MLP extension: the write-allocate fill is an off-chip
+        // access, and with a full store buffer the store cannot leave
+        // the ROB until the line arrives.
+        openEpochIfNeeded(idx, false, true);
+        ++epochAccesses;
+        ++epochSmiss;
+        entry.completeEpoch = currentEpoch + 1;
+    }
+}
+
+bool
+EpochEngine::executeOnePass()
+{
+    bool any = false;
+    bool seen_unexec_mem = false;
+    bool seen_unresolved_store = false;
+    bool seen_unexec_branch = false;
+    std::vector<uint64_t> still_waiting;
+    still_waiting.reserve(waiting.size());
+
+    for (uint64_t seq : waiting) {
+        RobEntry *entry = entryBySeq(seq);
+        MLPSIM_ASSERT(entry && !entry->executed, "stale waiting entry");
+
+        bool eligible = true;
+        // Prefetches are non-binding hints: they neither wait for the
+        // memory-ordering constraints of configs A/B nor block other
+        // memory operations.
+        if (cfg.issue == IssueConfig::A && entry->isMemOp &&
+            !entry->isPrefetch && seen_unexec_mem) {
+            eligible = false;
+        }
+        if (cfg.issue == IssueConfig::B && entry->isLoadLike &&
+            !entry->isPrefetch && seen_unresolved_store) {
+            eligible = false;
+        }
+        if (branchesInOrder && entry->isBranch && seen_unexec_branch)
+            eligible = false;
+        if (entry->isSerializing && serializingBlocks) {
+            // A serializing instruction issues only once everything
+            // older has executed (they then drain/commit with it at the
+            // end of the epoch, cf. Example 2 of the paper).
+            if (!still_waiting.empty())
+                eligible = false;
+        }
+
+        if (eligible && operandsReady(*entry)) {
+            executeEntry(*entry);
+            any = true;
+            continue;
+        }
+
+        still_waiting.push_back(seq);
+        if (entry->isMemOp && !entry->isPrefetch)
+            seen_unexec_mem = true;
+        if (entry->isStore && !storeAddrReady(*entry))
+            seen_unresolved_store = true;
+        if (entry->isBranch)
+            seen_unexec_branch = true;
+    }
+
+    waiting.swap(still_waiting);
+    return any;
+}
+
+bool
+EpochEngine::executePasses()
+{
+    bool any = false;
+    while (executeOnePass())
+        any = true;
+    return any;
+}
+
+bool
+EpochEngine::retire()
+{
+    bool any = false;
+    while (!rob.empty()) {
+        const RobEntry &head = rob.front();
+        if (!head.executed || head.completeEpoch > currentEpoch)
+            break;
+        const Instruction &inst = wl.buffer->at(head.seq - 1);
+        if (inst.hasDst() && regProducer[inst.dst] == head.seq)
+            regProducer[inst.dst] = 0;
+        if (head.storeKey != 0) {
+            auto it = storeProducer.find(head.storeKey - 1);
+            if (it != storeProducer.end() && it->second == head.seq)
+                storeProducer.erase(it);
+        }
+        rob.pop_front();
+        ++headSeq;
+        any = true;
+    }
+    return any;
+}
+
+bool
+EpochEngine::dispatch()
+{
+    bool any = false;
+    while (nextDispatchIdx < nextFetchIdx && canDispatchMore()) {
+        rob.push_back(makeEntry(nextDispatchIdx));
+        waiting.push_back(rob.back().seq);
+        ++iwOccupancy;
+        ++nextDispatchIdx;
+        any = true;
+    }
+    return any;
+}
+
+bool
+EpochEngine::fetch()
+{
+    bool any = false;
+    const uint64_t trace_size = wl.size();
+    while (fetchBlock == FetchBlock::None &&
+           nextFetchIdx < trace_size &&
+           nextFetchIdx - nextDispatchIdx < cfg.fetchBufferSize) {
+        if (epochOpen &&
+            nextFetchIdx - triggerIdx >= cfg.epochInstHorizon) {
+            // The trigger's data has returned by now (the epoch-model
+            // proxy for elapsed time); the epoch ends without any
+            // structural stall.
+            break;
+        }
+        const uint64_t idx = nextFetchIdx;
+        if (wl.misses->fetchMiss(idx) && !imissHandled) {
+            if (!epochOpen &&
+                (nextDispatchIdx < nextFetchIdx || !waiting.empty())) {
+                // Let the back end catch up before deciding whether
+                // this instruction miss starts an epoch or overlaps an
+                // existing one; a pending data miss in the window must
+                // get to open the epoch first (it is older in program
+                // order).
+                break;
+            }
+            openEpochIfNeeded(idx, true, false);
+            ++epochAccesses;
+            ++epochImiss;
+            imissHandled = true;
+            fetchBlock = FetchBlock::Imiss;
+            any = true;
+            break;
+        }
+        imissHandled = false;
+        ++nextFetchIdx;
+        any = true;
+
+        const Instruction &inst = wl.buffer->at(idx);
+        if (inst.isBranch() && wl.branches->isMispredict(idx)) {
+            // Tentatively pause fetch at a mispredicted branch; if it
+            // executes (resolves) within this epoch, fetch resumes at
+            // no modelled cost. If it cannot, it is unresolvable and
+            // terminates the window (Section 3.2.4).
+            fetchBlock = FetchBlock::Mispred;
+            fetchBlockSeq = idx + 1;
+            break;
+        }
+        if (inst.isSerializing() && serializingBlocks) {
+            fetchBlock = FetchBlock::Serialize;
+            fetchBlockSeq = idx + 1;
+            break;
+        }
+    }
+    return any;
+}
+
+bool
+EpochEngine::checkUnblocks()
+{
+    switch (fetchBlock) {
+      case FetchBlock::Serialize:
+        // The drain completes when the serializing instruction has
+        // retired (everything older committed).
+        if (fetchBlockSeq < headSeq) {
+            fetchBlock = FetchBlock::None;
+            return true;
+        }
+        return false;
+      case FetchBlock::Mispred:
+      {
+        if (fetchBlockSeq < headSeq) {
+            fetchBlock = FetchBlock::None;
+            return true;
+        }
+        const RobEntry *branch = entryBySeq(fetchBlockSeq);
+        if (branch && branch->executed) {
+            fetchBlock = FetchBlock::None;
+            return true;
+        }
+        return false;
+      }
+      case FetchBlock::Imiss:
+      case FetchBlock::None:
+        return false;
+    }
+    return false;
+}
+
+Inhibitor
+EpochEngine::classifyMaxwinFamily() const
+{
+    // Configs A and B can have loads/prefetches in the window whose
+    // operands are ready but whose issue is blocked by policy; the
+    // paper attributes such epochs to the blocking condition rather
+    // than to window capacity (Figure 5's "Missing load"/"Dep store").
+    if (cfg.issue == IssueConfig::A || cfg.issue == IssueConfig::B) {
+        bool seen_unexec_mem = false;
+        bool first_unexec_mem_is_store = false;
+        bool seen_unresolved_store = false;
+        for (uint64_t seq : waiting) {
+            const RobEntry *entry = entryBySeq(seq);
+            const bool ready = operandsReady(*entry);
+            if (entry->isLoadLike && !entry->isPrefetch && ready) {
+                if (cfg.issue == IssueConfig::A && seen_unexec_mem) {
+                    return first_unexec_mem_is_store
+                               ? Inhibitor::DepStore
+                               : Inhibitor::MissingLoad;
+                }
+                if (cfg.issue == IssueConfig::B && seen_unresolved_store)
+                    return Inhibitor::DepStore;
+            }
+            if (entry->isMemOp && !entry->isPrefetch &&
+                !seen_unexec_mem) {
+                seen_unexec_mem = true;
+                first_unexec_mem_is_store = entry->isStore;
+            }
+            if (entry->isStore && !storeAddrReady(*entry))
+                seen_unresolved_store = true;
+        }
+    }
+    return Inhibitor::Maxwin;
+}
+
+void
+EpochEngine::closeEpoch()
+{
+    MLPSIM_ASSERT(epochOpen, "closing a closed epoch");
+
+    Inhibitor cause;
+    if (triggerIsImiss) {
+        cause = Inhibitor::ImissStart;
+    } else if (fetchBlock == FetchBlock::Imiss) {
+        cause = Inhibitor::ImissEnd;
+    } else if (fetchBlock == FetchBlock::Serialize) {
+        cause = Inhibitor::Serialize;
+    } else if (fetchBlock == FetchBlock::Mispred) {
+        cause = Inhibitor::MispredBr;
+    } else {
+        cause = classifyMaxwinFamily();
+        if (cause == Inhibitor::Maxwin &&
+            nextDispatchIdx == nextFetchIdx) {
+            if (nextFetchIdx >= wl.size())
+                cause = Inhibitor::EndOfTrace;
+            else if (nextFetchIdx - triggerIdx >= cfg.epochInstHorizon)
+                cause = Inhibitor::TriggerDone;
+        }
+    }
+
+    if (triggerIdx >= cfg.warmupInsts) {
+        ++result.epochs;
+        result.usefulAccesses += epochAccesses;
+        result.dmissAccesses += epochDmiss;
+        result.imissAccesses += epochImiss;
+        result.pmissAccesses += epochPmiss;
+        result.smissAccesses += epochSmiss;
+        result.inhibitors.record(cause);
+        result.accessesPerEpoch.add(epochAccesses);
+    }
+
+    ++currentEpoch;
+    epochOpen = false;
+    triggerIsImiss = false;
+    epochHasLoadMiss = false;
+    epochAccesses = epochDmiss = epochImiss = epochPmiss = 0;
+    epochSmiss = 0;
+
+    if (fetchBlock == FetchBlock::Imiss) {
+        // The blocked instruction's line arrives with the epoch's other
+        // accesses; fetch resumes (imissHandled stays set so the miss
+        // is not double-counted).
+        fetchBlock = FetchBlock::None;
+    }
+}
+
+MlpResult
+EpochEngine::run()
+{
+    const uint64_t trace_size = wl.size();
+    result = MlpResult{};
+    result.measuredInsts =
+        trace_size > cfg.warmupInsts ? trace_size - cfg.warmupInsts : 0;
+
+    // Generous progress guard: every iteration either advances the
+    // machine or closes an epoch, both bounded by the trace length.
+    uint64_t guard = 64 * trace_size + 1'000'000;
+
+    while (true) {
+        if (guard-- == 0)
+            panic("epoch engine livelock at trace index ", nextFetchIdx);
+
+        bool progress = false;
+        progress |= executePasses();
+        progress |= retire();
+        progress |= checkUnblocks();
+        progress |= dispatch();
+        progress |= fetch();
+        if (progress)
+            continue;
+
+        if (epochOpen) {
+            closeEpoch();
+            continue;
+        }
+        if (nextFetchIdx >= trace_size &&
+            nextDispatchIdx == nextFetchIdx && rob.empty()) {
+            break;
+        }
+        panic("epoch engine deadlock at trace index ", nextFetchIdx,
+              " (rob=", rob.size(), " waiting=", waiting.size(), ")");
+    }
+
+    return result;
+}
+
+} // namespace mlpsim::core

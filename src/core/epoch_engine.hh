@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The epoch-model MLP engine (paper Section 3).
+ *
+ * The engine partitions a dynamic instruction stream into epoch sets.
+ * Time is measured in epochs, not cycles: on-chip work inside an epoch
+ * is free, every off-chip access issued within an epoch completes at
+ * its end, and the epoch's extent through the instruction stream is
+ * bounded by the window termination conditions of Section 3.2 —
+ * window/ROB capacity, serializing instructions, instruction-fetch
+ * misses and unresolvable mispredicted branches — plus the issue-policy
+ * constraints of Table 2. Average MLP is the ratio of useful off-chip
+ * accesses to epochs.
+ *
+ * Out-of-order and runahead machines are handled here; the in-order
+ * models live in inorder_model.hh.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mlp_config.hh"
+#include "core/mlp_result.hh"
+#include "core/workload_context.hh"
+
+namespace mlpsim::core {
+
+/** Epoch-model simulator for OoO and runahead machines. */
+class EpochEngine
+{
+  public:
+    EpochEngine(const MlpConfig &config, const WorkloadContext &workload);
+
+    /** Partition the whole trace into epochs and return statistics. */
+    MlpResult run();
+
+  private:
+    /** Why fetch is currently stopped. */
+    enum class FetchBlock : uint8_t { None, Imiss, Serialize, Mispred };
+
+    /** Maximum producers per instruction: 3 registers + 1 memory. */
+    static constexpr unsigned maxProds = 4;
+
+    /** One in-flight instruction. */
+    struct RobEntry
+    {
+        uint64_t seq = 0;              //!< trace index + 1
+        uint64_t prods[maxProds] = {}; //!< producer seqs (0 = ready)
+        uint64_t valueReadyEpoch = 0;  //!< consumers may read from here
+        uint64_t completeEpoch = 0;    //!< retirement allowed from here
+        uint64_t storeKey = 0;         //!< store-map key (stores only)
+        uint8_t numProds = 0;
+        uint8_t numAddrProds = 0;      //!< prods[0..n) compute the address
+        bool executed = false;
+        bool isMemOp = false;          //!< participates in memory ordering
+        bool isPrefetch = false;       //!< non-binding hint
+        bool isLoadLike = false;       //!< load / prefetch / atomic read
+        bool isStore = false;
+        bool isBranch = false;
+        bool isSerializing = false;
+        bool dMiss = false;            //!< data access goes off-chip
+        bool sMiss = false;            //!< store fill goes off-chip
+        bool usefulPmiss = false;      //!< useful off-chip prefetch
+        bool vpCorrect = false;        //!< value predicted correctly
+    };
+
+    // --- pipeline phases (each returns whether it made progress) ---
+    bool executePasses();
+    bool executeOnePass();
+    bool retire();
+    bool dispatch();
+    bool fetch();
+    bool checkUnblocks();
+    void closeEpoch();
+
+    // --- helpers ---
+    bool runaheadActive() const;
+    bool canDispatchMore() const;
+    RobEntry makeEntry(uint64_t idx);
+    bool producerReady(uint64_t prod_seq) const;
+    bool operandsReady(const RobEntry &entry) const;
+    bool storeAddrReady(const RobEntry &entry) const;
+    void executeEntry(RobEntry &entry);
+    void openEpochIfNeeded(uint64_t idx, bool imiss_trigger,
+                           bool load_trigger);
+    Inhibitor classifyMaxwinFamily() const;
+
+    const RobEntry *entryBySeq(uint64_t seq) const;
+    RobEntry *entryBySeq(uint64_t seq);
+
+    // --- configuration and inputs ---
+    const MlpConfig cfg;
+    const WorkloadContext &wl;
+    const bool branchesInOrder;
+    const bool serializingBlocks;
+
+    // --- machine state ---
+    std::deque<RobEntry> rob;
+    uint64_t headSeq = 1;              //!< seq of rob.front()
+    std::vector<uint64_t> waiting;     //!< unexecuted entries, seq order
+    unsigned iwOccupancy = 0;          //!< dispatched, not executed
+    std::array<uint64_t, trace::numArchRegs> regProducer{};
+    std::unordered_map<uint64_t, uint64_t> storeProducer;
+
+    uint64_t nextFetchIdx = 0;         //!< next trace index to fetch
+    uint64_t nextDispatchIdx = 0;      //!< next trace index to dispatch
+    bool imissHandled = false;         //!< nextFetchIdx's Imiss counted
+
+    FetchBlock fetchBlock = FetchBlock::None;
+    uint64_t fetchBlockSeq = 0;
+
+    // --- epoch state ---
+    uint64_t currentEpoch = 1;
+    bool epochOpen = false;
+    bool triggerIsImiss = false;
+    bool epochHasLoadMiss = false;
+    uint64_t triggerIdx = 0;
+    uint64_t triggerSeq = 0;
+    uint64_t epochAccesses = 0;
+    uint64_t epochDmiss = 0;
+    uint64_t epochImiss = 0;
+    uint64_t epochPmiss = 0;
+    uint64_t epochSmiss = 0;
+
+    MlpResult result;
+};
+
+} // namespace mlpsim::core

@@ -1,0 +1,229 @@
+#include "inorder_model.hh"
+
+#include <bitset>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mlpsim::core {
+
+using trace::InstClass;
+using trace::Instruction;
+using trace::noReg;
+
+namespace {
+
+/** Shared state of one in-order simulation. */
+class InOrderRun
+{
+  public:
+    InOrderRun(const MlpConfig &config, const WorkloadContext &workload)
+        : cfg(config), wl(workload)
+    {
+        MLPSIM_ASSERT(cfg.mode == CoreMode::InOrderStallOnMiss ||
+                          cfg.mode == CoreMode::InOrderStallOnUse,
+                      "runInOrder needs an in-order mode");
+        imissConsumed.assign(wl.size(), 0);
+    }
+
+    MlpResult run();
+
+  private:
+    bool stallOnUse() const
+    {
+        return cfg.mode == CoreMode::InOrderStallOnUse;
+    }
+
+    void openEpochIfNeeded(uint64_t idx, bool imiss_trigger);
+    void closeEpoch(Inhibitor cause);
+
+    /** Scan the fetch buffer past a data-stall for an overlappable
+     *  instruction-fetch miss (Section 3.3: imisses may overlap a
+     *  missing load). */
+    void lookaheadImiss(uint64_t stall_idx);
+
+    bool usesPoisoned(const Instruction &inst) const;
+
+    const MlpConfig cfg;
+    const WorkloadContext &wl;
+
+    std::bitset<trace::numArchRegs> poisoned;
+    std::vector<uint8_t> imissConsumed;
+
+    bool epochOpen = false;
+    bool triggerIsImiss = false;
+    uint64_t triggerIdx = 0;
+    uint64_t epochAccesses = 0;
+    uint64_t epochDmiss = 0;
+    uint64_t epochImiss = 0;
+    uint64_t epochPmiss = 0;
+
+    MlpResult result;
+};
+
+void
+InOrderRun::openEpochIfNeeded(uint64_t idx, bool imiss_trigger)
+{
+    if (epochOpen)
+        return;
+    epochOpen = true;
+    triggerIdx = idx;
+    triggerIsImiss = imiss_trigger;
+}
+
+void
+InOrderRun::closeEpoch(Inhibitor cause)
+{
+    MLPSIM_ASSERT(epochOpen, "closing a closed epoch");
+    if (triggerIdx >= cfg.warmupInsts) {
+        ++result.epochs;
+        result.usefulAccesses += epochAccesses;
+        result.dmissAccesses += epochDmiss;
+        result.imissAccesses += epochImiss;
+        result.pmissAccesses += epochPmiss;
+        result.inhibitors.record(cause);
+        result.accessesPerEpoch.add(epochAccesses);
+    }
+    epochOpen = false;
+    triggerIsImiss = false;
+    epochAccesses = epochDmiss = epochImiss = epochPmiss = 0;
+    poisoned.reset();
+}
+
+void
+InOrderRun::lookaheadImiss(uint64_t stall_idx)
+{
+    const uint64_t limit =
+        std::min<uint64_t>(wl.size(), stall_idx + 1 + cfg.fetchBufferSize);
+    for (uint64_t j = stall_idx + 1; j < limit; ++j) {
+        if (wl.misses->fetchMiss(j) && !imissConsumed[j]) {
+            imissConsumed[j] = 1;
+            ++epochAccesses;
+            ++epochImiss;
+            return; // fetch blocks at the first instruction miss
+        }
+    }
+}
+
+bool
+InOrderRun::usesPoisoned(const Instruction &inst) const
+{
+    for (unsigned s = 0; s < trace::maxSrcRegs; ++s) {
+        if (inst.src[s] != noReg && poisoned.test(inst.src[s]))
+            return true;
+    }
+    return false;
+}
+
+MlpResult
+InOrderRun::run()
+{
+    const uint64_t size = wl.size();
+    result.measuredInsts =
+        size > cfg.warmupInsts ? size - cfg.warmupInsts : 0;
+
+    for (uint64_t i = 0; i < size; ++i) {
+        const Instruction &inst = wl.buffer->at(i);
+
+        // The trigger's data has returned (epoch-model time proxy);
+        // the epoch ends without a structural stall. Only matters in
+        // prefetch-dominated stretches that never stall issue.
+        if (epochOpen && i - triggerIdx >= cfg.epochInstHorizon)
+            closeEpoch(Inhibitor::TriggerDone);
+
+        // Instruction-side: a fetch miss stops fetch, so it ends any
+        // open epoch (overlapping with its accesses) or forms a
+        // single-access epoch of its own.
+        if (wl.misses->fetchMiss(i) && !imissConsumed[i]) {
+            imissConsumed[i] = 1;
+            if (epochOpen) {
+                ++epochAccesses;
+                ++epochImiss;
+                closeEpoch(Inhibitor::ImissEnd);
+            } else {
+                openEpochIfNeeded(i, true);
+                ++epochAccesses;
+                ++epochImiss;
+                closeEpoch(Inhibitor::ImissStart);
+            }
+        }
+
+        // Stall-on-use: the first consumer of missing data drains the
+        // outstanding accesses before it can issue. Fetch keeps
+        // running ahead of the stalled issue stage, so an instruction
+        // miss within the fetch buffer still overlaps (same lookahead
+        // a stall-on-miss machine gets at its stall point).
+        if (stallOnUse() && epochOpen && usesPoisoned(inst)) {
+            const bool unresolvable_branch =
+                inst.isBranch() && wl.branches->isMispredict(i);
+            lookaheadImiss(i);
+            closeEpoch(unresolvable_branch ? Inhibitor::MispredBr
+                                           : Inhibitor::MissingLoad);
+        }
+
+        switch (inst.cls) {
+          case InstClass::Load:
+            if (wl.misses->dataMiss(i)) {
+                openEpochIfNeeded(i, false);
+                ++epochAccesses;
+                ++epochDmiss;
+                if (stallOnUse()) {
+                    if (inst.hasDst())
+                        poisoned.set(inst.dst);
+                } else {
+                    lookaheadImiss(i);
+                    closeEpoch(Inhibitor::MissingLoad);
+                }
+            } else if (stallOnUse() && inst.hasDst()) {
+                poisoned.reset(inst.dst);
+            }
+            break;
+
+          case InstClass::Prefetch:
+            if (wl.misses->usefulPrefetch(i)) {
+                openEpochIfNeeded(i, false);
+                ++epochAccesses;
+                ++epochPmiss;
+            }
+            break;
+
+          case InstClass::Serializing:
+            // Drain: all outstanding accesses must complete first.
+            if (epochOpen) {
+                lookaheadImiss(i);
+                closeEpoch(Inhibitor::Serialize);
+            }
+            if (inst.effAddr != 0 && wl.misses->dataMiss(i)) {
+                // CASA-style atomic whose read goes off-chip: an
+                // epoch of its own (the atomic blocks everything).
+                openEpochIfNeeded(i, false);
+                ++epochAccesses;
+                ++epochDmiss;
+                lookaheadImiss(i);
+                closeEpoch(Inhibitor::Serialize);
+            }
+            break;
+
+          case InstClass::Alu:
+          case InstClass::Store:
+          case InstClass::Branch:
+            if (stallOnUse() && inst.hasDst())
+                poisoned.reset(inst.dst);
+            break;
+        }
+    }
+
+    if (epochOpen)
+        closeEpoch(Inhibitor::EndOfTrace);
+    return result;
+}
+
+} // namespace
+
+MlpResult
+runInOrder(const MlpConfig &config, const WorkloadContext &workload)
+{
+    return InOrderRun(config, workload).run();
+}
+
+} // namespace mlpsim::core

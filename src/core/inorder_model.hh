@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Epoch-model simulation of in-order machines (paper Section 3.3).
+ *
+ * A stall-on-miss machine stalls issue the moment a load misses: the
+ * missing load both opens and closes its epoch, and only prefetch
+ * misses issued earlier in the epoch plus an instruction-fetch miss
+ * within the fetch buffer's lookahead can overlap it. A stall-on-use
+ * machine keeps issuing past missing loads until an instruction uses
+ * missing data, so independent missing loads between a miss and its
+ * first use overlap.
+ */
+#pragma once
+
+#include "core/mlp_config.hh"
+#include "core/mlp_result.hh"
+#include "core/workload_context.hh"
+
+namespace mlpsim::core {
+
+/**
+ * Run the in-order model selected by @p config.mode
+ * (InOrderStallOnMiss or InOrderStallOnUse).
+ */
+MlpResult runInOrder(const MlpConfig &config,
+                     const WorkloadContext &workload);
+
+} // namespace mlpsim::core

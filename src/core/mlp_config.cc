@@ -1,0 +1,83 @@
+#include "mlp_config.hh"
+
+namespace mlpsim::core {
+
+const char *
+issueConfigName(IssueConfig config)
+{
+    switch (config) {
+      case IssueConfig::A: return "A";
+      case IssueConfig::B: return "B";
+      case IssueConfig::C: return "C";
+      case IssueConfig::D: return "D";
+      case IssueConfig::E: return "E";
+    }
+    return "?";
+}
+
+const char *
+coreModeName(CoreMode mode)
+{
+    switch (mode) {
+      case CoreMode::OutOfOrder: return "out-of-order";
+      case CoreMode::InOrderStallOnMiss: return "in-order stall-on-miss";
+      case CoreMode::InOrderStallOnUse: return "in-order stall-on-use";
+      case CoreMode::Runahead: return "runahead";
+    }
+    return "?";
+}
+
+std::string
+MlpConfig::label() const
+{
+    switch (mode) {
+      case CoreMode::InOrderStallOnMiss: return "in-order-som";
+      case CoreMode::InOrderStallOnUse: return "in-order-sou";
+      case CoreMode::Runahead: return "RAE";
+      case CoreMode::OutOfOrder:
+        break;
+    }
+    return std::to_string(issueWindowSize) + issueConfigName(issue) +
+           (robSize != issueWindowSize
+                ? "/rob" + std::to_string(robSize)
+                : "");
+}
+
+MlpConfig
+MlpConfig::defaultOoO()
+{
+    return MlpConfig{};
+}
+
+MlpConfig
+MlpConfig::sized(unsigned window, IssueConfig issue_config)
+{
+    MlpConfig cfg;
+    cfg.issueWindowSize = window;
+    cfg.robSize = window;
+    cfg.issue = issue_config;
+    return cfg;
+}
+
+MlpConfig
+MlpConfig::infinite()
+{
+    MlpConfig cfg;
+    cfg.issueWindowSize = 2048;
+    cfg.robSize = 2048;
+    cfg.issue = IssueConfig::E;
+    return cfg;
+}
+
+MlpConfig
+MlpConfig::runahead(unsigned rob)
+{
+    MlpConfig cfg;
+    cfg.mode = CoreMode::Runahead;
+    cfg.issueWindowSize = 64;
+    cfg.robSize = rob;
+    cfg.issue = IssueConfig::D;
+    return cfg;
+}
+
+} // namespace mlpsim::core

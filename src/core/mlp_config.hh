@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Processor-model configuration for the epoch-model MLP simulator.
+ *
+ * Mirrors the paper's experimental knobs: the five issue-constraint
+ * configurations of Table 2, the three window structures (fetch
+ * buffer, issue window, reorder buffer), the two in-order models of
+ * Section 3.3, runahead execution (Section 3.5) and missing-load value
+ * prediction (Section 3.6).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlpsim::core {
+
+/** The paper's Table 2 issue-constraint configurations. */
+enum class IssueConfig : uint8_t {
+    A, //!< loads in-order wrt loads/stores; branches in-order; serializing
+    B, //!< loads OoO but wait for earlier store addresses; branches in-order
+    C, //!< loads speculate past stores; branches in-order (default)
+    D, //!< + branches out-of-order
+    E, //!< + serializing instructions made non-serializing
+};
+
+const char *issueConfigName(IssueConfig config);
+
+/** Overall machine organisation. */
+enum class CoreMode : uint8_t {
+    OutOfOrder,        //!< conventional OoO issue (Section 3.2)
+    InOrderStallOnMiss, //!< in-order, stalls when a load misses
+    InOrderStallOnUse,  //!< in-order, stalls when missing data is used
+    Runahead,           //!< OoO plus runahead execution (Section 3.5)
+};
+
+const char *coreModeName(CoreMode mode);
+
+/** Full configuration of one simulated machine. */
+struct MlpConfig
+{
+    CoreMode mode = CoreMode::OutOfOrder;
+    IssueConfig issue = IssueConfig::C;
+
+    unsigned fetchBufferSize = 32;
+    unsigned issueWindowSize = 64;
+    unsigned robSize = 64;
+
+    /** Maximum instructions past the trigger in runahead mode. */
+    unsigned maxRunaheadDistance = 2048;
+
+    /**
+     * Maximum dynamic instructions an epoch may extend past its
+     * trigger. The epoch model is timing-free, but an epoch physically
+     * ends when its trigger's data returns; machines that never stall
+     * (e.g. prefetch-dominated phases) would otherwise merge unbounded
+     * stretches into one epoch. The default corresponds to the
+     * instructions a wide core could possibly issue under a
+     * ~1000-cycle miss and never binds for ordinary window sizes.
+     */
+    unsigned epochInstHorizon = 2048;
+
+    /** Honour the value-prediction annotations (correct predictions
+     *  release dependents within the epoch). */
+    bool valuePrediction = false;
+
+    /**
+     * Store-MLP extension (the paper's stated future work): model a
+     * finite store buffer. Off-chip store fills then count as useful
+     * accesses, and a store whose fill is outstanding holds its ROB
+     * entry until the epoch completes (the worst case of a full store
+     * buffer). Off by default: the paper assumes infinite store
+     * buffers (Section 3).
+     */
+    bool finiteStoreBuffer = false;
+
+    /** Instructions excluded from the statistics (must match the
+     *  warm-up used when building the annotations). */
+    uint64_t warmupInsts = 0;
+
+    /** Paper-style label, e.g. "64C" or "RAE". */
+    std::string label() const;
+
+    /** The paper's "64C" default machine. */
+    static MlpConfig defaultOoO();
+
+    /** A window/ROB-coupled machine, e.g. sized(128, IssueConfig::D). */
+    static MlpConfig sized(unsigned window, IssueConfig issue_config);
+
+    /** The "INF" machine: 2048-entry window and ROB, config E. */
+    static MlpConfig infinite();
+
+    /** The Figure 8 runahead machine (64-entry window, config D). */
+    static MlpConfig runahead(unsigned rob = 64);
+};
+
+} // namespace mlpsim::core

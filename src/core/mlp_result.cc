@@ -1,0 +1,39 @@
+#include "mlp_result.hh"
+
+namespace mlpsim::core {
+
+const char *
+inhibitorName(Inhibitor inhibitor)
+{
+    switch (inhibitor) {
+      case Inhibitor::ImissStart: return "Imiss start";
+      case Inhibitor::Maxwin: return "Maxwin";
+      case Inhibitor::MispredBr: return "Mispred br";
+      case Inhibitor::ImissEnd: return "Imiss end";
+      case Inhibitor::MissingLoad: return "Missing load";
+      case Inhibitor::DepStore: return "Dep store";
+      case Inhibitor::Serialize: return "Serialize";
+      case Inhibitor::TriggerDone: return "Trigger done";
+      case Inhibitor::EndOfTrace: return "End of trace";
+      case Inhibitor::NumInhibitors: break;
+    }
+    return "?";
+}
+
+uint64_t
+InhibitorStats::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : count)
+        sum += c;
+    return sum;
+}
+
+double
+InhibitorStats::fraction(Inhibitor i) const
+{
+    const uint64_t sum = total();
+    return sum ? double((*this)[i]) / double(sum) : 0.0;
+}
+
+} // namespace mlpsim::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Results of an epoch-model simulation: average MLP, the access and
+ * epoch tallies it derives from, and the paper's Figure 5 taxonomy of
+ * conditions that ended each epoch's window ("what prevented more
+ * MLP").
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/stats.hh"
+
+namespace mlpsim::core {
+
+/**
+ * Figure 5 epoch-inhibitor categories: the condition that prevented
+ * additional off-chip accesses from being overlapped in an epoch.
+ */
+enum class Inhibitor : std::uint8_t {
+    ImissStart,  //!< the epoch trigger was a missing instruction fetch
+    Maxwin,      //!< issue window or ROB full (or runahead limit)
+    MispredBr,   //!< unresolvable mispredicted branch stopped fetch
+    ImissEnd,    //!< a missing instruction fetch stopped a Dmiss epoch
+    MissingLoad, //!< in-order load issue blocked later misses (config A)
+    DepStore,    //!< unresolved store address blocked loads (configs A,B)
+    Serialize,   //!< serializing instruction drained the pipeline
+    TriggerDone, //!< the trigger's data returned before anything
+                 //!< blocked (non-stalling, prefetch-heavy epochs)
+    EndOfTrace,  //!< the trace ran out (bookkeeping, not a machine limit)
+    NumInhibitors,
+};
+
+constexpr std::size_t numInhibitors =
+    static_cast<std::size_t>(Inhibitor::NumInhibitors);
+
+const char *inhibitorName(Inhibitor inhibitor);
+
+/** Per-category epoch counts. */
+struct InhibitorStats
+{
+    std::array<uint64_t, numInhibitors> count{};
+
+    uint64_t
+    operator[](Inhibitor i) const
+    {
+        return count[static_cast<std::size_t>(i)];
+    }
+
+    void
+    record(Inhibitor i)
+    {
+        ++count[static_cast<std::size_t>(i)];
+    }
+
+    uint64_t total() const;
+
+    /** Fraction of all epochs ended by @p i. */
+    double fraction(Inhibitor i) const;
+};
+
+/** Output of one epoch-model run (statistics cover post-warm-up). */
+struct MlpResult
+{
+    uint64_t epochs = 0;          //!< number of measured epoch sets
+    uint64_t usefulAccesses = 0;  //!< useful off-chip accesses
+    uint64_t dmissAccesses = 0;   //!< ... of which demand loads
+    uint64_t imissAccesses = 0;   //!< ... instruction fetches
+    uint64_t pmissAccesses = 0;   //!< ... useful prefetches
+    uint64_t smissAccesses = 0;   //!< ... store fills (store-MLP
+                                  //!< extension; zero by default)
+    uint64_t measuredInsts = 0;   //!< instructions in the measured region
+
+    InhibitorStats inhibitors;
+
+    /** Distribution of useful accesses per epoch. */
+    Histogram accessesPerEpoch;
+
+    /** Average MLP: useful accesses per epoch (paper Section 2.1). */
+    double
+    mlp() const
+    {
+        return epochs ? double(usefulAccesses) / double(epochs) : 0.0;
+    }
+
+    /** Useful off-chip accesses per 100 measured instructions. */
+    double
+    missRatePer100() const
+    {
+        return measuredInsts
+                   ? 100.0 * double(usefulAccesses) / double(measuredInsts)
+                   : 0.0;
+    }
+};
+
+} // namespace mlpsim::core

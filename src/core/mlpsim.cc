@@ -1,0 +1,49 @@
+#include "mlpsim.hh"
+
+namespace mlpsim::core {
+
+AnnotatedTrace::AnnotatedTrace(const trace::TraceBuffer &buffer,
+                               const AnnotationOptions &options)
+    : buf(&buffer), opts(options)
+{
+    memory::ProfileConfig profile_cfg;
+    profile_cfg.hierarchy = opts.hierarchy;
+    profile_cfg.warmupInsts = opts.warmupInsts;
+    missAnn = memory::AccessProfiler(profile_cfg).profile(buffer);
+
+    brAnn = branch::annotateBranches(buffer, opts.branch,
+                                     opts.warmupInsts);
+
+    if (opts.buildValues) {
+        valAnn = predictor::annotateValues(buffer, missAnn, opts.value,
+                                           opts.warmupInsts);
+        hasValues = true;
+    }
+}
+
+WorkloadContext
+AnnotatedTrace::context() const
+{
+    WorkloadContext ctx;
+    ctx.buffer = buf;
+    ctx.misses = &missAnn;
+    ctx.branches = &brAnn;
+    ctx.values = hasValues ? &valAnn : nullptr;
+    return ctx;
+}
+
+MlpResult
+runMlp(const MlpConfig &config, const WorkloadContext &workload)
+{
+    switch (config.mode) {
+      case CoreMode::InOrderStallOnMiss:
+      case CoreMode::InOrderStallOnUse:
+        return runInOrder(config, workload);
+      case CoreMode::OutOfOrder:
+      case CoreMode::Runahead:
+        break;
+    }
+    return EpochEngine(config, workload).run();
+}
+
+} // namespace mlpsim::core

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Bundle of a materialised trace plus its program-order annotations
+ * (off-chip accesses, branch mispredictions, value-prediction
+ * outcomes). Built once per workload/memory configuration and shared
+ * by every simulator run over it.
+ */
+#pragma once
+
+#include "branch/branch_unit.hh"
+#include "memory/access_profiler.hh"
+#include "predictor/value_predictor.hh"
+#include "trace/trace_buffer.hh"
+
+namespace mlpsim::core {
+
+/** Everything a simulator needs to replay one workload. */
+struct WorkloadContext
+{
+    const trace::TraceBuffer *buffer = nullptr;
+    const memory::MissAnnotations *misses = nullptr;
+    const branch::BranchAnnotations *branches = nullptr;
+    /** May be null when value prediction is not simulated. */
+    const predictor::ValueAnnotations *values = nullptr;
+
+    size_t size() const { return buffer ? buffer->size() : 0; }
+};
+
+} // namespace mlpsim::core

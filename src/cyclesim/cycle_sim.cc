@@ -1,0 +1,378 @@
+#include "cycle_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mlpsim::cyclesim {
+
+using core::IssueConfig;
+using trace::InstClass;
+using trace::Instruction;
+using trace::noReg;
+
+CycleSim::CycleSim(const CycleSimConfig &config,
+                   const core::WorkloadContext &workload)
+    : cfg(config), wl(workload)
+{
+    MLPSIM_ASSERT(wl.buffer && wl.misses && wl.branches,
+                  "workload context incomplete");
+    MLPSIM_ASSERT(cfg.issue == IssueConfig::A ||
+                      cfg.issue == IssueConfig::B ||
+                      cfg.issue == IssueConfig::C,
+                  "the cycle simulator supports issue configs A-C only "
+                  "(like the paper's reference simulator)");
+}
+
+bool
+CycleSim::producerComplete(uint64_t prod_seq) const
+{
+    if (prod_seq == 0 || prod_seq < headSeq)
+        return true;
+    if (prod_seq >= headSeq + rob.size())
+        return false;
+    const RobEntry &producer = rob[size_t(prod_seq - headSeq)];
+    return producer.issued && producer.completeCycle <= now;
+}
+
+bool
+CycleSim::operandsComplete(const RobEntry &entry) const
+{
+    for (unsigned p = 0; p < entry.numProds; ++p) {
+        if (!producerComplete(entry.prods[p]))
+            return false;
+    }
+    return true;
+}
+
+bool
+CycleSim::storeAddrComplete(const RobEntry &entry) const
+{
+    for (unsigned p = 0; p < entry.numAddrProds; ++p) {
+        if (!producerComplete(entry.prods[p]))
+            return false;
+    }
+    return true;
+}
+
+unsigned
+CycleSim::dataLatency(const RobEntry &entry) const
+{
+    if (entry.dMiss)
+        return cfg.perfectL2 ? cfg.l2Latency : cfg.offChipLatency;
+    if (entry.dL2)
+        return cfg.l2Latency;
+    return cfg.l1Latency;
+}
+
+CycleSim::RobEntry
+CycleSim::makeEntry(uint64_t idx)
+{
+    const Instruction &inst = wl.buffer->at(idx);
+    RobEntry entry;
+    entry.seq = idx + 1;
+
+    const bool atomic_mem =
+        inst.cls == InstClass::Serializing && inst.effAddr != 0;
+    entry.isMemOp = inst.isMem();
+    entry.isPrefetch = inst.isPrefetch();
+    entry.isLoadLike = inst.isLoad() || inst.isPrefetch() || atomic_mem;
+    entry.isStore = inst.isStore();
+    entry.isBranch = inst.isBranch();
+    entry.isSerializing = inst.isSerializing();
+    entry.dMiss = wl.misses->dataMiss(idx);
+    entry.usefulPmiss = wl.misses->usefulPrefetch(idx);
+    entry.dL2 = wl.misses->dataL2Hit(idx);
+
+    auto capture = [&](uint8_t reg) {
+        if (reg == noReg)
+            return;
+        const uint64_t prod = regProducer[reg];
+        if (prod != 0)
+            entry.prods[entry.numProds++] = prod;
+    };
+    if (entry.isStore) {
+        capture(inst.src[0]);
+        capture(inst.src[2]);
+        entry.numAddrProds = entry.numProds;
+        capture(inst.src[1]);
+    } else {
+        for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
+            capture(inst.src[s]);
+        entry.numAddrProds = entry.numProds;
+    }
+
+    const uint64_t mem_key = inst.effAddr >> 3;
+    if (entry.isLoadLike && !inst.isPrefetch()) {
+        auto it = storeProducer.find(mem_key);
+        if (it != storeProducer.end() && entry.numProds < 4)
+            entry.prods[entry.numProds++] = it->second;
+    }
+    if (entry.isStore || atomic_mem)
+        storeProducer[mem_key] = entry.seq;
+
+    if (inst.hasDst())
+        regProducer[inst.dst] = entry.seq;
+    return entry;
+}
+
+void
+CycleSim::recordOffChip(uint64_t idx, uint64_t complete_cycle)
+{
+    outstanding.push(complete_cycle);
+    events.push(complete_cycle);
+    if (idx >= cfg.warmupInsts)
+        ++result.offChipAccesses;
+}
+
+bool
+CycleSim::commitStage()
+{
+    bool any = false;
+    for (unsigned n = 0; n < cfg.commitWidth && !rob.empty(); ++n) {
+        const RobEntry &head = rob.front();
+        if (!head.issued || head.completeCycle > now)
+            break;
+        const Instruction &inst = wl.buffer->at(head.seq - 1);
+        if (inst.hasDst() && regProducer[inst.dst] == head.seq)
+            regProducer[inst.dst] = 0;
+        if (head.isStore || (head.isSerializing && inst.effAddr != 0)) {
+            auto it = storeProducer.find(inst.effAddr >> 3);
+            if (it != storeProducer.end() && it->second == head.seq)
+                storeProducer.erase(it);
+        }
+        if (serializeBlockSeq == head.seq)
+            serializeBlockSeq = 0;
+        rob.pop_front();
+        ++headSeq;
+        ++committed;
+        any = true;
+        if (!measuring && committed >= cfg.warmupInsts) {
+            measuring = true;
+            measureStartCycle = now;
+        }
+    }
+    return any;
+}
+
+bool
+CycleSim::issueStage()
+{
+    bool any = false;
+    unsigned issued_now = 0;
+    bool seen_unissued_mem = false;
+    bool seen_unresolved_store = false;
+    bool seen_unissued_branch = false;
+
+    std::vector<uint64_t> still;
+    still.reserve(unissued.size());
+
+    for (uint64_t seq : unissued) {
+        RobEntry &entry = rob[size_t(seq - headSeq)];
+
+        bool eligible = issued_now < cfg.issueWidth;
+        if (cfg.issue == IssueConfig::A && entry.isMemOp &&
+            seen_unissued_mem) {
+            eligible = false;
+        }
+        if (cfg.issue == IssueConfig::B && entry.isLoadLike &&
+            seen_unresolved_store) {
+            eligible = false;
+        }
+        if (entry.isBranch && seen_unissued_branch)
+            eligible = false; // branches in order for configs A-C
+
+        if (eligible && operandsComplete(entry)) {
+            entry.issued = true;
+            ++issued_now;
+            any = true;
+
+            unsigned latency = cfg.aluLatency;
+            if (entry.isPrefetch) {
+                latency = 1; // prefetches are fire-and-forget
+            } else if (entry.isLoadLike) {
+                latency = dataLatency(entry);
+            }
+            entry.completeCycle = now + latency;
+            events.push(entry.completeCycle);
+
+            const uint64_t idx = entry.seq - 1;
+            if (!cfg.perfectL2 && (entry.dMiss || entry.usefulPmiss))
+                recordOffChip(idx, now + cfg.offChipLatency);
+
+            if (mispredBlockSeq == entry.seq) {
+                // The blocking mispredicted branch now has a known
+                // resolution time; convert the stall into a timed
+                // redirect.
+                fetchResumeCycle =
+                    std::max(fetchResumeCycle,
+                             entry.completeCycle +
+                                 cfg.branchRedirectPenalty);
+                events.push(fetchResumeCycle);
+                mispredBlockSeq = 0;
+            }
+            continue;
+        }
+
+        still.push_back(seq);
+        if (entry.isMemOp)
+            seen_unissued_mem = true;
+        if (entry.isStore && !storeAddrComplete(entry))
+            seen_unresolved_store = true;
+        if (entry.isBranch)
+            seen_unissued_branch = true;
+    }
+
+    unissued.swap(still);
+    return any;
+}
+
+bool
+CycleSim::dispatchStage()
+{
+    bool any = false;
+    for (unsigned n = 0; n < cfg.dispatchWidth; ++n) {
+        if (nextDispatchIdx >= nextFetchIdx)
+            break;
+        if (serializeBlockSeq != 0)
+            break; // draining behind a serializing instruction
+        if (rob.size() >= cfg.robSize ||
+            unissued.size() >= cfg.issueWindowSize) {
+            break;
+        }
+        const Instruction &inst = wl.buffer->at(nextDispatchIdx);
+        if (inst.isSerializing()) {
+            // Straightforward drain: dispatch only into an empty ROB
+            // and block younger dispatch until it commits.
+            if (!rob.empty())
+                break;
+            rob.push_back(makeEntry(nextDispatchIdx));
+            unissued.push_back(rob.back().seq);
+            serializeBlockSeq = rob.back().seq;
+            ++nextDispatchIdx;
+            any = true;
+            break;
+        }
+        rob.push_back(makeEntry(nextDispatchIdx));
+        unissued.push_back(rob.back().seq);
+        ++nextDispatchIdx;
+        any = true;
+    }
+    return any;
+}
+
+bool
+CycleSim::fetchStage()
+{
+    if (now < fetchResumeCycle || mispredBlockSeq != 0)
+        return false;
+
+    bool any = false;
+    const uint64_t trace_size = wl.size();
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        if (nextFetchIdx >= trace_size ||
+            nextFetchIdx - nextDispatchIdx >= cfg.fetchBufferSize) {
+            break;
+        }
+        const uint64_t idx = nextFetchIdx;
+        if (wl.misses->fetchMiss(idx) && !imissHandled) {
+            imissHandled = true;
+            const unsigned latency =
+                cfg.perfectL2 ? cfg.l2Latency : cfg.offChipLatency;
+            fetchResumeCycle = now + latency;
+            events.push(fetchResumeCycle);
+            if (!cfg.perfectL2)
+                recordOffChip(idx, now + cfg.offChipLatency);
+            any = true;
+            break;
+        }
+        imissHandled = false;
+        ++nextFetchIdx;
+        any = true;
+
+        const Instruction &inst = wl.buffer->at(idx);
+        if (inst.isBranch() && wl.branches->isMispredict(idx)) {
+            // Trace-driven wrong path: fetch stalls until the branch
+            // resolves (wrong-path work would be useless anyway and
+            // must not contribute to MLP).
+            mispredBlockSeq = idx + 1;
+            break;
+        }
+    }
+    return any;
+}
+
+uint64_t
+CycleSim::nextEventCycle() const
+{
+    uint64_t next = ~0ULL;
+    if (!events.empty())
+        next = events.top();
+    if (fetchResumeCycle > now)
+        next = std::min(next, fetchResumeCycle);
+    return next;
+}
+
+void
+CycleSim::accumulateMlp(uint64_t from_cycle, uint64_t to_cycle)
+{
+    while (from_cycle < to_cycle) {
+        while (!outstanding.empty() && outstanding.top() <= from_cycle)
+            outstanding.pop();
+        if (outstanding.empty())
+            return;
+        const uint64_t seg_end =
+            std::min<uint64_t>(to_cycle, outstanding.top());
+        if (measuring) {
+            result.mlpSum +=
+                double(outstanding.size()) * double(seg_end - from_cycle);
+            result.mlpCycles += seg_end - from_cycle;
+        }
+        from_cycle = seg_end;
+    }
+}
+
+CycleSimResult
+CycleSim::run()
+{
+    const uint64_t trace_size = wl.size();
+    result = CycleSimResult{};
+    if (cfg.warmupInsts == 0) {
+        measuring = true;
+        measureStartCycle = 0;
+    }
+
+    uint64_t guard =
+        uint64_t(cfg.offChipLatency + 64) * trace_size + 10'000'000;
+
+    while (committed < trace_size) {
+        bool work = false;
+        work |= commitStage();
+        work |= issueStage();
+        work |= dispatchStage();
+        work |= fetchStage();
+
+        uint64_t next = now + 1;
+        if (!work) {
+            const uint64_t event = nextEventCycle();
+            if (event == ~0ULL)
+                panic("cycle sim deadlock at cycle ", now, ", committed ",
+                      committed, " of ", trace_size);
+            next = std::max(next, event);
+        }
+        while (!events.empty() && events.top() <= now)
+            events.pop();
+
+        accumulateMlp(now, next);
+        if (guard < next - now)
+            panic("cycle sim livelock at cycle ", now);
+        guard -= next - now;
+        now = next;
+    }
+
+    result.cycles = now - measureStartCycle;
+    result.instructions = committed - cfg.warmupInsts;
+    return result;
+}
+
+} // namespace mlpsim::cyclesim

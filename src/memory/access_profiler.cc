@@ -1,0 +1,166 @@
+#include "access_profiler.hh"
+
+#include <unordered_map>
+
+namespace mlpsim::memory {
+
+MissAnnotations
+AccessProfiler::profile(const trace::TraceBuffer &buffer) const
+{
+    using trace::InstClass;
+
+    MissAnnotations ann;
+    ann.flags.assign(buffer.size(), 0);
+    ann.measuredInsts = buffer.size() > cfg.warmupInsts
+                            ? buffer.size() - cfg.warmupInsts
+                            : 0;
+
+    CacheHierarchy mem(cfg.hierarchy);
+
+    // Outstanding off-chip prefetches: L2 line address -> index of the
+    // prefetch instruction. Credited on first later demand touch,
+    // cancelled if the line is evicted from the L2 first.
+    std::unordered_map<uint64_t, size_t> pending_prefetches;
+
+    uint64_t last_fetch_line = ~0ULL;
+    uint64_t last_useful_index = 0;
+    bool have_useful = false;
+
+    auto on_l2_eviction = [&](const HierarchyAccessResult &r) {
+        if (r.l2Evicted)
+            pending_prefetches.erase(r.l2EvictedLine);
+    };
+
+    auto credit_demand_touch = [&](uint64_t addr, size_t i) {
+        auto it = pending_prefetches.find(mem.lineAddr(addr));
+        if (it == pending_prefetches.end())
+            return;
+        const size_t prefetch_index = it->second;
+        pending_prefetches.erase(it);
+        if (ann.flags[prefetch_index] & MissFlags::usefulPrefetchBit)
+            return;
+        ann.flags[prefetch_index] |= MissFlags::usefulPrefetchBit;
+        if (prefetch_index >= cfg.warmupInsts) {
+            ++ann.usefulPrefetches;
+            --ann.uselessPrefetches;
+        }
+        (void)i;
+    };
+
+    auto record_useful = [&](size_t i) {
+        if (i < cfg.warmupInsts)
+            return;
+        if (have_useful) {
+            ann.interMissDistance.add(uint64_t(i - last_useful_index));
+        }
+        have_useful = true;
+        last_useful_index = i;
+    };
+
+    const auto &insts = buffer.instructions();
+    for (size_t i = 0; i < insts.size(); ++i) {
+        const trace::Instruction &inst = insts[i];
+        const bool measured = i >= cfg.warmupInsts;
+
+        // Instruction side: one access per fetched 64B line.
+        const uint64_t fetch_line = mem.lineAddr(inst.pc);
+        if (fetch_line != last_fetch_line) {
+            last_fetch_line = fetch_line;
+            const auto r = mem.instFetch(inst.pc);
+            on_l2_eviction(r);
+            credit_demand_touch(inst.pc, i);
+            if (r.offChip()) {
+                ann.flags[i] |= MissFlags::fetchMissBit;
+                if (measured)
+                    ++ann.fetchMisses;
+                record_useful(i);
+            }
+        }
+
+        // Data side.
+        switch (inst.cls) {
+          case InstClass::Load:
+          {
+            const auto r = mem.dataRead(inst.effAddr);
+            on_l2_eviction(r);
+            credit_demand_touch(inst.effAddr, i);
+            if (r.offChip()) {
+                ann.flags[i] |= MissFlags::dataMissBit;
+                if (measured)
+                    ++ann.loadMisses;
+                record_useful(i);
+            } else if (r.level == AccessLevel::L2) {
+                ann.flags[i] |= MissFlags::dataL2HitBit;
+            }
+            break;
+          }
+          case InstClass::Store:
+          {
+            const auto r = mem.dataWrite(inst.effAddr);
+            on_l2_eviction(r);
+            // Stores neither credit prefetches (the paper credits only
+            // loads and instruction fetches) nor count toward the
+            // paper's MLP; the flag below feeds the store-MLP
+            // extension.
+            if (r.offChip()) {
+                ann.flags[i] |= MissFlags::storeMissBit;
+                if (measured)
+                    ++ann.storeMisses;
+            }
+            break;
+          }
+          case InstClass::Prefetch:
+          {
+            const auto r = mem.prefetch(inst.effAddr);
+            on_l2_eviction(r);
+            if (r.offChip()) {
+                pending_prefetches[mem.lineAddr(inst.effAddr)] = i;
+                if (measured)
+                    ++ann.uselessPrefetches;
+                // Marked useful (and moved between the useless/useful
+                // tallies) retroactively if a demand access touches the
+                // line. The inter-miss record for a useful prefetch is
+                // made here, at issue order, since that is where the
+                // access sits in the stream; a tiny overcount for
+                // prefetches that end up useless is acceptable and
+                // covered in tests.
+                record_useful(i);
+            }
+            break;
+          }
+          case InstClass::Serializing:
+          {
+            if (inst.effAddr != 0) {
+                // CASA/LDSTUB-style atomic: reads (and writes) its
+                // target. An off-chip atomic read is a demand load
+                // miss for MLP purposes.
+                const auto r = mem.dataRead(inst.effAddr);
+                on_l2_eviction(r);
+                credit_demand_touch(inst.effAddr, i);
+                if (r.offChip()) {
+                    ann.flags[i] |= MissFlags::dataMissBit;
+                    if (measured)
+                        ++ann.loadMisses;
+                    record_useful(i);
+                }
+            }
+            break;
+          }
+          case InstClass::Alu:
+          case InstClass::Branch:
+            break;
+        }
+    }
+
+    return ann;
+}
+
+double
+MissAnnotations::missRatePer100() const
+{
+    if (!measuredInsts)
+        return 0.0;
+    return 100.0 * double(usefulAccesses()) / double(measuredInsts);
+}
+
+} // namespace mlpsim::memory

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Program-order memory-system profiling of a trace.
+ *
+ * The profiler replays a trace through a CacheHierarchy exactly once,
+ * in program order, and records for every dynamic instruction whether
+ * (a) fetching it required an off-chip instruction access, (b) its data
+ * access went off-chip, and (c) — for software prefetches — whether the
+ * prefetched line was touched by a later demand load or instruction
+ * fetch before being evicted from the L2 (the paper's "useful"
+ * criterion, Section 2.1).
+ *
+ * Both the epoch-model simulator and the cycle-accurate reference
+ * consume these annotations, so the two see the identical set of
+ * off-chip accesses; any MLP difference between them is then purely a
+ * property of the window/termination modelling, which is what Table 3
+ * validates.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/hierarchy.hh"
+#include "trace/trace_buffer.hh"
+#include "util/stats.hh"
+
+namespace mlpsim::memory {
+
+/** Per-instruction off-chip annotation flags. */
+struct MissFlags
+{
+    static constexpr uint8_t fetchMissBit = 1 << 0;
+    static constexpr uint8_t dataMissBit = 1 << 1;
+    static constexpr uint8_t usefulPrefetchBit = 1 << 2;
+    /** Data access missed the L1 but hit the L2 (an on-chip latency
+     *  distinction only the cycle-accurate simulator cares about). */
+    static constexpr uint8_t dataL2HitBit = 1 << 3;
+    /** A store whose write-allocate fill goes off-chip. Not part of
+     *  the paper's MLP definition; used by the store-MLP extension
+     *  (the paper's stated future work). */
+    static constexpr uint8_t storeMissBit = 1 << 4;
+};
+
+/** Off-chip behaviour of one trace under one hierarchy configuration. */
+class MissAnnotations
+{
+  public:
+    bool
+    fetchMiss(size_t i) const
+    {
+        return flags[i] & MissFlags::fetchMissBit;
+    }
+
+    bool
+    dataMiss(size_t i) const
+    {
+        return flags[i] & MissFlags::dataMissBit;
+    }
+
+    bool
+    usefulPrefetch(size_t i) const
+    {
+        return flags[i] & MissFlags::usefulPrefetchBit;
+    }
+
+    bool
+    dataL2Hit(size_t i) const
+    {
+        return flags[i] & MissFlags::dataL2HitBit;
+    }
+
+    bool
+    storeMiss(size_t i) const
+    {
+        return flags[i] & MissFlags::storeMissBit;
+    }
+
+    /** Does instruction @p i perform any useful off-chip access? */
+    bool
+    anyUseful(size_t i) const
+    {
+        return fetchMiss(i) || dataMiss(i) || usefulPrefetch(i);
+    }
+
+    /** Number of useful off-chip accesses instruction @p i performs. */
+    unsigned
+    usefulCount(size_t i) const
+    {
+        return unsigned(fetchMiss(i)) + unsigned(dataMiss(i)) +
+               unsigned(usefulPrefetch(i));
+    }
+
+    size_t size() const { return flags.size(); }
+
+    // --- direct construction (tests and external trace frontends) ---
+
+    /** Start a hand-built annotation set of @p n instructions. */
+    void
+    resetForBuild(size_t n)
+    {
+        *this = MissAnnotations{};
+        flags.assign(n, 0);
+        measuredInsts = n;
+    }
+
+    void
+    markFetchMiss(size_t i)
+    {
+        flags[i] |= MissFlags::fetchMissBit;
+        ++fetchMisses;
+    }
+
+    void
+    markDataMiss(size_t i)
+    {
+        flags[i] |= MissFlags::dataMissBit;
+        ++loadMisses;
+    }
+
+    void
+    markUsefulPrefetch(size_t i)
+    {
+        flags[i] |= MissFlags::usefulPrefetchBit;
+        ++usefulPrefetches;
+    }
+
+    void
+    markStoreMiss(size_t i)
+    {
+        flags[i] |= MissFlags::storeMissBit;
+        ++storeMisses;
+    }
+
+    uint64_t measuredInsts = 0;     //!< instructions after warm-up
+    uint64_t storeMisses = 0;       //!< off-chip store fills (extension)
+    uint64_t fetchMisses = 0;       //!< off-chip instruction fetches
+    uint64_t loadMisses = 0;        //!< off-chip demand loads
+    uint64_t usefulPrefetches = 0;  //!< off-chip useful prefetches
+    uint64_t uselessPrefetches = 0; //!< off-chip prefetches never used
+
+    /** All useful off-chip accesses. */
+    uint64_t
+    usefulAccesses() const
+    {
+        return fetchMisses + loadMisses + usefulPrefetches;
+    }
+
+    /** Useful off-chip accesses per 100 instructions. */
+    double missRatePer100() const;
+
+    /** Histogram of dynamic-instruction distances between consecutive
+     *  useful off-chip accesses (Figure 2). */
+    Histogram interMissDistance;
+
+  private:
+    friend class AccessProfiler;
+    std::vector<uint8_t> flags;
+};
+
+/** Configuration of a profiling pass. */
+struct ProfileConfig
+{
+    HierarchyConfig hierarchy;
+    /** Instructions excluded from the statistics (cache warm-up). */
+    uint64_t warmupInsts = 0;
+};
+
+/** Runs the single-pass profile described in the file comment. */
+class AccessProfiler
+{
+  public:
+    explicit AccessProfiler(const ProfileConfig &config) : cfg(config) {}
+
+    /** Profile @p buffer and return its annotations. */
+    MissAnnotations profile(const trace::TraceBuffer &buffer) const;
+
+  private:
+    ProfileConfig cfg;
+};
+
+} // namespace mlpsim::memory

@@ -1,0 +1,128 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mlpsim::memory {
+
+Cache::Cache(const CacheConfig &config)
+    : ways(config.assoc), line(config.lineBytes)
+{
+    if (config.sizeBytes == 0 || config.assoc == 0 ||
+        config.lineBytes == 0) {
+        fatal("cache geometry must be non-zero");
+    }
+    if (!std::has_single_bit(uint64_t(config.lineBytes)))
+        fatal("cache line size must be a power of two");
+    const uint64_t num_lines = config.sizeBytes / config.lineBytes;
+    if (num_lines % config.assoc != 0)
+        fatal("cache size not divisible into ", config.assoc, " ways");
+    sets = static_cast<unsigned>(num_lines / config.assoc);
+    if (!std::has_single_bit(uint64_t(sets)))
+        fatal("cache set count must be a power of two, got ", sets);
+    lineShift = std::countr_zero(uint64_t(config.lineBytes));
+    lineMask = uint64_t(config.lineBytes) - 1;
+    lines.resize(num_lines);
+}
+
+unsigned
+Cache::setIndex(uint64_t addr) const
+{
+    return static_cast<unsigned>((addr >> lineShift) & (sets - 1));
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift;
+}
+
+CacheAccessResult
+Cache::access(uint64_t addr)
+{
+    ++nAccesses;
+    ++useClock;
+    const uint64_t tag = tagOf(addr);
+    Line *set = &lines[size_t(setIndex(addr)) * ways];
+
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &l = set[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = useClock;
+            return {true, false, 0};
+        }
+        if (!victim->valid)
+            continue;
+        if (!l.valid || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+
+    ++nMisses;
+    CacheAccessResult result{false, false, 0};
+    if (victim->valid) {
+        result.evicted = true;
+        result.evictedLine = (victim->tag << lineShift);
+        // The set index is folded into the tag (tag = addr >> lineShift),
+        // so the victim line address is reconstructed directly.
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return result;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t tag = tagOf(addr);
+    const Line *set = &lines[size_t(setIndex(addr)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::touch(uint64_t addr)
+{
+    const uint64_t tag = tagOf(addr);
+    Line *set = &lines[size_t(setIndex(addr)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock;
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidate(uint64_t addr)
+{
+    const uint64_t tag = tagOf(addr);
+    Line *set = &lines[size_t(setIndex(addr)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            set[w].valid = false;
+    }
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines)
+        l.valid = false;
+    useClock = 0;
+    nAccesses = 0;
+    nMisses = 0;
+}
+
+double
+Cache::missRatio() const
+{
+    return nAccesses ? double(nMisses) / double(nAccesses) : 0.0;
+}
+
+} // namespace mlpsim::memory

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Functional set-associative cache with true-LRU replacement.
+ *
+ * The epoch model is timing-free, so caches here answer exactly one
+ * question — does this access hit? — while maintaining replacement
+ * state. The same functional model also backs the cycle-accurate
+ * reference simulator (which adds timing on top).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlpsim::memory {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+};
+
+/** Outcome of a single cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool evicted = false;        //!< a valid line was displaced
+    uint64_t evictedLine = 0;    //!< line address of the victim
+};
+
+/** One level of set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access @p addr, allocating the line on a miss (evicting LRU).
+     * @return hit/miss and any victim line address.
+     */
+    CacheAccessResult access(uint64_t addr);
+
+    /** Check residency without disturbing LRU or allocating. */
+    bool probe(uint64_t addr) const;
+
+    /**
+     * Refresh the line's recency if present; no allocation, no
+     * statistics. Used to keep an outer inclusive cache's replacement
+     * state aware of inner-cache hits.
+     */
+    void touch(uint64_t addr);
+
+    /** Invalidate a single line if present. */
+    void invalidate(uint64_t addr);
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+    uint64_t lineAddr(uint64_t addr) const { return addr & ~lineMask; }
+
+    unsigned numSets() const { return sets; }
+    unsigned associativity() const { return ways; }
+    unsigned lineSize() const { return line; }
+
+    uint64_t accesses() const { return nAccesses; }
+    uint64_t misses() const { return nMisses; }
+    double missRatio() const;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    unsigned sets;
+    unsigned ways;
+    unsigned line;
+    unsigned lineShift;
+    uint64_t lineMask;
+    std::vector<Line> lines;
+    uint64_t useClock = 0;
+    uint64_t nAccesses = 0;
+    uint64_t nMisses = 0;
+};
+
+} // namespace mlpsim::memory

@@ -1,0 +1,99 @@
+#include "hierarchy.hh"
+
+namespace mlpsim::memory {
+
+namespace {
+
+/** Model the TLB as a fully-indexed cache of page-granule "lines". */
+CacheConfig
+tlbGeometry(const HierarchyConfig &config)
+{
+    CacheConfig tlb_cfg;
+    tlb_cfg.lineBytes = config.pageBytes;
+    tlb_cfg.assoc = 4;
+    tlb_cfg.sizeBytes = uint64_t(config.tlbEntries) * config.pageBytes;
+    return tlb_cfg;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : cfg(config), l1i(config.l1i), l1d(config.l1d), l2(config.l2),
+      tlb(tlbGeometry(config))
+{
+}
+
+void
+CacheHierarchy::tlbAccess(uint64_t addr)
+{
+    ++nTlbAccesses;
+    if (!tlb.access(addr).hit)
+        ++nTlbMisses;
+}
+
+HierarchyAccessResult
+CacheHierarchy::accessThrough(Cache &l1_cache, uint64_t addr, bool is_inst)
+{
+    tlbAccess(addr);
+    HierarchyAccessResult result;
+    if (l1_cache.access(addr).hit) {
+        result.level = AccessLevel::L1;
+        // Inclusive-style recency: refresh the L2's replacement state
+        // so lines that are hot in the L1 are not aged out of the L2
+        // (without it, the hottest lines in the program are exactly
+        // the ones the L2 evicts first -- a non-inclusive LRU
+        // pathology the paper's inclusive hierarchy does not have).
+        l2.touch(addr);
+        return result;
+    }
+    const CacheAccessResult l2_result = l2.access(addr);
+    if (l2_result.hit || cfg.perfectL2 ||
+        (is_inst && cfg.perfectInstFetch)) {
+        result.level = AccessLevel::L2;
+        return result;
+    }
+    result.level = AccessLevel::OffChip;
+    result.l2Evicted = l2_result.evicted;
+    result.l2EvictedLine = l2_result.evictedLine;
+    return result;
+}
+
+HierarchyAccessResult
+CacheHierarchy::instFetch(uint64_t pc)
+{
+    return accessThrough(l1i, pc, true);
+}
+
+HierarchyAccessResult
+CacheHierarchy::dataRead(uint64_t addr)
+{
+    return accessThrough(l1d, addr, false);
+}
+
+HierarchyAccessResult
+CacheHierarchy::dataWrite(uint64_t addr)
+{
+    // Write-allocate, write-back: identical residency behaviour to a
+    // read. Store misses never stall the machine (infinite store
+    // buffer, Section 3) and never count toward MLP.
+    return accessThrough(l1d, addr, false);
+}
+
+HierarchyAccessResult
+CacheHierarchy::prefetch(uint64_t addr)
+{
+    return accessThrough(l1d, addr, false);
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1i.reset();
+    l1d.reset();
+    l2.reset();
+    tlb.reset();
+    nTlbAccesses = 0;
+    nTlbMisses = 0;
+}
+
+} // namespace mlpsim::memory

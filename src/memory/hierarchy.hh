@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-level cache hierarchy (split L1 I/D, shared L2, shared TLB)
+ * matching the paper's default configuration (Section 5.1):
+ * 32KB 4-way 64B L1s, 2MB 4-way 64B shared L2, 2K-entry shared TLB,
+ * no L3. A miss in the L2 is a long-latency off-chip access.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "memory/cache.hh"
+
+namespace mlpsim::memory {
+
+/** Where an access was satisfied. */
+enum class AccessLevel : uint8_t { L1, L2, OffChip };
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{32 * 1024, 4, 64};
+    CacheConfig l1d{32 * 1024, 4, 64};
+    CacheConfig l2{2 * 1024 * 1024, 4, 64};
+    unsigned tlbEntries = 2048;
+    unsigned pageBytes = 8192;
+    /** Perfect L2: every L2 access hits (used to measure CPI_perf). */
+    bool perfectL2 = false;
+    /** Perfect I-side: instruction fetches never miss (limit study). */
+    bool perfectInstFetch = false;
+};
+
+/** Result of a hierarchy access, including the evicted L2 line. */
+struct HierarchyAccessResult
+{
+    AccessLevel level = AccessLevel::L1;
+    bool l2Evicted = false;
+    uint64_t l2EvictedLine = 0;
+
+    bool offChip() const { return level == AccessLevel::OffChip; }
+};
+
+/**
+ * The on-chip memory system. Purely functional: answers at which level
+ * an access hits and maintains inclusive-ish state (fills allocate in
+ * both the L1 and the L2).
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Instruction fetch of the line containing @p pc. */
+    HierarchyAccessResult instFetch(uint64_t pc);
+
+    /** Demand data read. */
+    HierarchyAccessResult dataRead(uint64_t addr);
+
+    /** Data write (write-allocate; never an off-chip *MLP* access). */
+    HierarchyAccessResult dataWrite(uint64_t addr);
+
+    /** Software/hardware prefetch: fills like a read. */
+    HierarchyAccessResult prefetch(uint64_t addr);
+
+    /** Line address helper (L2 geometry). */
+    uint64_t lineAddr(uint64_t addr) const { return l2.lineAddr(addr); }
+
+    const Cache &l1iCache() const { return l1i; }
+    const Cache &l1dCache() const { return l1d; }
+    const Cache &l2Cache() const { return l2; }
+
+    uint64_t tlbMisses() const { return nTlbMisses; }
+    uint64_t tlbAccesses() const { return nTlbAccesses; }
+
+    void reset();
+
+  private:
+    HierarchyAccessResult accessThrough(Cache &l1_cache, uint64_t addr,
+                                        bool is_inst);
+    void tlbAccess(uint64_t addr);
+
+    HierarchyConfig cfg;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Cache tlb;
+    uint64_t nTlbAccesses = 0;
+    uint64_t nTlbMisses = 0;
+};
+
+} // namespace mlpsim::memory

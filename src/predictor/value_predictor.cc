@@ -1,0 +1,76 @@
+#include "value_predictor.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mlpsim::predictor {
+
+LastValuePredictor::LastValuePredictor(const ValuePredictorConfig &config)
+    : cfg(config)
+{
+    if (!std::has_single_bit(uint64_t(config.entries)))
+        fatal("value predictor entries must be a power of two");
+    table.resize(config.entries);
+}
+
+ValueOutcome
+LastValuePredictor::predictAndUpdate(uint64_t pc, uint64_t actual)
+{
+    if (cfg.perfect)
+        return ValueOutcome::Correct;
+
+    Entry &e = table[(pc >> 2) & (table.size() - 1)];
+    ValueOutcome result;
+    if (!e.valid || e.tag != pc) {
+        result = ValueOutcome::NoPredict;
+    } else if (e.value == actual) {
+        result = ValueOutcome::Correct;
+    } else {
+        result = ValueOutcome::Wrong;
+    }
+    e.valid = true;
+    e.tag = pc;
+    e.value = actual;
+    return result;
+}
+
+void
+LastValuePredictor::reset()
+{
+    for (Entry &e : table)
+        e.valid = false;
+}
+
+ValueAnnotations
+annotateValues(const trace::TraceBuffer &buffer,
+               const memory::MissAnnotations &misses,
+               const ValuePredictorConfig &config, uint64_t warmup_insts)
+{
+    ValueAnnotations ann;
+    ann.outcome.assign(buffer.size(), ValueOutcome::NotApplicable);
+
+    LastValuePredictor predictor(config);
+    const auto &insts = buffer.instructions();
+    for (size_t i = 0; i < insts.size(); ++i) {
+        // "Missing load" here: any instruction whose data read went
+        // off-chip (demand loads and CASA-style atomics).
+        if (!misses.dataMiss(i))
+            continue;
+        const ValueOutcome out =
+            predictor.predictAndUpdate(insts[i].pc, insts[i].value);
+        ann.outcome[i] = out;
+        if (i < warmup_insts)
+            continue;
+        ++ann.missingLoads;
+        switch (out) {
+          case ValueOutcome::Correct: ++ann.correct; break;
+          case ValueOutcome::Wrong: ++ann.wrong; break;
+          case ValueOutcome::NoPredict: ++ann.noPredict; break;
+          case ValueOutcome::NotApplicable: break;
+        }
+    }
+    return ann;
+}
+
+} // namespace mlpsim::predictor

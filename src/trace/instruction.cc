@@ -1,0 +1,95 @@
+#include "instruction.hh"
+
+namespace mlpsim::trace {
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Alu: return "alu";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::Branch: return "branch";
+      case InstClass::Prefetch: return "prefetch";
+      case InstClass::Serializing: return "serializing";
+    }
+    return "?";
+}
+
+Instruction
+makeAlu(uint64_t pc, uint8_t dst, uint8_t src0, uint8_t src1)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Alu;
+    i.dst = dst;
+    i.src[0] = src0;
+    i.src[1] = src1;
+    return i;
+}
+
+Instruction
+makeLoad(uint64_t pc, uint8_t dst, uint64_t addr, uint8_t addr_reg,
+         uint64_t value)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Load;
+    i.dst = dst;
+    i.src[0] = addr_reg;
+    i.effAddr = addr;
+    i.value = value;
+    return i;
+}
+
+Instruction
+makeStore(uint64_t pc, uint64_t addr, uint8_t data_reg, uint8_t addr_reg,
+          uint64_t value)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Store;
+    i.src[0] = addr_reg;
+    i.src[1] = data_reg;
+    i.effAddr = addr;
+    i.value = value;
+    return i;
+}
+
+Instruction
+makePrefetch(uint64_t pc, uint64_t addr, uint8_t addr_reg)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Prefetch;
+    i.src[0] = addr_reg;
+    i.effAddr = addr;
+    return i;
+}
+
+Instruction
+makeBranch(uint64_t pc, uint64_t target, bool taken, uint8_t src0,
+           BranchKind kind)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Branch;
+    i.src[0] = src0;
+    i.target = target;
+    i.taken = taken;
+    i.brKind = kind;
+    return i;
+}
+
+Instruction
+makeSerializing(uint64_t pc, uint64_t addr, uint8_t src0)
+{
+    Instruction i;
+    i.pc = pc;
+    i.cls = InstClass::Serializing;
+    i.src[0] = src0;
+    i.effAddr = addr;
+    return i;
+}
+
+} // namespace mlpsim::trace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The abstract dynamic-instruction record consumed by every simulator
+ * in mlpsim.
+ *
+ * The epoch model of the paper (Section 3) only needs each
+ * instruction's *class*, its register and memory dependences, its PC
+ * stream (for the I-side) and, for value prediction, the value a load
+ * returns. This record is therefore ISA-neutral: SPARC specifics such
+ * as CASA/LDSTUB/MEMBAR all map onto InstClass::Serializing.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mlpsim::trace {
+
+/** Architectural register count of the abstract machine. */
+constexpr unsigned numArchRegs = 64;
+
+/** Sentinel meaning "no register operand". */
+constexpr uint8_t noReg = 0xff;
+
+/** Maximum number of source registers an instruction may name. */
+constexpr unsigned maxSrcRegs = 3;
+
+/** Flavours of control transfer (used by the branch predictor). */
+enum class BranchKind : uint8_t {
+    None,        //!< not a branch
+    Conditional, //!< direction-predicted branch
+    Call,        //!< always-taken call (pushes the return address)
+    Return,      //!< return (target predicted by the RAS)
+    Jump,        //!< unconditional direct jump
+};
+
+/** Instruction classes distinguished by the epoch model. */
+enum class InstClass : uint8_t {
+    Alu,         //!< register-to-register computation
+    Load,        //!< memory read into a register
+    Store,       //!< memory write (srcs: address regs + data reg)
+    Branch,      //!< conditional or unconditional control transfer
+    Prefetch,    //!< non-binding software prefetch (no destination)
+    Serializing, //!< atomic / memory-barrier (CASA, LDSTUB, MEMBAR)
+};
+
+/** Printable mnemonic for an instruction class. */
+const char *instClassName(InstClass cls);
+
+/**
+ * One dynamic instruction.
+ *
+ * Invariants: loads have a destination and an effective address;
+ * stores have no destination; branches carry taken/target;
+ * serializing instructions may optionally access memory (CASA-style)
+ * via effAddr, in which case they also behave as a load+store to that
+ * address.
+ */
+struct Instruction
+{
+    uint64_t pc = 0;        //!< virtual PC of the instruction
+    uint64_t effAddr = 0;   //!< effective address (memory classes)
+    uint64_t value = 0;     //!< value loaded / stored (value prediction)
+    uint64_t target = 0;    //!< branch target (Branch only)
+
+    InstClass cls = InstClass::Alu;
+    uint8_t dst = noReg;              //!< destination register
+    uint8_t src[maxSrcRegs] = {noReg, noReg, noReg};
+
+    bool taken = false;     //!< branch outcome (Branch only)
+    BranchKind brKind = BranchKind::None;
+
+    bool isMem() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store ||
+               cls == InstClass::Prefetch ||
+               (cls == InstClass::Serializing && effAddr != 0);
+    }
+
+    bool isLoad() const { return cls == InstClass::Load; }
+    bool isStore() const { return cls == InstClass::Store; }
+    bool isBranch() const { return cls == InstClass::Branch; }
+    bool isPrefetch() const { return cls == InstClass::Prefetch; }
+    bool isSerializing() const { return cls == InstClass::Serializing; }
+
+    bool hasDst() const { return dst != noReg; }
+};
+
+/** Compact factory helpers used by workloads and tests. */
+Instruction makeAlu(uint64_t pc, uint8_t dst, uint8_t src0 = noReg,
+                    uint8_t src1 = noReg);
+Instruction makeLoad(uint64_t pc, uint8_t dst, uint64_t addr,
+                     uint8_t addr_reg = noReg, uint64_t value = 0);
+Instruction makeStore(uint64_t pc, uint64_t addr, uint8_t data_reg = noReg,
+                      uint8_t addr_reg = noReg, uint64_t value = 0);
+Instruction makePrefetch(uint64_t pc, uint64_t addr,
+                         uint8_t addr_reg = noReg);
+Instruction makeBranch(uint64_t pc, uint64_t target, bool taken,
+                       uint8_t src0 = noReg,
+                       BranchKind kind = BranchKind::Conditional);
+Instruction makeSerializing(uint64_t pc, uint64_t addr = 0,
+                            uint8_t src0 = noReg);
+
+} // namespace mlpsim::trace

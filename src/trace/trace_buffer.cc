@@ -1,0 +1,14 @@
+#include "trace_buffer.hh"
+
+namespace mlpsim::trace {
+
+void
+TraceBuffer::fill(TraceSource &source, uint64_t limit)
+{
+    insts.reserve(insts.size() + limit);
+    Instruction inst;
+    for (uint64_t i = 0; i < limit && source.next(inst); ++i)
+        insts.push_back(inst);
+}
+
+} // namespace mlpsim::trace

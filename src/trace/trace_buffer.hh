@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-memory trace container.
+ *
+ * TraceBuffer owns a vector of instructions and hands out replayable
+ * TraceSource views. Benches materialise each workload once and then
+ * replay it across every processor configuration, which keeps cache
+ * warm-up and branch-predictor state exactly identical between
+ * configurations (the paper replays the same 150M-instruction trace
+ * the same way).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace mlpsim::trace {
+
+/** Owning, random-access instruction trace. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::string trace_name)
+        : label(std::move(trace_name))
+    {
+    }
+
+    void append(const Instruction &inst) { insts.push_back(inst); }
+
+    /** Drain @p source (up to @p limit instructions) into this buffer. */
+    void fill(TraceSource &source, uint64_t limit);
+
+    size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+    const Instruction &at(size_t i) const { return insts[i]; }
+    const std::vector<Instruction> &instructions() const { return insts; }
+    std::vector<Instruction> &instructions() { return insts; }
+
+    const std::string &name() const { return label; }
+    void setName(std::string n) { label = std::move(n); }
+
+    /** A replayable streaming view over this buffer. */
+    class Cursor : public TraceSource
+    {
+      public:
+        explicit Cursor(const TraceBuffer &b) : buffer(b) {}
+
+        bool
+        next(Instruction &inst) override
+        {
+            if (pos >= buffer.size())
+                return false;
+            inst = buffer.at(pos++);
+            return true;
+        }
+
+        void reset() override { pos = 0; }
+        std::string name() const override { return buffer.name(); }
+
+      private:
+        const TraceBuffer &buffer;
+        size_t pos = 0;
+    };
+
+    Cursor cursor() const { return Cursor(*this); }
+
+  private:
+    std::vector<Instruction> insts;
+    std::string label = "trace";
+};
+
+} // namespace mlpsim::trace

@@ -1,0 +1,119 @@
+#include "trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace mlpsim::trace {
+
+namespace {
+
+constexpr char traceMagic[4] = {'M', 'L', 'P', 'T'};
+
+struct FileHeader
+{
+    char magic[4];
+    uint32_t version;
+    uint64_t numInsts;
+    char name[64];
+};
+
+/** Fixed-width on-disk instruction record. */
+struct FileRecord
+{
+    uint64_t pc;
+    uint64_t effAddr;
+    uint64_t value;
+    uint64_t target;
+    uint8_t cls;
+    uint8_t dst;
+    uint8_t src[maxSrcRegs];
+    uint8_t taken;
+    uint8_t brKind;
+    uint8_t pad;
+};
+
+static_assert(sizeof(FileRecord) == 40, "trace record layout drifted");
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path, const TraceBuffer &buffer)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot create trace file '", path, "'");
+
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, traceMagic, sizeof(traceMagic));
+    hdr.version = traceFormatVersion;
+    hdr.numInsts = buffer.size();
+    std::strncpy(hdr.name, buffer.name().c_str(), sizeof(hdr.name) - 1);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fatal("short write of trace header to '", path, "'");
+
+    for (const Instruction &inst : buffer.instructions()) {
+        FileRecord rec{};
+        rec.pc = inst.pc;
+        rec.effAddr = inst.effAddr;
+        rec.value = inst.value;
+        rec.target = inst.target;
+        rec.cls = static_cast<uint8_t>(inst.cls);
+        rec.dst = inst.dst;
+        for (unsigned s = 0; s < maxSrcRegs; ++s)
+            rec.src[s] = inst.src[s];
+        rec.taken = inst.taken ? 1 : 0;
+        rec.brKind = static_cast<uint8_t>(inst.brKind);
+        if (std::fwrite(&rec, sizeof(rec), 1, f.get()) != 1)
+            fatal("short write of trace record to '", path, "'");
+    }
+}
+
+TraceBuffer
+readTraceFile(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '", path, "'");
+
+    FileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fatal("short read of trace header from '", path, "'");
+    if (std::memcmp(hdr.magic, traceMagic, sizeof(traceMagic)) != 0)
+        fatal("'", path, "' is not an mlpsim trace file");
+    if (hdr.version != traceFormatVersion) {
+        fatal("trace file '", path, "' has version ", hdr.version,
+              ", expected ", traceFormatVersion);
+    }
+
+    hdr.name[sizeof(hdr.name) - 1] = '\0';
+    TraceBuffer buffer{std::string(hdr.name)};
+    for (uint64_t i = 0; i < hdr.numInsts; ++i) {
+        FileRecord rec{};
+        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1)
+            fatal("trace file '", path, "' truncated at record ", i);
+        Instruction inst;
+        inst.pc = rec.pc;
+        inst.effAddr = rec.effAddr;
+        inst.value = rec.value;
+        inst.target = rec.target;
+        inst.cls = static_cast<InstClass>(rec.cls);
+        inst.dst = rec.dst;
+        for (unsigned s = 0; s < maxSrcRegs; ++s)
+            inst.src[s] = rec.src[s];
+        inst.taken = rec.taken != 0;
+        inst.brKind = static_cast<trace::BranchKind>(rec.brKind);
+        buffer.append(inst);
+    }
+    return buffer;
+}
+
+} // namespace mlpsim::trace

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Versioned binary trace file format.
+ *
+ * Layout: a fixed header (magic "MLPT", version, instruction count,
+ * name) followed by one fixed-width little-endian record per
+ * instruction. The format exists so expensive synthetic traces can be
+ * generated once and replayed from disk, and so external tools can
+ * feed real traces into mlpsim.
+ */
+#pragma once
+
+#include <string>
+
+#include "trace/trace_buffer.hh"
+
+namespace mlpsim::trace {
+
+/** Current on-disk format version. */
+constexpr uint32_t traceFormatVersion = 1;
+
+/**
+ * Write @p buffer to @p path.
+ * Calls fatal() if the file cannot be created or written.
+ */
+void writeTraceFile(const std::string &path, const TraceBuffer &buffer);
+
+/**
+ * Read a trace file produced by writeTraceFile().
+ * Calls fatal() on missing file, bad magic, or version mismatch.
+ */
+TraceBuffer readTraceFile(const std::string &path);
+
+} // namespace mlpsim::trace

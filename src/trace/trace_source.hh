@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Streaming interface every trace producer implements.
+ *
+ * Simulators pull instructions one at a time; reset() restarts the
+ * stream from the beginning so one workload object can be replayed
+ * across many processor configurations deterministically.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/instruction.hh"
+
+namespace mlpsim::trace {
+
+/** Abstract producer of a dynamic instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @param inst Filled in on success.
+     * @retval true an instruction was produced.
+     * @retval false the stream is exhausted.
+     */
+    virtual bool next(Instruction &inst) = 0;
+
+    /** Restart the stream from its first instruction. */
+    virtual void reset() = 0;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Wrapper that truncates an underlying source after a fixed number of
+ * instructions. Useful for bounding generator-backed (infinite)
+ * workloads.
+ */
+class LimitedSource : public TraceSource
+{
+  public:
+    LimitedSource(TraceSource &inner, uint64_t limit)
+        : source(inner), maxInsts(limit)
+    {
+    }
+
+    bool
+    next(Instruction &inst) override
+    {
+        if (produced >= maxInsts)
+            return false;
+        if (!source.next(inst))
+            return false;
+        ++produced;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        source.reset();
+        produced = 0;
+    }
+
+    std::string name() const override { return source.name(); }
+
+  private:
+    TraceSource &source;
+    uint64_t maxInsts;
+    uint64_t produced = 0;
+};
+
+} // namespace mlpsim::trace

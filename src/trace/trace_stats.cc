@@ -1,0 +1,29 @@
+#include "trace_stats.hh"
+
+namespace mlpsim::trace {
+
+TraceMix
+measureMix(TraceSource &source, uint64_t max_insts)
+{
+    TraceMix mix;
+    Instruction inst;
+    while (mix.total < max_insts && source.next(inst)) {
+        ++mix.total;
+        switch (inst.cls) {
+          case InstClass::Alu: ++mix.alu; break;
+          case InstClass::Load: ++mix.loads; break;
+          case InstClass::Store: ++mix.stores; break;
+          case InstClass::Branch:
+            ++mix.branches;
+            if (inst.taken)
+                ++mix.takenBranches;
+            break;
+          case InstClass::Prefetch: ++mix.prefetches; break;
+          case InstClass::Serializing: ++mix.serializing; break;
+        }
+    }
+    source.reset();
+    return mix;
+}
+
+} // namespace mlpsim::trace

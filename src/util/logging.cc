@@ -1,0 +1,16 @@
+#include "logging.hh"
+
+namespace mlpsim {
+namespace detail {
+
+void
+exitWith(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace mlpsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal()/panic() idiom.
+ *
+ * fatal() terminates due to a user error (bad configuration, bad
+ * arguments); panic() terminates due to an internal invariant violation
+ * (a simulator bug). warn()/inform() report status without stopping.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace mlpsim {
+
+namespace detail {
+
+/** Stream-concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void exitWith(const char *kind, const std::string &msg,
+                           bool abort_process);
+
+} // namespace detail
+
+/** Terminate: the user asked for something unsupported or inconsistent. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::exitWith("fatal", detail::concat(std::forward<Args>(args)...),
+                     false);
+}
+
+/** Terminate: an internal invariant was violated (a bug in mlpsim). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::exitWith("panic", detail::concat(std::forward<Args>(args)...),
+                     true);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** panic() unless the stated invariant holds. */
+#define MLPSIM_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::mlpsim::panic("assertion failed: ", #cond, " at ", __FILE__, \
+                            ":", __LINE__, " ", ##__VA_ARGS__);            \
+        }                                                                  \
+    } while (0)
+
+} // namespace mlpsim

@@ -1,0 +1,69 @@
+#include "options.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace mlpsim {
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            fatal("unexpected positional argument '", arg, "'");
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            values[arg] = argv[++i];
+        } else {
+            values[arg] = "1";
+        }
+    }
+    if (const char *s = std::getenv("MLPSIM_SCALE")) {
+        scale = std::atof(s);
+        if (scale <= 0.0)
+            fatal("MLPSIM_SCALE must be positive, got '", s, "'");
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+std::string
+Options::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : it->second;
+}
+
+uint64_t
+Options::getU64(const std::string &name, uint64_t def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : std::strtoull(it->second.c_str(),
+                                                    nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : std::atof(it->second.c_str());
+}
+
+uint64_t
+Options::scaledInsts(const std::string &name, uint64_t def) const
+{
+    if (has(name))
+        return getU64(name, def);
+    return static_cast<uint64_t>(double(def) * scale);
+}
+
+} // namespace mlpsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the bench and example
+ * binaries. Supports --name=value and --name value forms plus an
+ * MLPSIM_SCALE environment variable that uniformly scales instruction
+ * budgets so the whole suite can be made faster or more statistically
+ * solid with one knob.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mlpsim {
+
+/** Parsed command-line options with typed, defaulted accessors. */
+class Options
+{
+  public:
+    Options(int argc, char **argv);
+
+    bool has(const std::string &name) const;
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+    uint64_t getU64(const std::string &name, uint64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+
+    /**
+     * Instruction budget helper: the default scaled by MLPSIM_SCALE
+     * (if set) and overridable with --<name>=N.
+     */
+    uint64_t scaledInsts(const std::string &name, uint64_t def) const;
+
+  private:
+    std::map<std::string, std::string> values;
+    double scale = 1.0;
+};
+
+} // namespace mlpsim

@@ -1,0 +1,13 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace mlpsim {
+
+double
+Rng::powFast(double base, double e)
+{
+    return std::pow(base, e);
+}
+
+} // namespace mlpsim

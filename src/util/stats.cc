@@ -1,0 +1,89 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlpsim {
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    const double delta = x - mu;
+    mu += delta / double(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(uint64_t key, uint64_t weight)
+{
+    counts[key] += weight;
+    n += weight;
+    weighted_sum += double(key) * double(weight);
+}
+
+double
+Histogram::mean() const
+{
+    return n ? weighted_sum / double(n) : 0.0;
+}
+
+double
+Histogram::cdfAt(uint64_t key) const
+{
+    if (!n)
+        return 0.0;
+    uint64_t below_or_equal = 0;
+    for (const auto &[k, c] : counts) {
+        if (k > key)
+            break;
+        below_or_equal += c;
+    }
+    return double(below_or_equal) / double(n);
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (!n)
+        return 0;
+    const auto target = static_cast<uint64_t>(std::ceil(q * double(n)));
+    uint64_t running = 0;
+    for (const auto &[k, c] : counts) {
+        running += c;
+        if (running >= target)
+            return k;
+    }
+    return counts.rbegin()->first;
+}
+
+void
+Histogram::reset()
+{
+    counts.clear();
+    n = 0;
+    weighted_sum = 0.0;
+}
+
+double
+uniformInterMissCdf(double mean_distance, double distance)
+{
+    if (mean_distance <= 0.0)
+        return 1.0;
+    return 1.0 - std::exp(-distance / mean_distance);
+}
+
+} // namespace mlpsim

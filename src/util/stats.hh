@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Statistics accumulators shared by the simulators and benches:
+ * running mean/variance, integer histograms, and empirical CDFs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mlpsim {
+
+/** Streaming mean / variance / min / max (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double variance() const { return n > 1 ? m2 / double(n - 1) : 0.0; }
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+    void reset() { *this = RunningStat(); }
+
+  private:
+    uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Sparse integer histogram keyed by arbitrary 64-bit values.
+ * Used for inter-miss distance distributions (Figure 2) and epoch-size
+ * statistics.
+ */
+class Histogram
+{
+  public:
+    void add(uint64_t key, uint64_t weight = 1);
+
+    uint64_t samples() const { return n; }
+    double mean() const;
+
+    /** Fraction of samples with key <= @p key (empirical CDF). */
+    double cdfAt(uint64_t key) const;
+
+    /** Smallest key k such that cdfAt(k) >= @p q. */
+    uint64_t quantile(double q) const;
+
+    const std::map<uint64_t, uint64_t> &buckets() const { return counts; }
+
+    void reset();
+
+  private:
+    std::map<uint64_t, uint64_t> counts;
+    uint64_t n = 0;
+    double weighted_sum = 0.0;
+};
+
+/**
+ * Reference CDF of a uniform (exponential inter-arrival) process with
+ * the given mean distance; the "thin curves" of the paper's Figure 2.
+ */
+double uniformInterMissCdf(double mean_distance, double distance);
+
+} // namespace mlpsim

@@ -1,0 +1,60 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mlpsim {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> width(head.size(), 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size() && i < width.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < width.size(); ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            os << (i ? "  " : "");
+            os << cell << std::string(width[i] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(head);
+    std::vector<std::string> rule;
+    rule.reserve(head.size());
+    for (size_t w : width)
+        rule.emplace_back(w, '-');
+    emit(rule);
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+} // namespace mlpsim

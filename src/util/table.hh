@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Plain-text table formatting for bench output. Every bench prints the
+ * rows/series of the paper table or figure it regenerates; TextTable
+ * keeps that output aligned and diff-friendly.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlpsim {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; it may have fewer cells than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with single-space-padded, right-aligned numeric columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mlpsim

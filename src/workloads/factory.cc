@@ -1,0 +1,31 @@
+#include "factory.hh"
+
+#include "util/logging.hh"
+#include "workloads/database.hh"
+#include "workloads/specjbb.hh"
+#include "workloads/specweb.hh"
+
+namespace mlpsim::workloads {
+
+const std::vector<std::string> &
+commercialWorkloadNames()
+{
+    static const std::vector<std::string> names{
+        "database", "specjbb2000", "specweb99"};
+    return names;
+}
+
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name)
+{
+    if (name == "database")
+        return std::make_unique<DatabaseWorkload>();
+    if (name == "specjbb2000")
+        return std::make_unique<SpecJbbWorkload>();
+    if (name == "specweb99")
+        return std::make_unique<SpecWebWorkload>();
+    fatal("unknown workload '", name,
+          "' (expected database|specjbb2000|specweb99)");
+}
+
+} // namespace mlpsim::workloads

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Name-based construction of the three commercial workloads, shared by
+ * the benches and examples (every bench takes --workload=<name>).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload_base.hh"
+
+namespace mlpsim::workloads {
+
+/** Names accepted by makeWorkload(), in paper order. */
+const std::vector<std::string> &commercialWorkloadNames();
+
+/**
+ * Construct a workload by name ("database", "specjbb2000",
+ * "specweb99"). Calls fatal() on an unknown name.
+ */
+std::unique_ptr<WorkloadBase> makeWorkload(const std::string &name);
+
+} // namespace mlpsim::workloads

@@ -1,0 +1,73 @@
+/** @file Branch target buffer. */
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+namespace mlpsim::test {
+
+using mlpsim::branch::Btb;
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(64, 4);
+    uint64_t target = 0;
+    EXPECT_FALSE(btb.lookup(0x400, target));
+    btb.update(0x400, 0x1234);
+    ASSERT_TRUE(btb.lookup(0x400, target));
+    EXPECT_EQ(target, 0x1234u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(0x400, 0x1111);
+    btb.update(0x400, 0x2222);
+    uint64_t target = 0;
+    ASSERT_TRUE(btb.lookup(0x400, target));
+    EXPECT_EQ(target, 0x2222u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    Btb btb(8, 2); // 4 sets x 2 ways
+    // Three branches aliasing set 0 (pc>>2 multiples of 4).
+    const uint64_t a = 0x00, b = 0x40, c = 0x80;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    btb.update(a, 1); // refresh a
+    btb.update(c, 3); // evicts b
+    uint64_t t = 0;
+    EXPECT_TRUE(btb.lookup(a, t));
+    EXPECT_FALSE(btb.lookup(b, t));
+    EXPECT_TRUE(btb.lookup(c, t));
+}
+
+TEST(Btb, DistinctSetsDoNotInterfere)
+{
+    Btb btb(8, 2);
+    btb.update(0x04, 7); // set 1
+    btb.update(0x00, 1);
+    btb.update(0x40, 2);
+    btb.update(0x80, 3); // set-0 churn
+    uint64_t t = 0;
+    EXPECT_TRUE(btb.lookup(0x04, t));
+    EXPECT_EQ(t, 7u);
+}
+
+TEST(Btb, ResetDropsEverything)
+{
+    Btb btb(64, 4);
+    btb.update(0x400, 0x1234);
+    btb.reset();
+    uint64_t t = 0;
+    EXPECT_FALSE(btb.lookup(0x400, t));
+}
+
+TEST(BtbDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Btb(100, 3), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Btb(96, 4), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace mlpsim::test

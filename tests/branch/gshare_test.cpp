@@ -1,0 +1,87 @@
+/** @file gshare direction predictor. */
+#include <gtest/gtest.h>
+
+#include "branch/gshare.hh"
+
+namespace mlpsim::test {
+
+using mlpsim::branch::Gshare;
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    Gshare g(1024, 8);
+    for (int i = 0; i < 8; ++i)
+        g.update(0x400, true);
+    EXPECT_TRUE(g.predict(0x400));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    Gshare g(1024, 8);
+    for (int i = 0; i < 8; ++i)
+        g.update(0x400, false);
+    EXPECT_FALSE(g.predict(0x400));
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory)
+{
+    Gshare g(4096, 8);
+    // Train T,N,T,N...: history disambiguates the two contexts.
+    bool dir = false;
+    for (int i = 0; i < 400; ++i) {
+        dir = !dir;
+        g.update(0x800, dir);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        dir = !dir;
+        correct += (g.predict(0x800) == dir);
+        g.update(0x800, dir);
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Gshare, CountersSaturate)
+{
+    Gshare g(256, 4);
+    for (int i = 0; i < 100; ++i)
+        g.update(0x10, true);
+    // One contrary outcome must not flip a saturated counter.
+    g.update(0x10, false);
+    EXPECT_TRUE(g.predict(0x10));
+}
+
+TEST(Gshare, ResetRestoresWeaklyTaken)
+{
+    Gshare g(256, 4);
+    for (int i = 0; i < 10; ++i)
+        g.update(0x10, false);
+    g.reset();
+    EXPECT_TRUE(g.predict(0x10)); // counters reinitialised weakly taken
+}
+
+TEST(GshareDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(Gshare(1000, 8), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Gshare, BiasedBranchAccuracyTracksBias)
+{
+    Gshare g(64 * 1024, 16);
+    // 90% taken, random interleave: accuracy should approach ~90%.
+    uint64_t x = 12345;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const bool taken = (x >> 33) % 10 != 0;
+        if (i > 500) {
+            correct += (g.predict(0x1234) == taken);
+            ++total;
+        }
+        g.update(0x1234, taken);
+    }
+    EXPECT_GT(double(correct) / total, 0.75);
+}
+
+} // namespace mlpsim::test

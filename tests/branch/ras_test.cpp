@@ -1,0 +1,68 @@
+/** @file Return address stack. */
+#include <gtest/gtest.h>
+
+#include "branch/ras.hh"
+
+namespace mlpsim::test {
+
+using mlpsim::branch::ReturnAddressStack;
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(Ras, OverflowWrapsLikeHardware)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites the oldest
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 0u); // 1 was lost
+}
+
+TEST(Ras, InterleavedPushPop)
+{
+    ReturnAddressStack ras(4);
+    ras.push(1);
+    EXPECT_EQ(ras.pop(), 1u);
+    ras.push(2);
+    ras.push(3);
+    EXPECT_EQ(ras.pop(), 3u);
+    ras.push(4);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 2u);
+}
+
+TEST(Ras, ResetEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(5);
+    ras.reset();
+    EXPECT_EQ(ras.size(), 0u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(RasDeath, RejectsZeroDepth)
+{
+    EXPECT_EXIT(ReturnAddressStack(0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,240 @@
+/** @file Edge cases of the epoch engine: degenerate traces, extreme
+ *  window shapes, interaction corners. */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::Inhibitor;
+using core::IssueConfig;
+using core::MlpConfig;
+using predictor::ValueOutcome;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makeSerializing;
+using trace::makeStore;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3, r4 = 4;
+
+} // namespace
+
+TEST(EpochEdge, EmptyTrace)
+{
+    ScriptedTrace s;
+    const auto r = s.run(MlpConfig::defaultOoO());
+    EXPECT_EQ(r.epochs, 0u);
+    EXPECT_EQ(r.usefulAccesses, 0u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 0.0);
+}
+
+TEST(EpochEdge, NoMissesNoEpochs)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 100; ++i)
+        s.add(makeAlu(0x100 + 4 * i, r1, r1));
+    const auto r = s.run(MlpConfig::defaultOoO());
+    EXPECT_EQ(r.epochs, 0u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 0.0);
+}
+
+TEST(EpochEdge, SingleInstructionWindow)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 6; ++i)
+        s.add(makeLoad(0x100 + 4 * i, r1, 0xA000 + 0x1000ull * i,
+                       noReg),
+              Miss::Data);
+    const auto r = s.run(MlpConfig::sized(1, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 6u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(EpochEdge, SingleEntryFetchBuffer)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 6; ++i)
+        s.add(makeLoad(0x100 + 4 * i, r1, 0xA000 + 0x1000ull * i,
+                       noReg),
+              Miss::Data);
+    MlpConfig cfg = MlpConfig::sized(64, IssueConfig::C);
+    cfg.fetchBufferSize = 1;
+    const auto r = s.run(cfg);
+    // A 1-deep fetch buffer still feeds the big window: all overlap.
+    EXPECT_DOUBLE_EQ(r.mlp(), 6.0);
+}
+
+TEST(EpochEdge, BackToBackSerializers)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeSerializing(0x104));
+    s.add(makeSerializing(0x108));
+    s.add(makeLoad(0x10c, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.usefulAccesses, 2u);
+}
+
+TEST(EpochEdge, SerializerAsFirstInstruction)
+{
+    ScriptedTrace s;
+    s.add(makeSerializing(0x100));
+    s.add(makeLoad(0x104, r1, 0xA000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(EpochEdge, ConsecutiveUnresolvableMispredicts)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeBranch(0x104, 0x200, true, r1), Miss::None, true);
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    s.add(makeBranch(0x10c, 0x300, true, r2), Miss::None, true);
+    s.add(makeLoad(0x110, r3, 0xC000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 3u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::MispredBr], 2u);
+}
+
+TEST(EpochEdge, BranchInOrderBlockingChain)
+{
+    // Example 5 generalised: a resolvable mispredict queued behind TWO
+    // unexecutable branches under in-order branch issue.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeBranch(0x104, 0x200, false, r1)); // dep, predicted right
+    s.add(makeBranch(0x108, 0x204, false, r1)); // dep, predicted right
+    s.add(makeBranch(0x10c, 0x208, false, r2), Miss::None, true);
+    s.add(makeLoad(0x110, r3, 0xB000, noReg), Miss::Data);
+    const auto rc = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(rc.epochs, 2u); // blocked: no overlap
+    const auto rd = s.run(MlpConfig::sized(64, IssueConfig::D));
+    EXPECT_EQ(rd.epochs, 1u); // OoO branches: resolves, overlaps
+}
+
+TEST(EpochEdge, AtomicIsNotSerializingUnderConfigE)
+{
+    ScriptedTrace s;
+    s.add(makeSerializing(0x100, 0xA000), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::E));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+}
+
+TEST(EpochEdge, ValuePredictionAcrossConfigA)
+{
+    // A VP-correct missing load releases its dependent load even under
+    // in-order load issue (the dependent is the next memory op).
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data, false,
+          ValueOutcome::Correct);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    MlpConfig cfg = MlpConfig::sized(64, IssueConfig::A);
+    cfg.valuePrediction = true;
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+}
+
+TEST(EpochEdge, StoreDataDependenceDoesNotBlockConfigB)
+{
+    // Config B waits only for store *addresses*; a store whose DATA
+    // depends on a miss must not block later loads.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeStore(0x104, 0xB000, /*data=*/r1, /*addr=*/noReg));
+    s.add(makeLoad(0x108, r2, 0xC000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::B));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+}
+
+TEST(EpochEdge, ForwardedLoadValueCarriesDependence)
+{
+    // store(data <- miss) ; load same address ; dependent missing load:
+    // the chain through memory serialises the last load.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeStore(0x104, 0xD000, /*data=*/r1, /*addr=*/noReg));
+    s.add(makeLoad(0x108, r2, 0xD000, noReg));
+    s.add(makeLoad(0x10c, r3, 0xE000, r2), Miss::Data);
+    const auto r = s.run(MlpConfig::infinite());
+    EXPECT_EQ(r.epochs, 2u);
+}
+
+TEST(EpochEdge, WarmupLargerThanTrace)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    MlpConfig cfg = MlpConfig::defaultOoO();
+    cfg.warmupInsts = 100;
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.epochs, 0u);
+    EXPECT_EQ(r.measuredInsts, 0u);
+}
+
+TEST(EpochEdge, TrailingEpochIsClosedAtTraceEnd)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x104, r2, r1)); // dependent, executes next epoch
+    const auto r = s.run(MlpConfig::defaultOoO());
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::EndOfTrace], 1u);
+}
+
+TEST(EpochEdge, TinyRunaheadBudgetAddsNothing)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 12; ++i)
+        s.add(makeLoad(0x100 + 4 * i, uint8_t(10 + i),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+    MlpConfig tiny = MlpConfig::runahead();
+    tiny.issueWindowSize = 2;
+    tiny.robSize = 2;
+    tiny.maxRunaheadDistance = 1; // cannot reach past the base window
+    const double capped = s.run(tiny).mlp();
+    MlpConfig full = tiny;
+    full.maxRunaheadDistance = 2048;
+    const double uncapped = s.run(full).mlp();
+    EXPECT_NEAR(capped, 2.0, 0.3); // the 2-entry window's own overlap
+    EXPECT_DOUBLE_EQ(uncapped, 12.0);
+}
+
+TEST(EpochEdge, HugeWindowOnTinyTrace)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    MlpConfig cfg = MlpConfig::infinite();
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(EpochEdge, AccessPerEpochHistogramIsConsistent)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 9; ++i)
+        s.add(makeLoad(0x100 + 4 * i, uint8_t(10 + i),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+    const auto r = s.run(MlpConfig::sized(3, IssueConfig::C));
+    uint64_t epochs = 0, accesses = 0;
+    for (const auto &[size, count] : r.accessesPerEpoch.buckets()) {
+        epochs += count;
+        accesses += size * count;
+    }
+    EXPECT_EQ(epochs, r.epochs);
+    EXPECT_EQ(accesses, r.usefulAccesses);
+}
+
+} // namespace mlpsim::test

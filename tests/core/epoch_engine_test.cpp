@@ -1,0 +1,367 @@
+/** @file Epoch-engine semantics beyond the paper's worked examples:
+ *  window structures, fetch buffer, termination bookkeeping, memory
+ *  dependences, the epoch horizon. */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::Inhibitor;
+using core::IssueConfig;
+using core::MlpConfig;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makePrefetch;
+using trace::makeSerializing;
+using trace::makeStore;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6;
+
+/** N independent missing loads with @p pad ALU ops in between. */
+ScriptedTrace
+independentMisses(unsigned n, unsigned pad = 0)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < n; ++i) {
+        s.add(makeLoad(0x100 + 64 * i, uint8_t(10 + (i % 40)),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+        for (unsigned p = 0; p < pad; ++p)
+            s.add(makeAlu(0x104 + 64 * i + 4 * p, r1, r1));
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(EpochEngine, AllIndependentMissesOverlapInLargeWindow)
+{
+    auto s = independentMisses(10);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_EQ(r.usefulAccesses, 10u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 10.0);
+}
+
+TEST(EpochEngine, WindowSizeCapsOverlap)
+{
+    auto s = independentMisses(16, 3); // 4 insts per miss
+    // ROB of 8 holds 2 misses (and their pads) per epoch.
+    const auto r = s.run(MlpConfig::sized(8, IssueConfig::C));
+    EXPECT_EQ(r.usefulAccesses, 16u);
+    EXPECT_NEAR(r.mlp(), 2.0, 0.3);
+    EXPECT_GT(r.inhibitors[Inhibitor::Maxwin], 0u);
+}
+
+TEST(EpochEngine, MlpGrowsMonotonicallyWithWindow)
+{
+    auto s = independentMisses(64, 3);
+    double prev = 0.0;
+    for (unsigned w : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        const double mlp = s.run(MlpConfig::sized(w, IssueConfig::C)).mlp();
+        EXPECT_GE(mlp, prev - 1e-9) << "window " << w;
+        prev = mlp;
+    }
+}
+
+TEST(EpochEngine, DependentChainNeverOverlaps)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 8; ++i)
+        s.add(makeLoad(0x100 + 4 * i, r1, 0xA000 + 0x1000ull * i, r1),
+              Miss::Data);
+    const auto r = s.run(MlpConfig::infinite());
+    EXPECT_EQ(r.epochs, 8u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(EpochEngine, RobLimitsEvenWhenIssueWindowIsLarge)
+{
+    auto s = independentMisses(16, 3);
+    MlpConfig cfg = MlpConfig::sized(8, IssueConfig::C);
+    cfg.issueWindowSize = 256; // ROB (8) must still bind
+    const auto r = s.run(cfg);
+    EXPECT_NEAR(r.mlp(), 2.0, 0.3);
+}
+
+TEST(EpochEngine, IssueWindowLimitsWhenRobIsLarge)
+{
+    // Dependent instructions clog the issue window: each miss is
+    // followed by 3 dependent ALUs that cannot issue until the miss
+    // returns.
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 12; ++i) {
+        const uint8_t reg = uint8_t(10 + i);
+        s.add(makeLoad(0x100 + 16 * i, reg, 0xA000 + 0x1000ull * i,
+                       noReg),
+              Miss::Data);
+        for (int p = 0; p < 3; ++p)
+            s.add(makeAlu(0x104 + 16 * i + 4u * unsigned(p), reg, reg));
+    }
+    MlpConfig small = MlpConfig::sized(8, IssueConfig::C);
+    small.robSize = 2048; // only the 8-entry issue window binds
+    MlpConfig large = small;
+    large.issueWindowSize = 2048;
+    const double bound = s.run(small).mlp();
+    const double free = s.run(large).mlp();
+    // The issue window limits overlap well below the unbounded case
+    // but still above the fully-coupled tiny machine.
+    EXPECT_LT(bound, 0.5 * free);
+    EXPECT_GT(bound, 1.5);
+}
+
+TEST(EpochEngine, DecoupledRobBeatsCoupled)
+{
+    // Dependents clog the ROB in the coupled machine; enlarging only
+    // the ROB lets more misses in (paper Section 5.3.2).
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 32; ++i) {
+        const uint8_t reg = uint8_t(10 + (i % 40));
+        s.add(makeLoad(0x100 + 32 * i, reg, 0xA000 + 0x1000ull * i,
+                       noReg),
+              Miss::Data);
+        for (int p = 0; p < 5; ++p)
+            s.add(makeAlu(0x104 + 32 * i + 4u * unsigned(p), reg, reg));
+    }
+    MlpConfig coupled = MlpConfig::sized(12, IssueConfig::C);
+    MlpConfig decoupled = coupled;
+    decoupled.robSize = 96;
+    EXPECT_GT(s.run(decoupled).mlp(), s.run(coupled).mlp() + 0.5);
+}
+
+TEST(EpochEngine, FetchBufferExtendsImissOverlap)
+{
+    // A data miss, then an instruction miss shortly after: the fetch
+    // buffer lets the I-side access overlap the data miss even when
+    // the ROB is full.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x104, r2, r2));
+    s.add(makeAlu(0x108, r2, r2));
+    s.add(makeAlu(0x10c, r2, r2)); // ROB(4) is now full
+    s.add(makeAlu(0x140, r2, r2), Miss::Fetch);
+    MlpConfig cfg = MlpConfig::sized(4, IssueConfig::C);
+    cfg.fetchBufferSize = 8;
+    const auto r = cfg.fetchBufferSize ? s.run(cfg) : core::MlpResult{};
+    EXPECT_EQ(r.usefulAccesses, 2u);
+    EXPECT_EQ(r.epochs, 1u); // the Imiss overlapped the Dmiss
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissEnd], 1u);
+}
+
+TEST(EpochEngine, ImissStartEpochHasOneAccess)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1), Miss::Fetch);
+    s.add(makeLoad(0x104, r2, 0xA000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    // Epoch 1: the instruction fetch alone (fetch is blocking);
+    // epoch 2: the load.
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissStart], 1u);
+    EXPECT_EQ(r.accessesPerEpoch.buckets().at(1), 2u);
+}
+
+TEST(EpochEngine, ResolvableMispredictDoesNotTerminate)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    // Mispredicted branch whose operand is on-chip-ready: resolves
+    // within the epoch at no modelled cost.
+    s.add(makeAlu(0x104, r2));
+    s.add(makeBranch(0x108, 0x200, true, r2), Miss::None, true);
+    s.add(makeLoad(0x10c, r3, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+    EXPECT_EQ(r.inhibitors[Inhibitor::MispredBr], 0u);
+}
+
+TEST(EpochEngine, SerializingAfterQuiescenceIsFree)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1));
+    s.add(makeSerializing(0x104)); // nothing outstanding: free
+    s.add(makeLoad(0x108, r2, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x10c, r3, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+}
+
+TEST(EpochEngine, InstructionsBehindSerializerWaitForDrain)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeSerializing(0x104));
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    s.add(makeLoad(0x10c, r3, 0xC000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::Serialize], 1u);
+    // After the drain, the two loads behind the membar overlap.
+    EXPECT_EQ(r.accessesPerEpoch.buckets().at(2), 1u);
+}
+
+TEST(EpochEngine, AtomicWithMissingLineIsAnAccess)
+{
+    ScriptedTrace s;
+    s.add(makeSerializing(0x100, 0xA000), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.usefulAccesses, 2u);
+    // The atomic serializes: the load cannot overlap it.
+    EXPECT_EQ(r.epochs, 2u);
+}
+
+TEST(EpochEngine, StoreForwardingCreatesMemoryDependence)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeStore(0x104, 0xB000, /*data=*/r1, /*addr=*/noReg));
+    // This load reads the stored location: it must wait for the store
+    // data (which waits for the miss), even under config C.
+    s.add(makeLoad(0x108, r2, 0xB000, noReg));
+    s.add(makeLoad(0x10c, r3, 0xC000, r2), Miss::Data);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(EpochEngine, DepStoreClassification)
+{
+    // Config B: a store with an unresolved (miss-dependent) address
+    // blocks a ready load -> the epoch is charged to "Dep store".
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x104, r2, r1));
+    s.add(makeStore(0x108, 0xB000, /*data=*/r3, /*addr=*/r2));
+    s.add(makeLoad(0x10c, r4, 0xC000, noReg), Miss::Data);
+    const auto rb = s.run(MlpConfig::sized(64, IssueConfig::B));
+    EXPECT_EQ(rb.epochs, 2u);
+    EXPECT_EQ(rb.inhibitors[Inhibitor::DepStore], 1u);
+
+    const auto rc = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(rc.epochs, 1u);
+    EXPECT_DOUBLE_EQ(rc.mlp(), 2.0);
+}
+
+TEST(EpochEngine, MissingLoadClassificationUnderConfigA)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1)); // dependent load (hits)
+    s.add(makeLoad(0x108, r3, 0xC000, noReg), Miss::Data);
+    const auto ra = s.run(MlpConfig::sized(64, IssueConfig::A));
+    EXPECT_EQ(ra.epochs, 2u);
+    EXPECT_EQ(ra.inhibitors[Inhibitor::MissingLoad], 1u);
+
+    // Config B lets loads pass loads: both misses overlap.
+    const auto rbb = s.run(MlpConfig::sized(64, IssueConfig::B));
+    EXPECT_EQ(rbb.epochs, 1u);
+}
+
+TEST(EpochEngine, PrefetchesBypassConfigAOrdering)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1)); // blocked dependent load
+    s.add(makePrefetch(0x108, 0xC000), Miss::UsefulPrefetch);
+    const auto r = s.run(MlpConfig::sized(64, IssueConfig::A));
+    // The prefetch is a hint: it overlaps the miss despite in-order
+    // load issue.
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_EQ(r.usefulAccesses, 2u);
+}
+
+TEST(EpochEngine, EpochHorizonBoundsNonStallingEpochs)
+{
+    // Useful prefetches never stall, so only the horizon ends the
+    // epoch.
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 64; ++i) {
+        s.add(makePrefetch(0x100 + 4 * i, 0xA000 + 0x1000ull * i),
+              Miss::UsefulPrefetch);
+        s.add(makeAlu(0x100 + 4 * i + 2, r1, r1));
+    }
+    MlpConfig cfg = MlpConfig::sized(16, IssueConfig::C);
+    cfg.epochInstHorizon = 16;
+    // The horizon stops *fetch*; instructions already in the fetch
+    // buffer and window still execute, so each epoch spans roughly
+    // horizon + fetchBuffer + window instructions.
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.usefulAccesses, 64u);
+    EXPECT_GE(r.epochs, 3u);
+    EXPECT_GT(r.inhibitors[Inhibitor::TriggerDone], 0u);
+
+    cfg.epochInstHorizon = 4096; // one giant epoch
+    const auto r2 = s.run(cfg);
+    EXPECT_EQ(r2.epochs, 1u);
+}
+
+TEST(EpochEngine, WarmupEpochsAreExcluded)
+{
+    auto s = independentMisses(10, 0);
+    MlpConfig cfg = MlpConfig::sized(4, IssueConfig::C);
+    const auto all = s.run(cfg);
+    cfg.warmupInsts = 5;
+    const auto tail = s.run(cfg);
+    EXPECT_LT(tail.usefulAccesses, all.usefulAccesses);
+    EXPECT_LT(tail.epochs, all.epochs);
+    EXPECT_EQ(tail.measuredInsts, 5u);
+}
+
+TEST(EpochEngine, AccessConservation)
+{
+    auto s = independentMisses(20, 2);
+    for (auto ic : {IssueConfig::A, IssueConfig::C, IssueConfig::E}) {
+        for (unsigned w : {4u, 16u, 64u}) {
+            const auto r = s.run(MlpConfig::sized(w, ic));
+            EXPECT_EQ(r.usefulAccesses, 20u)
+                << core::issueConfigName(ic) << w;
+        }
+    }
+}
+
+TEST(EpochEngine, InhibitorsSumToEpochs)
+{
+    auto s = independentMisses(20, 2);
+    const auto r = s.run(MlpConfig::sized(8, IssueConfig::C));
+    EXPECT_EQ(r.inhibitors.total(), r.epochs);
+}
+
+TEST(EpochEngine, DeterministicAcrossRuns)
+{
+    auto s = independentMisses(30, 1);
+    const auto a = s.run(MlpConfig::sized(16, IssueConfig::C));
+    const auto b = s.run(MlpConfig::sized(16, IssueConfig::C));
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.usefulAccesses, b.usefulAccesses);
+    EXPECT_DOUBLE_EQ(a.mlp(), b.mlp());
+}
+
+TEST(EpochEngineDeath, RejectsInOrderModes)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1));
+    const auto ctx = s.context();
+    core::MlpConfig cfg;
+    cfg.mode = core::CoreMode::InOrderStallOnMiss;
+    EXPECT_DEATH({ core::EpochEngine engine(cfg, ctx); }, "OoO");
+}
+
+TEST(EpochEngineDeath, RejectsZeroSizedWindows)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1));
+    const auto ctx = s.context();
+    core::MlpConfig cfg;
+    cfg.robSize = 0;
+    EXPECT_DEATH({ core::EpochEngine engine(cfg, ctx); }, "non-empty");
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The paper's worked Examples 1-5 (Sections 3.2 and 3.4), reproduced
+ * literally: each feeds the engine the published five-instruction
+ * sequence and asserts the published epoch sets / MLP.
+ */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::IssueConfig;
+using core::MlpConfig;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makeSerializing;
+using trace::makeStore;
+
+namespace {
+
+constexpr uint8_t r0 = 0, r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5,
+                  r6 = 6, r7 = 7, r8 = 8;
+
+MlpConfig
+exampleConfig(IssueConfig issue, unsigned window)
+{
+    return MlpConfig::sized(window, issue);
+}
+
+} // namespace
+
+// --- Example 1: issue window / ROB size -----------------------------
+//
+//   i1 load 0(r1)->r2    Dmiss
+//   i2 add r2,r3->r4
+//   i3 load (r4)->r5     Dmiss
+//   i4 add r0,r1->r2
+//   i5 load (r7)->r8     Dmiss
+//
+// Window = 4: epoch sets {i1, i4}, {i2, i3, i5}; MLP = (1+2)/2 = 1.5.
+TEST(EpochExamples, Example1WindowLimit)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r2, 0xA000, r1), Miss::Data); // i1
+    s.add(makeAlu(0x104, r4, r2, r3));                  // i2
+    s.add(makeLoad(0x108, r5, 0xB000, r4), Miss::Data); // i3
+    s.add(makeAlu(0x10c, r2, r0, r1));                  // i4
+    s.add(makeLoad(0x110, r8, 0xC000, r7), Miss::Data); // i5
+
+    const auto r = s.run(exampleConfig(IssueConfig::C, 4));
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.usefulAccesses, 3u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.5);
+    EXPECT_EQ(r.inhibitors[core::Inhibitor::Maxwin], 1u);
+
+    // With a larger window the independent i5 instead joins the first
+    // epoch: {i1, i4, i5}, {i2, i3}; MLP is still (2+1)/2.
+    const auto r8w = s.run(exampleConfig(IssueConfig::C, 8));
+    EXPECT_EQ(r8w.epochs, 2u);
+    EXPECT_DOUBLE_EQ(r8w.mlp(), 1.5);
+    EXPECT_EQ(r8w.accessesPerEpoch.buckets().at(2), 1u);
+}
+
+// --- Example 2: serializing instruction ------------------------------
+//
+//   i1 load (r1)->r2     Dmiss
+//   i2 membar
+//   i3 add r2,r3->r4
+//   i4 load (r4)->r5     Dmiss
+//   i5 load (r7)->r8     Dmiss
+//
+// Epoch sets {i1, i2}, {i3, i4, i5}; MLP = (1+2)/2 = 1.5: the membar
+// prevents the independent i5 from overlapping with i1.
+TEST(EpochExamples, Example2Serializing)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r2, 0xA000, r1), Miss::Data); // i1
+    s.add(makeSerializing(0x104));                      // i2
+    s.add(makeAlu(0x108, r4, r2, r3));                  // i3
+    s.add(makeLoad(0x10c, r5, 0xB000, r4), Miss::Data); // i4
+    s.add(makeLoad(0x110, r8, 0xC000, r7), Miss::Data); // i5
+
+    const auto r = s.run(exampleConfig(IssueConfig::C, 8));
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.usefulAccesses, 3u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.5);
+    EXPECT_EQ(r.inhibitors[core::Inhibitor::Serialize], 1u);
+
+    // Config E removes the serializing constraint: i1 and i5 overlap
+    // ({i1, i2, i5}, {i3, i4}).
+    const auto re = s.run(exampleConfig(IssueConfig::E, 8));
+    EXPECT_EQ(re.epochs, 2u);
+    EXPECT_DOUBLE_EQ(re.mlp(), 1.5);
+    EXPECT_EQ(re.inhibitors[core::Inhibitor::Serialize], 0u);
+    EXPECT_EQ(re.accessesPerEpoch.buckets().at(2), 1u);
+}
+
+// --- Example 3: instruction miss + unresolvable mispredict -----------
+//
+//   i1 load (r1)->r2     Dmiss
+//   i2 add r2,r3->r4     Imiss
+//   i3 load (r4)->r5     Dmiss
+//   i4 beq r5,0,tgt      Mispred (depends on i3)
+//   i5 load (r7)->r8     Dmiss
+//
+// Epoch sets {i1, i2-fetch}, {i2, i3}, {i4, i5}: the i2 fetch is an
+// off-chip access of epoch 1, so MLP = 4/3.
+TEST(EpochExamples, Example3ImissAndMispredict)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r2, 0xA000, r1), Miss::Data);  // i1
+    s.add(makeAlu(0x104, r4, r2, r3), Miss::Fetch);      // i2
+    s.add(makeLoad(0x108, r5, 0xB000, r4), Miss::Data);  // i3
+    s.add(makeBranch(0x10c, 0x200, true, r5), Miss::None,
+          /*mispredict=*/true);                          // i4
+    s.add(makeLoad(0x110, r8, 0xC000, r7), Miss::Data);  // i5
+
+    const auto r = s.run(exampleConfig(IssueConfig::C, 8));
+    EXPECT_EQ(r.epochs, 3u);
+    EXPECT_EQ(r.usefulAccesses, 4u);
+    EXPECT_NEAR(r.mlp(), 4.0 / 3.0, 1e-9);
+    EXPECT_EQ(r.inhibitors[core::Inhibitor::ImissEnd], 1u);
+    EXPECT_EQ(r.inhibitors[core::Inhibitor::MispredBr], 1u);
+}
+
+// --- Example 4: load issue policy ------------------------------------
+//
+//   i1 load 8(r1)->r2     Dmiss
+//   i2 load 0(r2)->r3     Dmiss   (depends on i1)
+//   i3 load 108(r1)->r4   Dmiss
+//   i4 store r5 -> 0(r3)          (address depends on i2)
+//   i5 load 388(r1)->r6   Dmiss
+//
+// Policy A: {i1}, {i2, i3}, {i4, i5}   -- i3 blocked behind i2
+// Policy B: {i1, i3}, {i2}, {i4, i5}   -- i5 blocked by i4's address
+// Policy C: {i1, i3, i5}, {i2}, {i4}   -- everything speculates
+TEST(EpochExamples, Example4LoadIssuePolicies)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r2, 0xA008, r1), Miss::Data);  // i1
+    s.add(makeLoad(0x104, r3, 0xB000, r2), Miss::Data);  // i2
+    s.add(makeLoad(0x108, r4, 0xA108, r1), Miss::Data);  // i3
+    s.add(makeStore(0x10c, 0xB100, r5, r3));             // i4
+    s.add(makeLoad(0x110, r6, 0xA388, r1), Miss::Data);  // i5
+
+    const auto ra = s.run(exampleConfig(IssueConfig::A, 8));
+    EXPECT_EQ(ra.epochs, 3u);
+    EXPECT_EQ(ra.usefulAccesses, 4u);
+    // {i1}, {i2,i3}, {i5}.
+    EXPECT_EQ(ra.accessesPerEpoch.buckets().at(1), 2u);
+    EXPECT_EQ(ra.accessesPerEpoch.buckets().at(2), 1u);
+
+    const auto rb = s.run(exampleConfig(IssueConfig::B, 8));
+    EXPECT_EQ(rb.epochs, 3u);
+    EXPECT_EQ(rb.usefulAccesses, 4u);
+    // {i1,i3}, {i2}, {i5}.
+    EXPECT_EQ(rb.accessesPerEpoch.buckets().at(2), 1u);
+    EXPECT_EQ(rb.accessesPerEpoch.buckets().at(1), 2u);
+
+    const auto rc = s.run(exampleConfig(IssueConfig::C, 8));
+    // {i1,i3,i5}, {i2}; i4 carries no off-chip access, so only two
+    // epochs contain accesses.
+    EXPECT_EQ(rc.epochs, 2u);
+    EXPECT_EQ(rc.usefulAccesses, 4u);
+    EXPECT_EQ(rc.accessesPerEpoch.buckets().at(3), 1u);
+}
+
+// --- Example 5: branch issue policy ----------------------------------
+//
+//   i1 load 8(r1)->r2     Dmiss
+//   i2 beq r2,1,...               (depends on i1, predicted right)
+//   i3 beq r1,1,...       Mispred (independent of the miss)
+//   i4 load 108(r1)->r4   Dmiss
+//
+// In-order branches (A-C): i3 cannot resolve behind i2 -> wrong path
+// until the epoch ends; i4 does not overlap i1. Out-of-order branches
+// (D): i3 resolves at once and i4 overlaps i1.
+TEST(EpochExamples, Example5BranchIssuePolicies)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r2, 0xA008, r1), Miss::Data);   // i1
+    s.add(makeBranch(0x104, 0x1100, false, r2));          // i2
+    s.add(makeBranch(0x108, 0x11ff, false, r1), Miss::None,
+          /*mispredict=*/true);                           // i3
+    s.add(makeLoad(0x10c, r4, 0xA108, r1), Miss::Data);   // i4
+
+    const auto rc = s.run(exampleConfig(IssueConfig::C, 8));
+    EXPECT_EQ(rc.epochs, 2u);
+    EXPECT_EQ(rc.usefulAccesses, 2u);
+    EXPECT_DOUBLE_EQ(rc.mlp(), 1.0);
+    EXPECT_EQ(rc.inhibitors[core::Inhibitor::MispredBr], 1u);
+
+    const auto rd = s.run(exampleConfig(IssueConfig::D, 8));
+    EXPECT_EQ(rd.epochs, 1u);
+    EXPECT_EQ(rd.usefulAccesses, 2u);
+    EXPECT_DOUBLE_EQ(rd.mlp(), 2.0);
+    EXPECT_EQ(rd.inhibitors[core::Inhibitor::MispredBr], 0u);
+}
+
+} // namespace mlpsim::test

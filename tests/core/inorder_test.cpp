@@ -1,0 +1,197 @@
+/** @file In-order machine models: stall-on-miss and stall-on-use
+ *  (paper Section 3.3 / Table 5). */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::CoreMode;
+using core::Inhibitor;
+using core::MlpConfig;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makePrefetch;
+using trace::makeSerializing;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3, r4 = 4;
+
+MlpConfig
+som()
+{
+    MlpConfig cfg;
+    cfg.mode = CoreMode::InOrderStallOnMiss;
+    return cfg;
+}
+
+MlpConfig
+sou()
+{
+    MlpConfig cfg;
+    cfg.mode = CoreMode::InOrderStallOnUse;
+    return cfg;
+}
+
+} // namespace
+
+TEST(InOrder, StallOnMissNeverOverlapsLoads)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, noReg), Miss::Data);
+    s.add(makeLoad(0x108, r3, 0xC000, noReg), Miss::Data);
+    const auto r = s.run(som());
+    EXPECT_EQ(r.epochs, 3u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(InOrder, StallOnUseOverlapsUntilFirstUse)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, noReg), Miss::Data);
+    s.add(makeAlu(0x108, r3, r1)); // first use of missing data
+    s.add(makeLoad(0x10c, r4, 0xC000, noReg), Miss::Data);
+    const auto r = s.run(sou());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.accessesPerEpoch.buckets().at(2), 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.5);
+}
+
+TEST(InOrder, StallOnUseStallsOnAddressUse)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data); // addr uses r1
+    const auto r = s.run(sou());
+    EXPECT_EQ(r.epochs, 2u);
+}
+
+TEST(InOrder, PrefetchOverlapsStallOnMiss)
+{
+    // Section 3.3: missing prefetches may overlap a missing load.
+    ScriptedTrace s;
+    s.add(makePrefetch(0x100, 0xD000), Miss::UsefulPrefetch);
+    s.add(makeLoad(0x104, r1, 0xA000, noReg), Miss::Data);
+    const auto r = s.run(som());
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.0);
+}
+
+TEST(InOrder, ImissWithinFetchBufferOverlapsStalledLoad)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x104, r2));
+    s.add(makeAlu(0x140, r2), Miss::Fetch); // within fetch buffer
+    const auto r = s.run(som());
+    EXPECT_EQ(r.usefulAccesses, 2u);
+    EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(InOrder, ImissBeyondFetchBufferDoesNotOverlap)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    for (unsigned i = 0; i < 40; ++i) // beyond the 32-entry buffer
+        s.add(makeAlu(0x104 + 4 * i, r2));
+    s.add(makeAlu(0x400, r2), Miss::Fetch);
+    const auto r = s.run(som());
+    EXPECT_EQ(r.usefulAccesses, 2u);
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissStart], 1u);
+}
+
+TEST(InOrder, LoneImissFormsItsOwnEpoch)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1), Miss::Fetch);
+    s.add(makeAlu(0x104, r1));
+    const auto r = s.run(som());
+    EXPECT_EQ(r.epochs, 1u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissStart], 1u);
+}
+
+TEST(InOrder, SerializingDrainsOutstandingPrefetchEpoch)
+{
+    ScriptedTrace s;
+    s.add(makePrefetch(0x100, 0xD000), Miss::UsefulPrefetch);
+    s.add(makeSerializing(0x104));
+    s.add(makePrefetch(0x108, 0xE000), Miss::UsefulPrefetch);
+    const auto r = s.run(sou());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::Serialize], 1u);
+}
+
+TEST(InOrder, MissingAtomicIsItsOwnEpoch)
+{
+    ScriptedTrace s;
+    s.add(makeSerializing(0x100, 0xA000), Miss::Data);
+    s.add(makeLoad(0x104, r1, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(som());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.usefulAccesses, 2u);
+}
+
+TEST(InOrder, UnresolvableMispredictChargedToBranch)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeBranch(0x104, 0x200, true, r1), Miss::None, true);
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(sou());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::MispredBr], 1u);
+}
+
+TEST(InOrder, StallOnUseNeverBeatenByStallOnMiss)
+{
+    // Property: on any trace, sou MLP >= som MLP.
+    ScriptedTrace s;
+    uint64_t pc = 0x100;
+    for (unsigned i = 0; i < 50; ++i) {
+        const uint8_t reg = uint8_t(8 + (i % 8));
+        s.add(makeLoad(pc, reg, 0xA000 + 0x1000ull * i,
+                       i % 3 == 0 ? uint8_t(8 + ((i + 5) % 8)) : noReg),
+              i % 2 == 0 ? Miss::Data : Miss::None);
+        pc += 4;
+        s.add(makeAlu(pc, uint8_t(8 + ((i + 1) % 8)), reg));
+        pc += 4;
+    }
+    EXPECT_GE(s.run(sou()).mlp() + 1e-9, s.run(som()).mlp());
+}
+
+TEST(InOrder, HorizonClosesNonStallingEpochs)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 64; ++i) {
+        s.add(makePrefetch(0x100 + 4 * i, 0xA000 + 0x1000ull * i),
+              Miss::UsefulPrefetch);
+    }
+    MlpConfig cfg = som();
+    cfg.epochInstHorizon = 8;
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.usefulAccesses, 64u);
+    EXPECT_GE(r.epochs, 8u);
+    EXPECT_GT(r.inhibitors[Inhibitor::TriggerDone], 0u);
+}
+
+TEST(InOrder, WarmupExcluded)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 10; ++i)
+        s.add(makeLoad(0x100 + 4 * i, r1, 0xA000 + 0x1000ull * i,
+                       noReg),
+              Miss::Data);
+    MlpConfig cfg = som();
+    cfg.warmupInsts = 5;
+    const auto r = s.run(cfg);
+    EXPECT_EQ(r.epochs, 5u);
+    EXPECT_EQ(r.usefulAccesses, 5u);
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,80 @@
+/** @file Configuration helpers: labels, factory presets, names. */
+#include <gtest/gtest.h>
+
+#include "core/mlp_config.hh"
+#include "core/mlp_result.hh"
+
+#include <set>
+#include <string>
+
+namespace mlpsim::test {
+
+using namespace mlpsim::core;
+
+TEST(MlpConfig, DefaultMatchesPaperSection51)
+{
+    const MlpConfig cfg = MlpConfig::defaultOoO();
+    EXPECT_EQ(cfg.mode, CoreMode::OutOfOrder);
+    EXPECT_EQ(cfg.issue, IssueConfig::C);
+    EXPECT_EQ(cfg.fetchBufferSize, 32u);
+    EXPECT_EQ(cfg.issueWindowSize, 64u);
+    EXPECT_EQ(cfg.robSize, 64u);
+    EXPECT_FALSE(cfg.valuePrediction);
+    EXPECT_FALSE(cfg.finiteStoreBuffer);
+}
+
+TEST(MlpConfig, SizedCouplesWindowAndRob)
+{
+    const MlpConfig cfg = MlpConfig::sized(128, IssueConfig::D);
+    EXPECT_EQ(cfg.issueWindowSize, 128u);
+    EXPECT_EQ(cfg.robSize, 128u);
+    EXPECT_EQ(cfg.issue, IssueConfig::D);
+}
+
+TEST(MlpConfig, InfinitePreset)
+{
+    const MlpConfig cfg = MlpConfig::infinite();
+    EXPECT_EQ(cfg.issueWindowSize, 2048u);
+    EXPECT_EQ(cfg.robSize, 2048u);
+    EXPECT_EQ(cfg.issue, IssueConfig::E);
+}
+
+TEST(MlpConfig, RunaheadPresetMatchesFigure8)
+{
+    const MlpConfig cfg = MlpConfig::runahead();
+    EXPECT_EQ(cfg.mode, CoreMode::Runahead);
+    EXPECT_EQ(cfg.issueWindowSize, 64u);
+    EXPECT_EQ(cfg.issue, IssueConfig::D);
+    EXPECT_EQ(cfg.maxRunaheadDistance, 2048u);
+    EXPECT_EQ(MlpConfig::runahead(256).robSize, 256u);
+}
+
+TEST(MlpConfig, Labels)
+{
+    EXPECT_EQ(MlpConfig::sized(64, IssueConfig::C).label(), "64C");
+    MlpConfig decoupled = MlpConfig::sized(64, IssueConfig::D);
+    decoupled.robSize = 256;
+    EXPECT_EQ(decoupled.label(), "64D/rob256");
+    EXPECT_EQ(MlpConfig::runahead().label(), "RAE");
+    MlpConfig som;
+    som.mode = CoreMode::InOrderStallOnMiss;
+    EXPECT_EQ(som.label(), "in-order-som");
+}
+
+TEST(MlpConfig, EnumNames)
+{
+    EXPECT_STREQ(issueConfigName(IssueConfig::A), "A");
+    EXPECT_STREQ(issueConfigName(IssueConfig::E), "E");
+    EXPECT_STREQ(coreModeName(CoreMode::Runahead), "runahead");
+    EXPECT_STREQ(coreModeName(CoreMode::OutOfOrder), "out-of-order");
+}
+
+TEST(InhibitorNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < numInhibitors; ++i)
+        names.insert(inhibitorName(static_cast<Inhibitor>(i)));
+    EXPECT_EQ(names.size(), numInhibitors);
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,171 @@
+/** @file Runahead execution (paper Sections 3.5 and 5.4.1). */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::Inhibitor;
+using core::IssueConfig;
+using core::MlpConfig;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makeSerializing;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2;
+
+MlpConfig
+runaheadConfig(unsigned distance = 2048)
+{
+    MlpConfig cfg = MlpConfig::runahead();
+    cfg.maxRunaheadDistance = distance;
+    return cfg;
+}
+
+/** n independent misses separated by @p pad ALUs. */
+ScriptedTrace
+spacedMisses(unsigned n, unsigned pad)
+{
+    ScriptedTrace s;
+    uint64_t pc = 0x100;
+    for (unsigned i = 0; i < n; ++i) {
+        s.add(makeLoad(pc, uint8_t(10 + (i % 40)),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+        pc += 4;
+        for (unsigned p = 0; p < pad; ++p) {
+            s.add(makeAlu(pc, r1, r1));
+            pc += 4;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Runahead, IgnoresWindowCapacity)
+{
+    auto s = spacedMisses(16, 7); // 8 insts per miss
+    MlpConfig tiny = MlpConfig::sized(8, IssueConfig::D);
+    const double base = s.run(tiny).mlp();
+
+    MlpConfig rae = runaheadConfig();
+    rae.issueWindowSize = 8;
+    rae.robSize = 8;
+    const double ahead = s.run(rae).mlp();
+    EXPECT_GT(ahead, base * 3);
+    EXPECT_DOUBLE_EQ(ahead, 16.0); // all 16 overlap in one epoch
+}
+
+TEST(Runahead, RespectsMaxDistance)
+{
+    auto s = spacedMisses(64, 7); // 8 insts per miss
+    MlpConfig rae = runaheadConfig(32); // reaches ~4 misses
+    rae.epochInstHorizon = 4096;
+    const auto r = s.run(rae);
+    EXPECT_NEAR(r.mlp(), 4.0, 1.0);
+}
+
+TEST(Runahead, IgnoresSerializingInstructions)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeSerializing(0x104));
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    const auto conventional =
+        s.run(MlpConfig::sized(64, IssueConfig::D));
+    EXPECT_EQ(conventional.epochs, 2u);
+
+    const auto rae = s.run(runaheadConfig());
+    EXPECT_EQ(rae.epochs, 1u);
+    EXPECT_DOUBLE_EQ(rae.mlp(), 2.0);
+    EXPECT_EQ(rae.inhibitors[Inhibitor::Serialize], 0u);
+}
+
+TEST(Runahead, InstructionMissStillTerminates)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x140, r2), Miss::Fetch);
+    s.add(makeLoad(0x144, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(runaheadConfig());
+    // The Imiss overlaps the load but blocks fetch: the third miss
+    // lands in the next epoch.
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissEnd], 1u);
+}
+
+TEST(Runahead, UnresolvableMispredictStillTerminates)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeBranch(0x104, 0x200, true, r1), Miss::None, true);
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    const auto r = s.run(runaheadConfig());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::MispredBr], 1u);
+}
+
+TEST(Runahead, DependentMissesAreSkippedNotIssued)
+{
+    // A load whose address depends on the trigger cannot issue during
+    // runahead (its register is invalid) and lands in the next epoch.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    const auto r = s.run(runaheadConfig());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_DOUBLE_EQ(r.mlp(), 1.0);
+}
+
+TEST(Runahead, MatchesInfOnScriptedTraces)
+{
+    // The paper: RAE results are identical to the INF machine
+    // (window 2048, ROB 2048, config E).
+    auto s = spacedMisses(40, 3);
+    const auto rae = s.run(runaheadConfig());
+    const auto inf = s.run(MlpConfig::infinite());
+    EXPECT_EQ(rae.epochs, inf.epochs);
+    EXPECT_EQ(rae.usefulAccesses, inf.usefulAccesses);
+    EXPECT_DOUBLE_EQ(rae.mlp(), inf.mlp());
+}
+
+TEST(Runahead, NotTriggeredByInstructionMissAlone)
+{
+    // Runahead enters on a missing-load trigger; a pure Imiss-start
+    // epoch stays a one-access epoch.
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1), Miss::Fetch);
+    s.add(makeLoad(0x104, r2, 0xA000, noReg), Miss::Data);
+    const auto r = s.run(runaheadConfig());
+    EXPECT_EQ(r.epochs, 2u);
+    EXPECT_EQ(r.inhibitors[Inhibitor::ImissStart], 1u);
+}
+
+TEST(Runahead, BeatsLargeConventionalWindowWithSerialization)
+{
+    // With serializing instructions sprinkled in, runahead beats even
+    // a much larger conventional machine (config D serializes).
+    ScriptedTrace s;
+    uint64_t pc = 0x100;
+    for (unsigned i = 0; i < 24; ++i) {
+        s.add(makeLoad(pc, uint8_t(10 + (i % 40)),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+        pc += 4;
+        if (i % 2 == 1) {
+            s.add(makeSerializing(pc));
+            pc += 4;
+        }
+    }
+    const double conventional =
+        s.run(MlpConfig::sized(256, IssueConfig::D)).mlp();
+    const double rae = s.run(runaheadConfig()).mlp();
+    EXPECT_GT(rae, 2.0 * conventional);
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,112 @@
+/** @file Missing-load value prediction in the epoch model
+ *  (paper Sections 3.6 and 5.5). */
+#include <gtest/gtest.h>
+
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::IssueConfig;
+using core::MlpConfig;
+using predictor::ValueOutcome;
+using trace::makeAlu;
+using trace::makeLoad;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3;
+
+MlpConfig
+withVp(MlpConfig cfg)
+{
+    cfg.valuePrediction = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ValuePrediction, CorrectPredictionReleasesDependentMiss)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data, false,
+          ValueOutcome::Correct);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    const auto off = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(off.epochs, 2u);
+    const auto on = s.run(withVp(MlpConfig::sized(64, IssueConfig::C)));
+    EXPECT_EQ(on.epochs, 1u);
+    EXPECT_DOUBLE_EQ(on.mlp(), 2.0);
+}
+
+TEST(ValuePrediction, WrongPredictionBehavesLikeNoPrediction)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data, false,
+          ValueOutcome::Wrong);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    const auto on = s.run(withVp(MlpConfig::sized(64, IssueConfig::C)));
+    EXPECT_EQ(on.epochs, 2u);
+}
+
+TEST(ValuePrediction, DisabledConfigIgnoresAnnotations)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data, false,
+          ValueOutcome::Correct);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    const auto off = s.run(MlpConfig::sized(64, IssueConfig::C));
+    EXPECT_EQ(off.epochs, 2u);
+}
+
+TEST(ValuePrediction, PerfectVpCollapsesDependentChain)
+{
+    ScriptedTrace s;
+    uint8_t reg = r1;
+    for (unsigned i = 0; i < 6; ++i) {
+        s.add(makeLoad(0x100 + 4 * i, reg, 0xA000 + 0x1000ull * i,
+                       reg),
+              Miss::Data, false, ValueOutcome::Correct);
+    }
+    const auto on = s.run(withVp(MlpConfig::sized(64, IssueConfig::C)));
+    EXPECT_EQ(on.epochs, 1u);
+    EXPECT_DOUBLE_EQ(on.mlp(), 6.0);
+}
+
+TEST(ValuePrediction, PredictedLoadStillBlocksRetirement)
+{
+    // Value prediction frees consumers, not the ROB: the predicted
+    // load retires only when its data returns, so Maxwin still caps
+    // the window at the same place.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data, false,
+          ValueOutcome::Correct);
+    for (unsigned i = 0; i < 6; ++i)
+        s.add(makeAlu(0x104 + 4 * i, r2, r2));
+    s.add(makeLoad(0x120, r3, 0xB000, noReg), Miss::Data);
+    MlpConfig cfg = withVp(MlpConfig::sized(4, IssueConfig::C));
+    const auto r = s.run(cfg);
+    // ROB of 4 fills with the ALUs before the second load dispatches.
+    EXPECT_EQ(r.epochs, 2u);
+}
+
+TEST(ValuePrediction, HelpsRunaheadMost)
+{
+    // A dependent chain of predicted misses: runahead+VP overlaps all
+    // of them; conventional machines are still window-limited.
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 24; ++i) {
+        s.add(makeLoad(0x100 + 16 * i, r1, 0xA000 + 0x1000ull * i, r1),
+              Miss::Data, false, ValueOutcome::Correct);
+        for (int p = 0; p < 3; ++p)
+            s.add(makeAlu(0x104 + 16 * i + 4u * unsigned(p), r2, r1));
+    }
+    MlpConfig small = withVp(MlpConfig::sized(16, IssueConfig::D));
+    MlpConfig rae = withVp(MlpConfig::runahead());
+    const double small_mlp = s.run(small).mlp();
+    const double rae_mlp = s.run(rae).mlp();
+    EXPECT_GT(rae_mlp, 2.0 * small_mlp);
+    EXPECT_DOUBLE_EQ(rae_mlp, 24.0);
+}
+
+} // namespace mlpsim::test

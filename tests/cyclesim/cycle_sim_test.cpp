@@ -1,0 +1,203 @@
+/** @file Timed pipeline behaviour on hand-scripted traces. */
+#include <gtest/gtest.h>
+
+#include "cyclesim/cycle_sim.hh"
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::IssueConfig;
+using cyclesim::CycleSim;
+using cyclesim::CycleSimConfig;
+using trace::makeAlu;
+using trace::makeBranch;
+using trace::makeLoad;
+using trace::makeSerializing;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2;
+
+cyclesim::CycleSimResult
+run(ScriptedTrace &s, const CycleSimConfig &cfg)
+{
+    CycleSim sim(cfg, s.context());
+    return sim.run();
+}
+
+} // namespace
+
+TEST(CycleSim, SerialAluChainRunsAtOneIpc)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 1000; ++i)
+        s.add(makeAlu(0x100 + 4 * i, r1, r1)); // dst <- f(dst): serial
+    const auto r = run(s, CycleSimConfig{});
+    EXPECT_NEAR(r.cpi(), 1.0, 0.05);
+}
+
+TEST(CycleSim, IndependentAlusUseTheFullWidth)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 3000; ++i)
+        s.add(makeAlu(0x100 + 4 * i, uint8_t(1 + (i % 32))));
+    CycleSimConfig cfg;
+    const auto r = run(s, cfg);
+    EXPECT_NEAR(r.cpi(), 1.0 / cfg.issueWidth, 0.05);
+}
+
+TEST(CycleSim, SingleMissCostsAboutTheLatency)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    for (unsigned i = 0; i < 10; ++i)
+        s.add(makeAlu(0x104 + 4 * i, r2, r1)); // all dependent
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    EXPECT_GT(r.cycles, 300u);
+    EXPECT_LT(r.cycles, 340u);
+    EXPECT_EQ(r.offChipAccesses, 1u);
+}
+
+TEST(CycleSim, TwoIndependentMissesOverlap)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, noReg), Miss::Data);
+    s.add(makeAlu(0x108, r1, r1));
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    EXPECT_LT(r.cycles, 330u); // overlapped, not 600
+    EXPECT_NEAR(r.mlp(), 2.0, 0.05);
+}
+
+TEST(CycleSim, DependentMissesSerialise)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    EXPECT_GT(r.cycles, 600u);
+    EXPECT_NEAR(r.mlp(), 1.0, 0.01);
+}
+
+TEST(CycleSim, PerfectL2RemovesOffChipTime)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1), Miss::Data);
+    CycleSimConfig cfg;
+    cfg.perfectL2 = true;
+    const auto r = run(s, cfg);
+    EXPECT_LT(r.cycles, 60u);
+    EXPECT_EQ(r.offChipAccesses, 0u);
+}
+
+TEST(CycleSim, InstructionMissStallsFetch)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1), Miss::Fetch);
+    s.add(makeAlu(0x104, r1));
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 250;
+    const auto r = run(s, cfg);
+    EXPECT_GT(r.cycles, 250u);
+    EXPECT_EQ(r.offChipAccesses, 1u);
+}
+
+TEST(CycleSim, MispredictStallsUntilResolutionPlusRedirect)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeBranch(0x104, 0x200, true, r1), Miss::None, true);
+    s.add(makeAlu(0x108, r2));
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    // The branch resolves only after the load returns.
+    EXPECT_GT(r.cycles, 300u + cfg.branchRedirectPenalty);
+}
+
+TEST(CycleSim, ResolvedMispredictIsCheap)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1));
+    s.add(makeBranch(0x104, 0x200, true, r1), Miss::None, true);
+    for (unsigned i = 0; i < 50; ++i)
+        s.add(makeAlu(0x108 + 4 * i, r2));
+    const auto r = run(s, CycleSimConfig{});
+    EXPECT_LT(r.cycles, 60u);
+}
+
+TEST(CycleSim, SerializingDrainsThePipeline)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeSerializing(0x104));
+    s.add(makeLoad(0x108, r2, 0xB000, noReg), Miss::Data);
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    // The second load cannot start until the first completes: ~2x.
+    EXPECT_GT(r.cycles, 600u);
+    EXPECT_NEAR(r.mlp(), 1.0, 0.01);
+}
+
+TEST(CycleSim, ConfigAKeepsLoadsInOrder)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeLoad(0x104, r2, 0xB000, r1)); // dependent (hit)
+    s.add(makeLoad(0x108, uint8_t(3), 0xC000, noReg), Miss::Data);
+    CycleSimConfig a;
+    a.issue = IssueConfig::A;
+    a.offChipLatency = 300;
+    const auto ra = run(s, a);
+    CycleSimConfig c;
+    c.offChipLatency = 300;
+    const auto rc = run(s, c);
+    EXPECT_GT(ra.cycles, rc.cycles + 200);
+    EXPECT_GT(rc.mlp(), ra.mlp() + 0.5);
+}
+
+TEST(CycleSim, L2HitLatencyIsUsed)
+{
+    // A dataL2Hit-annotated load costs ~l2Latency, not off-chip time.
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg));
+    s.add(makeAlu(0x104, r2, r1));
+    const auto r = run(s, CycleSimConfig{});
+    EXPECT_LT(r.cycles, 30u);
+}
+
+TEST(CycleSim, WarmupSplitsMeasurement)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 20; ++i)
+        s.add(makeLoad(0x100 + 4 * i, r1, 0xA000 + 0x1000ull * i, r1),
+              Miss::Data);
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 100;
+    cfg.warmupInsts = 10;
+    const auto r = run(s, cfg);
+    EXPECT_EQ(r.instructions, 10u);
+    EXPECT_EQ(r.offChipAccesses, 10u);
+    EXPECT_NEAR(r.cpi(), 100.0, 15.0); // one serial miss per inst
+}
+
+TEST(CycleSimDeath, RejectsConfigsDAndE)
+{
+    ScriptedTrace s;
+    s.add(makeAlu(0x100, r1));
+    const auto ctx = s.context();
+    CycleSimConfig cfg;
+    cfg.issue = IssueConfig::D;
+    EXPECT_DEATH({ CycleSim sim(cfg, ctx); }, "A-C");
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,120 @@
+/** @file Additional timed-pipeline behaviour: config B, structure
+ *  sizes, prefetches, MLP accounting. */
+#include <gtest/gtest.h>
+
+#include "cyclesim/cycle_sim.hh"
+#include "tests/support/test_harness.hh"
+
+namespace mlpsim::test {
+
+using core::IssueConfig;
+using cyclesim::CycleSim;
+using cyclesim::CycleSimConfig;
+using trace::makeAlu;
+using trace::makeLoad;
+using trace::makePrefetch;
+using trace::makeStore;
+using trace::noReg;
+
+namespace {
+
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3;
+
+cyclesim::CycleSimResult
+run(ScriptedTrace &s, const CycleSimConfig &cfg)
+{
+    CycleSim sim(cfg, s.context());
+    return sim.run();
+}
+
+} // namespace
+
+TEST(CycleSimPipeline, ConfigBWaitsForStoreAddresses)
+{
+    ScriptedTrace s;
+    s.add(makeLoad(0x100, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x104, r2, r1));
+    s.add(makeStore(0x108, 0xB000, /*data=*/r3, /*addr=*/r2));
+    s.add(makeLoad(0x10c, r3, 0xC000, noReg), Miss::Data);
+    CycleSimConfig b;
+    b.issue = IssueConfig::B;
+    b.offChipLatency = 300;
+    CycleSimConfig c;
+    c.offChipLatency = 300;
+    const auto rb = run(s, b);
+    const auto rc = run(s, c);
+    EXPECT_GT(rb.cycles, rc.cycles + 250);
+    EXPECT_GT(rc.mlp(), rb.mlp() + 0.5);
+}
+
+TEST(CycleSimPipeline, UsefulPrefetchOverlapsWithoutStalling)
+{
+    ScriptedTrace s;
+    s.add(makePrefetch(0x100, 0xD000), Miss::UsefulPrefetch);
+    s.add(makeLoad(0x104, r1, 0xA000, noReg), Miss::Data);
+    s.add(makeAlu(0x108, r2, r1));
+    CycleSimConfig cfg;
+    cfg.offChipLatency = 300;
+    const auto r = run(s, cfg);
+    EXPECT_NEAR(r.mlp(), 2.0, 0.05);
+    EXPECT_LT(r.cycles, 330u); // prefetch did not serialise anything
+    EXPECT_EQ(r.offChipAccesses, 2u);
+}
+
+TEST(CycleSimPipeline, SmallRobThrottlesOverlap)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 8; ++i) {
+        s.add(makeLoad(0x100 + 16 * i, uint8_t(10 + i),
+                       0xA000 + 0x1000ull * i, noReg),
+              Miss::Data);
+        for (int p = 0; p < 3; ++p)
+            s.add(makeAlu(0x104 + 16 * i + 4u * unsigned(p), r2, r2));
+    }
+    CycleSimConfig big;
+    big.offChipLatency = 400;
+    CycleSimConfig small = big;
+    small.robSize = 8;
+    small.issueWindowSize = 8;
+    EXPECT_GT(run(s, small).cycles, run(s, big).cycles + 300);
+}
+
+TEST(CycleSimPipeline, FetchBufferBoundsFrontEndRunahead)
+{
+    // With a 1-deep fetch buffer and fetch stalled behind dispatch,
+    // the machine degrades but still completes correctly.
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 64; ++i)
+        s.add(makeAlu(0x100 + 4 * i, uint8_t(1 + (i % 16))));
+    CycleSimConfig cfg;
+    cfg.fetchBufferSize = 1;
+    const auto r = run(s, cfg);
+    EXPECT_EQ(r.instructions, 64u);
+    EXPECT_GE(r.cpi(), 0.9); // one inst per cycle max through fetch
+}
+
+TEST(CycleSimPipeline, MlpCyclesNeverExceedTotalCycles)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 10; ++i)
+        s.add(makeLoad(0x100 + 4 * i, uint8_t(10 + i),
+                       0xA000 + 0x1000ull * i, noReg),
+              i % 2 ? Miss::Data : Miss::None);
+    CycleSimConfig cfg;
+    const auto r = run(s, cfg);
+    EXPECT_LE(r.mlpCycles, r.cycles);
+    EXPECT_GE(r.mlp(), 1.0);
+}
+
+TEST(CycleSimPipeline, ZeroWarmupMeasuresEverything)
+{
+    ScriptedTrace s;
+    for (unsigned i = 0; i < 20; ++i)
+        s.add(makeAlu(0x100 + 4 * i, r1, r1));
+    CycleSimConfig cfg;
+    const auto r = run(s, cfg);
+    EXPECT_EQ(r.instructions, 20u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,175 @@
+/** @file Set-associative cache: hits, LRU, probe/touch/invalidate. */
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::memory;
+
+namespace {
+
+/** A tiny 2-way cache with 2 sets of 64B lines (256B total). */
+CacheConfig
+tinyConfig()
+{
+    return CacheConfig{256, 2, 64};
+}
+
+/** Address mapping to @p set with distinct tag @p k. */
+uint64_t
+addrFor(unsigned set, unsigned k)
+{
+    return uint64_t(k) * 128 + set * 64;
+}
+
+} // namespace
+
+TEST(Cache, FirstAccessMissesSecondHits)
+{
+    Cache c(tinyConfig());
+    EXPECT_FALSE(c.access(0x40).hit);
+    EXPECT_TRUE(c.access(0x40).hit);
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache c(tinyConfig());
+    c.access(0x40);
+    EXPECT_TRUE(c.access(0x40 + 63).hit);
+    EXPECT_TRUE(c.access(0x40 + 8).hit);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tinyConfig());
+    c.access(addrFor(0, 0)); // way 0
+    c.access(addrFor(0, 1)); // way 1
+    c.access(addrFor(0, 0)); // refresh 0
+    const auto r = c.access(addrFor(0, 2)); // evicts 1
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedLine, addrFor(0, 1));
+    EXPECT_TRUE(c.access(addrFor(0, 0)).hit);
+    EXPECT_FALSE(c.access(addrFor(0, 1)).hit);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c(tinyConfig());
+    c.access(addrFor(0, 0));
+    c.access(addrFor(0, 1));
+    c.access(addrFor(1, 0));
+    c.access(addrFor(0, 2)); // thrashes set 0 only
+    EXPECT_TRUE(c.access(addrFor(1, 0)).hit);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c(tinyConfig());
+    c.access(addrFor(0, 0));
+    c.access(addrFor(0, 1));
+    // Probing way 0 must not refresh it.
+    EXPECT_TRUE(c.probe(addrFor(0, 0)));
+    EXPECT_FALSE(c.probe(addrFor(0, 9)));
+    c.access(addrFor(0, 2)); // should evict k=0 (oldest by access)
+    EXPECT_FALSE(c.probe(addrFor(0, 0)));
+    EXPECT_EQ(c.accesses(), 3u); // probes not counted
+}
+
+TEST(Cache, TouchRefreshesRecencyWithoutStats)
+{
+    Cache c(tinyConfig());
+    c.access(addrFor(0, 0));
+    c.access(addrFor(0, 1));
+    c.touch(addrFor(0, 0)); // make k=1 the LRU
+    const uint64_t accesses_before = c.accesses();
+    c.access(addrFor(0, 2));
+    EXPECT_TRUE(c.probe(addrFor(0, 0)));
+    EXPECT_FALSE(c.probe(addrFor(0, 1)));
+    EXPECT_EQ(c.accesses(), accesses_before + 1); // touch uncounted
+}
+
+TEST(Cache, TouchOnAbsentLineIsNoop)
+{
+    Cache c(tinyConfig());
+    c.touch(0x40);
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(tinyConfig());
+    c.access(0x40);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.probe(0x40));
+    c.invalidate(0x80); // absent: no-op
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c(tinyConfig());
+    c.access(0x40);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, GeometryAccessors)
+{
+    Cache c(CacheConfig{32 * 1024, 4, 64});
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.associativity(), 4u);
+    EXPECT_EQ(c.lineSize(), 64u);
+    EXPECT_EQ(c.lineAddr(0x12345), 0x12340u & ~63ull);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache(CacheConfig{0, 4, 64}),
+                ::testing::ExitedWithCode(1), "non-zero");
+    EXPECT_EXIT(Cache(CacheConfig{1024, 4, 48}),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(Cache(CacheConfig{192, 4, 64}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+/** Capacity property over several geometries: N distinct lines fit a
+ *  cache of >= N lines when they map uniformly. */
+class CacheCapacityTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheCapacityTest, WorkingSetWithinCapacityAlwaysHits)
+{
+    const auto [size_kb, assoc] = GetParam();
+    Cache c(CacheConfig{uint64_t(size_kb) * 1024, assoc, 64});
+    const unsigned lines = size_kb * 1024 / 64;
+    for (unsigned i = 0; i < lines; ++i)
+        c.access(uint64_t(i) * 64);
+    // Second sweep in the same order: straight LRU keeps everything.
+    for (unsigned i = 0; i < lines; ++i)
+        ASSERT_TRUE(c.access(uint64_t(i) * 64).hit) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheCapacityTest,
+    ::testing::Values(std::make_tuple(4u, 1u), std::make_tuple(4u, 2u),
+                      std::make_tuple(8u, 4u), std::make_tuple(32u, 4u),
+                      std::make_tuple(64u, 8u)));
+
+TEST(Cache, StreamingBeyondCapacityAlwaysMisses)
+{
+    Cache c(CacheConfig{4096, 4, 64});
+    for (int pass = 0; pass < 2; ++pass) {
+        for (unsigned i = 0; i < 256; ++i) // 16KB stream through 4KB
+            c.access(uint64_t(i) * 64);
+    }
+    EXPECT_EQ(c.misses(), c.accesses()); // LRU: zero reuse survives
+}
+
+} // namespace mlpsim::test

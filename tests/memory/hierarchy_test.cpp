@@ -1,0 +1,147 @@
+/** @file Two-level hierarchy: levels, inclusion recency, perfect modes. */
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::memory;
+
+namespace {
+
+HierarchyConfig
+smallConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1i = {1024, 2, 64};
+    cfg.l1d = {1024, 2, 64};
+    cfg.l2 = {8192, 4, 64};
+    return cfg;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdReadGoesOffChip)
+{
+    CacheHierarchy mem(smallConfig());
+    EXPECT_EQ(mem.dataRead(0x1000).level, AccessLevel::OffChip);
+    EXPECT_EQ(mem.dataRead(0x1000).level, AccessLevel::L1);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2)
+{
+    CacheHierarchy mem(smallConfig());
+    // 1KB 2-way L1 = 8 sets; lines 0x0, 0x2000, 0x4000 alias set 0.
+    mem.dataRead(0x0);
+    mem.dataRead(0x2000);
+    mem.dataRead(0x4000); // evicts 0x0 from L1
+    EXPECT_EQ(mem.dataRead(0x0).level, AccessLevel::L2);
+}
+
+TEST(Hierarchy, InstFetchUsesSeparateL1)
+{
+    CacheHierarchy mem(smallConfig());
+    mem.instFetch(0x7000);
+    EXPECT_EQ(mem.instFetch(0x7000).level, AccessLevel::L1);
+    // The data side never saw that line in its L1, but shares the L2.
+    EXPECT_EQ(mem.dataRead(0x7000).level, AccessLevel::L2);
+}
+
+TEST(Hierarchy, WriteAllocates)
+{
+    CacheHierarchy mem(smallConfig());
+    EXPECT_EQ(mem.dataWrite(0x3000).level, AccessLevel::OffChip);
+    EXPECT_EQ(mem.dataRead(0x3000).level, AccessLevel::L1);
+}
+
+TEST(Hierarchy, PrefetchFillsBothLevels)
+{
+    CacheHierarchy mem(smallConfig());
+    EXPECT_EQ(mem.prefetch(0x5000).level, AccessLevel::OffChip);
+    EXPECT_EQ(mem.dataRead(0x5000).level, AccessLevel::L1);
+}
+
+TEST(Hierarchy, PerfectL2NeverGoesOffChip)
+{
+    HierarchyConfig cfg = smallConfig();
+    cfg.perfectL2 = true;
+    CacheHierarchy mem(cfg);
+    for (uint64_t a = 0; a < 64; ++a)
+        EXPECT_NE(mem.dataRead(a * 4096).level, AccessLevel::OffChip);
+}
+
+TEST(Hierarchy, PerfectInstFetchOnlyAffectsISide)
+{
+    HierarchyConfig cfg = smallConfig();
+    cfg.perfectInstFetch = true;
+    CacheHierarchy mem(cfg);
+    EXPECT_NE(mem.instFetch(0x9000).level, AccessLevel::OffChip);
+    EXPECT_EQ(mem.dataRead(0xA0000).level, AccessLevel::OffChip);
+}
+
+TEST(Hierarchy, InclusiveRecencyProtectsL1HotLines)
+{
+    // A line that hits in the L1 keeps its L2 recency fresh, so
+    // streaming traffic evicts other lines first.
+    CacheHierarchy mem(smallConfig());
+    mem.dataRead(0x0); // hot line
+    // Stream enough lines through the L2 set of 0x0 to evict it if its
+    // recency were stale. L2: 8KB 4-way = 32 sets; 0x0's set peers are
+    // multiples of 32*64 = 0x800.
+    for (int i = 1; i <= 3; ++i) {
+        mem.dataRead(uint64_t(i) * 0x800);
+        mem.dataRead(0x0); // L1 hit -> touches L2 recency
+    }
+    mem.dataRead(4 * 0x800); // fills the set's 4th... evicts LRU peer
+    // The hot line must still be L2-resident: evict it from the L1 by
+    // aliasing, then re-read.
+    mem.dataRead(0x2000);
+    mem.dataRead(0x4000);
+    EXPECT_EQ(mem.dataRead(0x0).level, AccessLevel::L2);
+}
+
+TEST(Hierarchy, TlbCountsAccessesAndMisses)
+{
+    CacheHierarchy mem(smallConfig());
+    mem.dataRead(0x0);
+    mem.dataRead(0x8);    // same page
+    mem.instFetch(0x100000);
+    EXPECT_EQ(mem.tlbAccesses(), 3u);
+    EXPECT_GE(mem.tlbMisses(), 2u);
+}
+
+TEST(Hierarchy, ResetClearsEverything)
+{
+    CacheHierarchy mem(smallConfig());
+    mem.dataRead(0x1000);
+    mem.reset();
+    EXPECT_EQ(mem.dataRead(0x1000).level, AccessLevel::OffChip);
+    EXPECT_EQ(mem.tlbAccesses(), 1u);
+}
+
+TEST(Hierarchy, EvictionReportsL2Victim)
+{
+    CacheHierarchy mem(smallConfig());
+    // Fill one L2 set (4 ways) plus one more.
+    uint64_t stride = 32 * 64; // L2 sets * line
+    for (int i = 0; i < 4; ++i)
+        mem.dataRead(uint64_t(i) * stride);
+    const auto r = mem.dataRead(4 * stride);
+    EXPECT_TRUE(r.offChip());
+    EXPECT_TRUE(r.l2Evicted);
+    EXPECT_EQ(r.l2EvictedLine, 0u);
+}
+
+TEST(Hierarchy, DefaultConfigMatchesPaper)
+{
+    HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.l1i.assoc, 4u);
+    EXPECT_EQ(cfg.l2.assoc, 4u);
+    EXPECT_EQ(cfg.l2.lineBytes, 64u);
+    EXPECT_EQ(cfg.tlbEntries, 2048u);
+}
+
+} // namespace mlpsim::test

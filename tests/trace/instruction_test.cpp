@@ -1,0 +1,97 @@
+/** @file Instruction record invariants and factories. */
+#include <gtest/gtest.h>
+
+#include "trace/instruction.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::trace;
+
+TEST(Instruction, AluFactory)
+{
+    const auto i = makeAlu(0x100, 3, 1, 2);
+    EXPECT_EQ(i.cls, InstClass::Alu);
+    EXPECT_EQ(i.pc, 0x100u);
+    EXPECT_EQ(i.dst, 3);
+    EXPECT_EQ(i.src[0], 1);
+    EXPECT_EQ(i.src[1], 2);
+    EXPECT_EQ(i.src[2], noReg);
+    EXPECT_TRUE(i.hasDst());
+    EXPECT_FALSE(i.isMem());
+    EXPECT_FALSE(i.isBranch());
+}
+
+TEST(Instruction, LoadFactory)
+{
+    const auto i = makeLoad(0x104, 5, 0xBEEF, 2, 42);
+    EXPECT_EQ(i.cls, InstClass::Load);
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isMem());
+    EXPECT_EQ(i.effAddr, 0xBEEFu);
+    EXPECT_EQ(i.value, 42u);
+    EXPECT_EQ(i.dst, 5);
+    EXPECT_EQ(i.src[0], 2);
+}
+
+TEST(Instruction, StoreFactory)
+{
+    const auto i = makeStore(0x108, 0x1000, /*data=*/7, /*addr=*/3);
+    EXPECT_TRUE(i.isStore());
+    EXPECT_TRUE(i.isMem());
+    EXPECT_FALSE(i.hasDst());
+    EXPECT_EQ(i.src[0], 3); // address
+    EXPECT_EQ(i.src[1], 7); // data
+}
+
+TEST(Instruction, PrefetchFactory)
+{
+    const auto i = makePrefetch(0x10c, 0x2000, 4);
+    EXPECT_TRUE(i.isPrefetch());
+    EXPECT_TRUE(i.isMem());
+    EXPECT_FALSE(i.hasDst());
+}
+
+TEST(Instruction, BranchFactory)
+{
+    const auto i = makeBranch(0x110, 0x200, true, 6);
+    EXPECT_TRUE(i.isBranch());
+    EXPECT_TRUE(i.taken);
+    EXPECT_EQ(i.target, 0x200u);
+    EXPECT_EQ(i.brKind, BranchKind::Conditional);
+    EXPECT_FALSE(i.isMem());
+
+    const auto call =
+        makeBranch(0x114, 0x300, true, noReg, BranchKind::Call);
+    EXPECT_EQ(call.brKind, BranchKind::Call);
+}
+
+TEST(Instruction, SerializingFactory)
+{
+    const auto membar = makeSerializing(0x118);
+    EXPECT_TRUE(membar.isSerializing());
+    EXPECT_FALSE(membar.isMem()); // pure barrier: no address
+
+    const auto casa = makeSerializing(0x11c, 0x3000, 1);
+    EXPECT_TRUE(casa.isSerializing());
+    EXPECT_TRUE(casa.isMem()); // atomic with a memory operand
+}
+
+TEST(Instruction, ClassNames)
+{
+    EXPECT_STREQ(instClassName(InstClass::Alu), "alu");
+    EXPECT_STREQ(instClassName(InstClass::Load), "load");
+    EXPECT_STREQ(instClassName(InstClass::Store), "store");
+    EXPECT_STREQ(instClassName(InstClass::Branch), "branch");
+    EXPECT_STREQ(instClassName(InstClass::Prefetch), "prefetch");
+    EXPECT_STREQ(instClassName(InstClass::Serializing), "serializing");
+}
+
+TEST(Instruction, DefaultHasNoSources)
+{
+    const Instruction i;
+    for (unsigned s = 0; s < maxSrcRegs; ++s)
+        EXPECT_EQ(i.src[s], noReg);
+    EXPECT_FALSE(i.hasDst());
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,108 @@
+/** @file Binary trace file round-tripping and error handling. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "trace/trace_io.hh"
+#include "workloads/micro.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::trace;
+
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return ::testing::TempDir() + "mlpsim_" + tag + ".trace";
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripsEveryField)
+{
+    TraceBuffer buf("roundtrip");
+    buf.append(makeLoad(0x1000, 3, 0xABCD, 2, 99));
+    buf.append(makeStore(0x1004, 0x2000, 5, 4));
+    buf.append(makeBranch(0x1008, 0x3000, true, 6, BranchKind::Call));
+    buf.append(makePrefetch(0x100c, 0x4000, 7));
+    buf.append(makeSerializing(0x1010, 0x5000, 1));
+    buf.append(makeAlu(0x1014, 8, 9, 10));
+
+    const std::string path = tempPath("roundtrip");
+    writeTraceFile(path, buf);
+    const TraceBuffer read = readTraceFile(path);
+
+    ASSERT_EQ(read.size(), buf.size());
+    EXPECT_EQ(read.name(), "roundtrip");
+    for (size_t i = 0; i < buf.size(); ++i) {
+        const Instruction &a = buf.at(i);
+        const Instruction &b = read.at(i);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.effAddr, b.effAddr);
+        EXPECT_EQ(a.value, b.value);
+        EXPECT_EQ(a.target, b.target);
+        EXPECT_EQ(a.cls, b.cls);
+        EXPECT_EQ(a.dst, b.dst);
+        EXPECT_EQ(a.taken, b.taken);
+        EXPECT_EQ(a.brKind, b.brKind);
+        for (unsigned s = 0; s < maxSrcRegs; ++s)
+            EXPECT_EQ(a.src[s], b.src[s]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RoundTripsGeneratedWorkload)
+{
+    workloads::SerializingStormWorkload w;
+    TraceBuffer buf("storm");
+    buf.fill(w, 5000);
+    const std::string path = tempPath("workload");
+    writeTraceFile(path, buf);
+    const TraceBuffer read = readTraceFile(path);
+    ASSERT_EQ(read.size(), buf.size());
+    for (size_t i = 0; i < buf.size(); i += 97) {
+        EXPECT_EQ(buf.at(i).pc, read.at(i).pc);
+        EXPECT_EQ(buf.at(i).effAddr, read.at(i).effAddr);
+        EXPECT_EQ(buf.at(i).cls, read.at(i).cls);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/path/x.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeath, BadMagicIsFatal)
+{
+    const std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[128] = "not a trace";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "not an mlpsim trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, TruncatedFileIsFatal)
+{
+    TraceBuffer buf("trunc");
+    for (int i = 0; i < 10; ++i)
+        buf.append(makeAlu(0x100 + 4u * unsigned(i), 1));
+    const std::string path = tempPath("trunc");
+    writeTraceFile(path, buf);
+    // Chop the last record in half.
+    ASSERT_EQ(truncate(path.c_str(), 128), 0);
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,60 @@
+/** @file Instruction-mix measurement. */
+#include <gtest/gtest.h>
+
+#include "trace/trace_buffer.hh"
+#include "trace/trace_stats.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::trace;
+
+TEST(TraceMix, CountsEveryClass)
+{
+    TraceBuffer buf;
+    buf.append(makeAlu(0x100, 1));
+    buf.append(makeAlu(0x104, 1));
+    buf.append(makeLoad(0x108, 2, 0x1000));
+    buf.append(makeStore(0x10c, 0x2000));
+    buf.append(makeBranch(0x110, 0x200, true));
+    buf.append(makeBranch(0x114, 0x200, false));
+    buf.append(makePrefetch(0x118, 0x3000));
+    buf.append(makeSerializing(0x11c));
+
+    auto cur = buf.cursor();
+    const TraceMix mix = measureMix(cur, 1000);
+    EXPECT_EQ(mix.total, 8u);
+    EXPECT_EQ(mix.alu, 2u);
+    EXPECT_EQ(mix.loads, 1u);
+    EXPECT_EQ(mix.stores, 1u);
+    EXPECT_EQ(mix.branches, 2u);
+    EXPECT_EQ(mix.takenBranches, 1u);
+    EXPECT_EQ(mix.prefetches, 1u);
+    EXPECT_EQ(mix.serializing, 1u);
+    EXPECT_DOUBLE_EQ(mix.fracLoads(), 1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(mix.fracBranches(), 2.0 / 8.0);
+}
+
+TEST(TraceMix, RespectsLimitAndRewinds)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 20; ++i)
+        buf.append(makeAlu(0x100 + 4u * unsigned(i), 1));
+    auto cur = buf.cursor();
+    const TraceMix mix = measureMix(cur, 5);
+    EXPECT_EQ(mix.total, 5u);
+    // measureMix resets the source for the caller.
+    Instruction inst;
+    ASSERT_TRUE(cur.next(inst));
+    EXPECT_EQ(inst.pc, 0x100u);
+}
+
+TEST(TraceMix, EmptyTrace)
+{
+    TraceBuffer buf;
+    auto cur = buf.cursor();
+    const TraceMix mix = measureMix(cur, 10);
+    EXPECT_EQ(mix.total, 0u);
+    EXPECT_DOUBLE_EQ(mix.fracLoads(), 0.0);
+}
+
+} // namespace mlpsim::test

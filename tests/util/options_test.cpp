@@ -1,0 +1,90 @@
+/** @file Command-line option parsing. */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/options.hh"
+
+namespace mlpsim::test {
+
+namespace {
+
+Options
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &s : storage)
+        argv.push_back(const_cast<char *>(s.c_str()));
+    return Options(int(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Options, EqualsForm)
+{
+    auto o = parse({"--insts=500"});
+    EXPECT_TRUE(o.has("insts"));
+    EXPECT_EQ(o.getU64("insts", 0), 500u);
+}
+
+TEST(Options, SpaceForm)
+{
+    auto o = parse({"--workload", "database"});
+    EXPECT_EQ(o.getString("workload", ""), "database");
+}
+
+TEST(Options, FlagWithoutValueDefaultsToOne)
+{
+    auto o = parse({"--verbose"});
+    EXPECT_TRUE(o.has("verbose"));
+    EXPECT_EQ(o.getU64("verbose", 0), 1u);
+}
+
+TEST(Options, MissingUsesDefault)
+{
+    auto o = parse({});
+    EXPECT_FALSE(o.has("nothing"));
+    EXPECT_EQ(o.getU64("nothing", 7), 7u);
+    EXPECT_EQ(o.getString("nothing", "x"), "x");
+    EXPECT_DOUBLE_EQ(o.getDouble("nothing", 1.5), 1.5);
+}
+
+TEST(Options, DoubleParsing)
+{
+    auto o = parse({"--ratio=0.25"});
+    EXPECT_DOUBLE_EQ(o.getDouble("ratio", 0), 0.25);
+}
+
+TEST(Options, ScaledInstsUsesEnvScale)
+{
+    setenv("MLPSIM_SCALE", "0.5", 1);
+    auto o = parse({});
+    EXPECT_EQ(o.scaledInsts("insts", 1000), 500u);
+    unsetenv("MLPSIM_SCALE");
+}
+
+TEST(Options, ExplicitValueOverridesScale)
+{
+    setenv("MLPSIM_SCALE", "0.5", 1);
+    auto o = parse({"--insts=300"});
+    EXPECT_EQ(o.scaledInsts("insts", 1000), 300u);
+    unsetenv("MLPSIM_SCALE");
+}
+
+TEST(OptionsDeath, PositionalArgumentIsFatal)
+{
+    EXPECT_EXIT(parse({"oops"}), ::testing::ExitedWithCode(1),
+                "positional");
+}
+
+TEST(OptionsDeath, BadScaleIsFatal)
+{
+    setenv("MLPSIM_SCALE", "-1", 1);
+    EXPECT_EXIT(parse({}), ::testing::ExitedWithCode(1), "positive");
+    unsetenv("MLPSIM_SCALE");
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,133 @@
+/** @file Statistics accumulators: RunningStat, Histogram, CDF helper. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace mlpsim::test {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ResetClearsEverything)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, EmptyBehaviour)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(100), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, MeanAndCdf)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(10);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.cdfAt(3), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdfAt(10), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(10000), 1.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(4, 3);
+    h.add(8, 1);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(4), 0.75);
+}
+
+TEST(Histogram, Quantiles)
+{
+    Histogram h;
+    for (uint64_t i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.quantile(0.01), 1u);
+    EXPECT_EQ(h.quantile(0.5), 50u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(7);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(UniformInterMissCdf, LimitsAndMonotonicity)
+{
+    EXPECT_DOUBLE_EQ(uniformInterMissCdf(0.0, 10.0), 1.0);
+    EXPECT_NEAR(uniformInterMissCdf(100.0, 0.0), 0.0, 1e-12);
+    double prev = 0.0;
+    for (double d = 1; d <= 4096; d *= 2) {
+        const double c = uniformInterMissCdf(100.0, d);
+        EXPECT_GE(c, prev);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    // Exponential with mean 100: CDF at 100 is 1 - 1/e.
+    EXPECT_NEAR(uniformInterMissCdf(100.0, 100.0), 1.0 - std::exp(-1.0),
+                1e-12);
+}
+
+} // namespace mlpsim::test

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Off-chip burst profile.
+ *
+ * The paper (Section 4.1) notes that MLPsim "can be used as a simple
+ * processor model that accurately estimates the clustering of off-chip
+ * accesses in simulation-based queueing models of memory and system
+ * interconnects". This tool produces exactly that input: for a chosen
+ * machine, the distribution of simultaneous off-chip accesses per
+ * epoch (burst sizes), their mean, and the epoch-arrival statistics a
+ * queueing model of the memory system needs.
+ *
+ * Usage: ./burst_profile [--workload NAME] [--machine 64C|RAE|INF|som]
+ *                        [--insts N] [--warmup N]
+ */
+#include <cstdio>
+
+#include "core/mlpsim.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workloads/factory.hh"
+
+using namespace mlpsim;
+
+namespace {
+
+core::MlpConfig
+machineByName(const std::string &name)
+{
+    if (name == "RAE")
+        return core::MlpConfig::runahead();
+    if (name == "INF")
+        return core::MlpConfig::infinite();
+    if (name == "som") {
+        core::MlpConfig cfg;
+        cfg.mode = core::CoreMode::InOrderStallOnMiss;
+        return cfg;
+    }
+    if (name == "sou") {
+        core::MlpConfig cfg;
+        cfg.mode = core::CoreMode::InOrderStallOnUse;
+        return cfg;
+    }
+    // "<window><config>" labels like 64C / 128E.
+    const size_t split = name.find_first_not_of("0123456789");
+    if (split == std::string::npos || split == 0)
+        fatal("unknown machine '", name, "'");
+    const unsigned window = unsigned(std::stoul(name.substr(0, split)));
+    const char cfg_letter = name[split];
+    if (cfg_letter < 'A' || cfg_letter > 'E')
+        fatal("unknown issue config '", name.substr(split), "'");
+    return core::MlpConfig::sized(
+        window, static_cast<core::IssueConfig>(cfg_letter - 'A'));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
+    const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
+    const std::string machine = opts.getString("machine", "64C");
+
+    for (const auto &name : workloads::commercialWorkloadNames()) {
+        if (opts.has("workload") &&
+            opts.getString("workload", "") != name) {
+            continue;
+        }
+        auto generator = workloads::makeWorkload(name);
+        trace::TraceBuffer buffer(name);
+        buffer.fill(*generator, warmup + measure);
+        core::AnnotationOptions annotation;
+        annotation.warmupInsts = warmup;
+        core::AnnotatedTrace annotated(buffer, annotation);
+
+        core::MlpConfig cfg = machineByName(machine);
+        cfg.warmupInsts = warmup;
+        const auto r = core::runMlp(cfg, annotated.context());
+
+        std::printf("== %s on %s ==\n", name.c_str(), machine.c_str());
+        std::printf("epochs: %llu   accesses: %llu   MLP: %.3f   "
+                    "epoch arrival rate: %.4f per instruction\n",
+                    (unsigned long long)r.epochs,
+                    (unsigned long long)r.usefulAccesses, r.mlp(),
+                    r.measuredInsts
+                        ? double(r.epochs) / double(r.measuredInsts)
+                        : 0.0);
+
+        TextTable table({"burst size", "epochs", "fraction",
+                         "cumulative"});
+        uint64_t running = 0;
+        for (const auto &[size, count] :
+             r.accessesPerEpoch.buckets()) {
+            running += count;
+            if (size > 16 && count < r.epochs / 1000)
+                continue; // compress the long tail
+            table.addRow({std::to_string(size), std::to_string(count),
+                          TextTable::num(double(count) /
+                                             double(r.epochs),
+                                         4),
+                          TextTable::num(double(running) /
+                                             double(r.epochs),
+                                         4)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("p50/p90/p99 burst size: %llu / %llu / %llu\n\n",
+                    (unsigned long long)r.accessesPerEpoch.quantile(0.5),
+                    (unsigned long long)r.accessesPerEpoch.quantile(0.9),
+                    (unsigned long long)
+                        r.accessesPerEpoch.quantile(0.99));
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload calibration report.
+ *
+ * Prints, for each commercial workload, the trace characteristics the
+ * paper reports (Table 1 miss rates, Table 5 in-order MLP, Figure 4/8
+ * MLP points, Table 6 value-predictor statistics, Figure 5 inhibitor
+ * mix) next to the paper's published values. Used while tuning the
+ * synthetic workload parameters and kept as a tool so downstream users
+ * adapting the generators can re-check their own presets.
+ */
+#include <cstdio>
+#include <map>
+
+#include "core/mlpsim.hh"
+#include "trace/trace_stats.hh"
+#include "util/options.hh"
+#include "workloads/factory.hh"
+
+using namespace mlpsim;
+
+namespace {
+
+struct PaperTargets
+{
+    double missRate, mlp64C, som, sou, rae;
+};
+
+PaperTargets
+targets(const std::string &name)
+{
+    if (name == "database")
+        return {0.84, 1.38, 1.02, 1.06, 2.5};
+    if (name == "specjbb2000")
+        return {0.19, 1.13, 1.00, 1.01, 2.3};
+    return {0.09, 1.28, 1.10, 1.13, 1.9};
+}
+
+double
+runCfg(core::MlpConfig cfg, const core::WorkloadContext &ctx,
+       uint64_t warmup)
+{
+    cfg.warmupInsts = warmup;
+    return core::runMlp(cfg, ctx).mlp();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
+    const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
+    const uint64_t total = warmup + measure;
+
+    for (const auto &name : workloads::commercialWorkloadNames()) {
+        if (opts.has("workload") &&
+            opts.getString("workload", "") != name) {
+            continue;
+        }
+        auto wl = workloads::makeWorkload(name);
+        trace::TraceBuffer buf(name);
+        buf.fill(*wl, total);
+
+        core::AnnotationOptions aopts;
+        aopts.warmupInsts = warmup;
+        aopts.hierarchy.l2.sizeBytes =
+            opts.getU64("l2mb", 2) * 1024 * 1024;
+        core::AnnotatedTrace ann(buf, aopts);
+        const auto ctx = ann.context();
+        const auto &m = ann.misses();
+        const auto t = targets(name);
+
+        const auto mix = [&] {
+            auto cursor = buf.cursor();
+            return trace::measureMix(cursor, total);
+        }();
+
+        std::printf("=== %s (%llu insts measured) ===\n", name.c_str(),
+                    (unsigned long long)measure);
+        std::printf("mix: loads=%.1f%% stores=%.1f%% branches=%.1f%% "
+                    "serializing=%.3f%% prefetch=%.2f%%\n",
+                    100 * mix.fracLoads(), 100 * mix.fracStores(),
+                    100 * mix.fracBranches(),
+                    100 * mix.fracSerializing(),
+                    100 * mix.fracPrefetches());
+        std::printf("miss/100: %.3f (paper %.2f)   [dmiss %.3f  imiss "
+                    "%.3f  pmiss %.3f]   mispredict %.1f%%\n",
+                    m.missRatePer100(), t.missRate,
+                    100.0 * double(m.loadMisses) / double(measure),
+                    100.0 * double(m.fetchMisses) / double(measure),
+                    100.0 * double(m.usefulPrefetches) / double(measure),
+                    100 * ann.branches().mispredictRate());
+        std::printf("VP: correct=%.0f%% wrong=%.0f%% nopred=%.0f%% "
+                    "(paper C/W/N: db 42/7/51 jbb 20/3/77 web "
+                    "25/5/70)\n",
+                    100 * ann.values().fracCorrect(),
+                    100 * ann.values().fracWrong(),
+                    100 * ann.values().fracNoPredict());
+
+        // Where do the demand misses come from? Bucket by the top
+        // address nibbles (each workload gives its regions distinct
+        // high bits).
+        {
+            std::map<uint64_t, uint64_t> regions;
+            for (size_t i = warmup; i < buf.size(); ++i) {
+                if (m.dataMiss(i))
+                    ++regions[buf.at(i).effAddr >> 32];
+            }
+            std::printf("dmiss regions (addr>>32):");
+            for (auto &[r, c] : regions)
+                std::printf(" 0x%llx:%llu", (unsigned long long)r,
+                            (unsigned long long)c);
+            std::printf("\n");
+        }
+
+        using core::IssueConfig;
+        core::MlpConfig som;
+        som.mode = core::CoreMode::InOrderStallOnMiss;
+        core::MlpConfig sou;
+        sou.mode = core::CoreMode::InOrderStallOnUse;
+        std::printf("MLP: som=%.2f(%.2f) sou=%.2f(%.2f)\n",
+                    runCfg(som, ctx, warmup), t.som,
+                    runCfg(sou, ctx, warmup), t.sou);
+        for (unsigned window : {32u, 64u, 128u, 256u}) {
+            std::printf("  w=%-3u", window);
+            for (auto ic : {IssueConfig::A, IssueConfig::B,
+                            IssueConfig::C, IssueConfig::D,
+                            IssueConfig::E}) {
+                std::printf(" %s=%.2f", core::issueConfigName(ic),
+                            runCfg(core::MlpConfig::sized(window, ic),
+                                   ctx, warmup));
+            }
+            std::printf("\n");
+        }
+        std::printf("  64C=%.2f(paper %.2f) RAE=%.2f(paper %.1f) "
+                    "INF=%.2f\n",
+                    runCfg(core::MlpConfig::sized(64, IssueConfig::C),
+                           ctx, warmup), t.mlp64C,
+                    runCfg(core::MlpConfig::runahead(), ctx, warmup),
+                    t.rae,
+                    runCfg(core::MlpConfig::infinite(), ctx, warmup));
+
+        auto cfg64c = core::MlpConfig::sized(64, IssueConfig::C);
+        cfg64c.warmupInsts = warmup;
+        const auto r = core::runMlp(cfg64c, ctx);
+        std::printf("64C inhibitors:");
+        for (size_t i = 0; i < core::numInhibitors; ++i) {
+            const auto inh = static_cast<core::Inhibitor>(i);
+            if (r.inhibitors[inh]) {
+                std::printf(" %s=%.0f%%", core::inhibitorName(inh),
+                            100 * r.inhibitors.fraction(inh));
+            }
+        }
+        std::printf("\n\n");
+    }
+    return 0;
+}
