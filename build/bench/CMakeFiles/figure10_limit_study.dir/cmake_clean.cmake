@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_limit_study.dir/bench_common.cc.o"
+  "CMakeFiles/figure10_limit_study.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure10_limit_study.dir/figure10_limit_study.cpp.o"
+  "CMakeFiles/figure10_limit_study.dir/figure10_limit_study.cpp.o.d"
+  "figure10_limit_study"
+  "figure10_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure10_limit_study.
+# This may be replaced when dependencies are built.

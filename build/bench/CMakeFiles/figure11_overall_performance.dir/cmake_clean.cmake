@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure11_overall_performance.dir/bench_common.cc.o"
+  "CMakeFiles/figure11_overall_performance.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure11_overall_performance.dir/figure11_overall_performance.cpp.o"
+  "CMakeFiles/figure11_overall_performance.dir/figure11_overall_performance.cpp.o.d"
+  "figure11_overall_performance"
+  "figure11_overall_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure11_overall_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_clustering.dir/bench_common.cc.o"
+  "CMakeFiles/figure2_clustering.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure2_clustering.dir/figure2_clustering.cpp.o"
+  "CMakeFiles/figure2_clustering.dir/figure2_clustering.cpp.o.d"
+  "figure2_clustering"
+  "figure2_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_rob_issue.dir/bench_common.cc.o"
+  "CMakeFiles/figure4_rob_issue.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure4_rob_issue.dir/figure4_rob_issue.cpp.o"
+  "CMakeFiles/figure4_rob_issue.dir/figure4_rob_issue.cpp.o.d"
+  "figure4_rob_issue"
+  "figure4_rob_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_rob_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

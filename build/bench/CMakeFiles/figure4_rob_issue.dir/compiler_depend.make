@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure4_rob_issue.
+# This may be replaced when dependencies are built.

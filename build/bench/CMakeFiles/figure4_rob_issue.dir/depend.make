@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_rob_issue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_inhibitors.dir/bench_common.cc.o"
+  "CMakeFiles/figure5_inhibitors.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure5_inhibitors.dir/figure5_inhibitors.cpp.o"
+  "CMakeFiles/figure5_inhibitors.dir/figure5_inhibitors.cpp.o.d"
+  "figure5_inhibitors"
+  "figure5_inhibitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_inhibitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure5_inhibitors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_decoupled_rob.dir/bench_common.cc.o"
+  "CMakeFiles/figure6_decoupled_rob.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure6_decoupled_rob.dir/figure6_decoupled_rob.cpp.o"
+  "CMakeFiles/figure6_decoupled_rob.dir/figure6_decoupled_rob.cpp.o.d"
+  "figure6_decoupled_rob"
+  "figure6_decoupled_rob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_decoupled_rob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_cache_size.dir/bench_common.cc.o"
+  "CMakeFiles/figure7_cache_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure7_cache_size.dir/figure7_cache_size.cpp.o"
+  "CMakeFiles/figure7_cache_size.dir/figure7_cache_size.cpp.o.d"
+  "figure7_cache_size"
+  "figure7_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

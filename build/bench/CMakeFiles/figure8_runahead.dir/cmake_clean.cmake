@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_runahead.dir/bench_common.cc.o"
+  "CMakeFiles/figure8_runahead.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure8_runahead.dir/figure8_runahead.cpp.o"
+  "CMakeFiles/figure8_runahead.dir/figure8_runahead.cpp.o.d"
+  "figure8_runahead"
+  "figure8_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

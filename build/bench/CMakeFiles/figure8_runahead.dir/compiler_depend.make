@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure8_runahead.
+# This may be replaced when dependencies are built.

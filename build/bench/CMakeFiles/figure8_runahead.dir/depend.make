@@ -1,0 +1,2 @@
+# Empty dependencies file for figure8_runahead.
+# This may be replaced when dependencies are built.

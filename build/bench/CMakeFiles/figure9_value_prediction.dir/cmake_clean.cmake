@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_value_prediction.dir/bench_common.cc.o"
+  "CMakeFiles/figure9_value_prediction.dir/bench_common.cc.o.d"
+  "CMakeFiles/figure9_value_prediction.dir/figure9_value_prediction.cpp.o"
+  "CMakeFiles/figure9_value_prediction.dir/figure9_value_prediction.cpp.o.d"
+  "figure9_value_prediction"
+  "figure9_value_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_value_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cpi_components.dir/bench_common.cc.o"
+  "CMakeFiles/table1_cpi_components.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_cpi_components.dir/table1_cpi_components.cpp.o"
+  "CMakeFiles/table1_cpi_components.dir/table1_cpi_components.cpp.o.d"
+  "table1_cpi_components"
+  "table1_cpi_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cpi_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_validation.dir/bench_common.cc.o"
+  "CMakeFiles/table3_validation.dir/bench_common.cc.o.d"
+  "CMakeFiles/table3_validation.dir/table3_validation.cpp.o"
+  "CMakeFiles/table3_validation.dir/table3_validation.cpp.o.d"
+  "table3_validation"
+  "table3_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

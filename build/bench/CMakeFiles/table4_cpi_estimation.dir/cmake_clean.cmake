@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cpi_estimation.dir/bench_common.cc.o"
+  "CMakeFiles/table4_cpi_estimation.dir/bench_common.cc.o.d"
+  "CMakeFiles/table4_cpi_estimation.dir/table4_cpi_estimation.cpp.o"
+  "CMakeFiles/table4_cpi_estimation.dir/table4_cpi_estimation.cpp.o.d"
+  "table4_cpi_estimation"
+  "table4_cpi_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cpi_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_inorder.dir/bench_common.cc.o"
+  "CMakeFiles/table5_inorder.dir/bench_common.cc.o.d"
+  "CMakeFiles/table5_inorder.dir/table5_inorder.cpp.o"
+  "CMakeFiles/table5_inorder.dir/table5_inorder.cpp.o.d"
+  "table5_inorder"
+  "table5_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

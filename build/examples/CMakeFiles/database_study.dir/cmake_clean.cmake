@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_study.dir/database_study.cpp.o"
+  "CMakeFiles/database_study.dir/database_study.cpp.o.d"
+  "database_study"
+  "database_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

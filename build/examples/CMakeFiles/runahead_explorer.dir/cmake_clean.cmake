@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runahead_explorer.dir/runahead_explorer.cpp.o"
+  "CMakeFiles/runahead_explorer.dir/runahead_explorer.cpp.o.d"
+  "runahead_explorer"
+  "runahead_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runahead_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_files.dir/trace_files.cpp.o"
+  "CMakeFiles/trace_files.dir/trace_files.cpp.o.d"
+  "trace_files"
+  "trace_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

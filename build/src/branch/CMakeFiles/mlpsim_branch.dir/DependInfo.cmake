@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/branch_unit.cc" "src/branch/CMakeFiles/mlpsim_branch.dir/branch_unit.cc.o" "gcc" "src/branch/CMakeFiles/mlpsim_branch.dir/branch_unit.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/branch/CMakeFiles/mlpsim_branch.dir/btb.cc.o" "gcc" "src/branch/CMakeFiles/mlpsim_branch.dir/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/branch/CMakeFiles/mlpsim_branch.dir/gshare.cc.o" "gcc" "src/branch/CMakeFiles/mlpsim_branch.dir/gshare.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/branch/CMakeFiles/mlpsim_branch.dir/ras.cc.o" "gcc" "src/branch/CMakeFiles/mlpsim_branch.dir/ras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_branch.dir/branch_unit.cc.o"
+  "CMakeFiles/mlpsim_branch.dir/branch_unit.cc.o.d"
+  "CMakeFiles/mlpsim_branch.dir/btb.cc.o"
+  "CMakeFiles/mlpsim_branch.dir/btb.cc.o.d"
+  "CMakeFiles/mlpsim_branch.dir/gshare.cc.o"
+  "CMakeFiles/mlpsim_branch.dir/gshare.cc.o.d"
+  "CMakeFiles/mlpsim_branch.dir/ras.cc.o"
+  "CMakeFiles/mlpsim_branch.dir/ras.cc.o.d"
+  "libmlpsim_branch.a"
+  "libmlpsim_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

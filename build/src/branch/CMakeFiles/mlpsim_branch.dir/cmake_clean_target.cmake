@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlpsim_branch.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlpsim_branch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpi_model.cc" "src/core/CMakeFiles/mlpsim_core.dir/cpi_model.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/cpi_model.cc.o.d"
+  "/root/repo/src/core/epoch_engine.cc" "src/core/CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o.d"
+  "/root/repo/src/core/inorder_model.cc" "src/core/CMakeFiles/mlpsim_core.dir/inorder_model.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/inorder_model.cc.o.d"
+  "/root/repo/src/core/mlp_config.cc" "src/core/CMakeFiles/mlpsim_core.dir/mlp_config.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/mlp_config.cc.o.d"
+  "/root/repo/src/core/mlp_result.cc" "src/core/CMakeFiles/mlpsim_core.dir/mlp_result.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/mlp_result.cc.o.d"
+  "/root/repo/src/core/mlpsim.cc" "src/core/CMakeFiles/mlpsim_core.dir/mlpsim.cc.o" "gcc" "src/core/CMakeFiles/mlpsim_core.dir/mlpsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/mlpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlpsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/mlpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_core.dir/cpi_model.cc.o"
+  "CMakeFiles/mlpsim_core.dir/cpi_model.cc.o.d"
+  "CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o"
+  "CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o.d"
+  "CMakeFiles/mlpsim_core.dir/inorder_model.cc.o"
+  "CMakeFiles/mlpsim_core.dir/inorder_model.cc.o.d"
+  "CMakeFiles/mlpsim_core.dir/mlp_config.cc.o"
+  "CMakeFiles/mlpsim_core.dir/mlp_config.cc.o.d"
+  "CMakeFiles/mlpsim_core.dir/mlp_result.cc.o"
+  "CMakeFiles/mlpsim_core.dir/mlp_result.cc.o.d"
+  "CMakeFiles/mlpsim_core.dir/mlpsim.cc.o"
+  "CMakeFiles/mlpsim_core.dir/mlpsim.cc.o.d"
+  "libmlpsim_core.a"
+  "libmlpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_cyclesim.dir/cycle_sim.cc.o"
+  "CMakeFiles/mlpsim_cyclesim.dir/cycle_sim.cc.o.d"
+  "libmlpsim_cyclesim.a"
+  "libmlpsim_cyclesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_cyclesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/access_profiler.cc" "src/memory/CMakeFiles/mlpsim_memory.dir/access_profiler.cc.o" "gcc" "src/memory/CMakeFiles/mlpsim_memory.dir/access_profiler.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/memory/CMakeFiles/mlpsim_memory.dir/cache.cc.o" "gcc" "src/memory/CMakeFiles/mlpsim_memory.dir/cache.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/memory/CMakeFiles/mlpsim_memory.dir/hierarchy.cc.o" "gcc" "src/memory/CMakeFiles/mlpsim_memory.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_memory.dir/access_profiler.cc.o"
+  "CMakeFiles/mlpsim_memory.dir/access_profiler.cc.o.d"
+  "CMakeFiles/mlpsim_memory.dir/cache.cc.o"
+  "CMakeFiles/mlpsim_memory.dir/cache.cc.o.d"
+  "CMakeFiles/mlpsim_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/mlpsim_memory.dir/hierarchy.cc.o.d"
+  "libmlpsim_memory.a"
+  "libmlpsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_predictor.dir/value_predictor.cc.o"
+  "CMakeFiles/mlpsim_predictor.dir/value_predictor.cc.o.d"
+  "libmlpsim_predictor.a"
+  "libmlpsim_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

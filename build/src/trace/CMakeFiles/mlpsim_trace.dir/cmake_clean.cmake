@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_trace.dir/instruction.cc.o"
+  "CMakeFiles/mlpsim_trace.dir/instruction.cc.o.d"
+  "CMakeFiles/mlpsim_trace.dir/trace_buffer.cc.o"
+  "CMakeFiles/mlpsim_trace.dir/trace_buffer.cc.o.d"
+  "CMakeFiles/mlpsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mlpsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/mlpsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/mlpsim_trace.dir/trace_stats.cc.o.d"
+  "libmlpsim_trace.a"
+  "libmlpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_util.dir/logging.cc.o"
+  "CMakeFiles/mlpsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/mlpsim_util.dir/options.cc.o"
+  "CMakeFiles/mlpsim_util.dir/options.cc.o.d"
+  "CMakeFiles/mlpsim_util.dir/rng.cc.o"
+  "CMakeFiles/mlpsim_util.dir/rng.cc.o.d"
+  "CMakeFiles/mlpsim_util.dir/stats.cc.o"
+  "CMakeFiles/mlpsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/mlpsim_util.dir/table.cc.o"
+  "CMakeFiles/mlpsim_util.dir/table.cc.o.d"
+  "libmlpsim_util.a"
+  "libmlpsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/database.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/database.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/database.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/micro.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/micro.cc.o.d"
+  "/root/repo/src/workloads/specjbb.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/specjbb.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/specjbb.cc.o.d"
+  "/root/repo/src/workloads/specweb.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/specweb.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/specweb.cc.o.d"
+  "/root/repo/src/workloads/workload_base.cc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/workload_base.cc.o" "gcc" "src/workloads/CMakeFiles/mlpsim_workloads.dir/workload_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_workloads.dir/database.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/database.cc.o.d"
+  "CMakeFiles/mlpsim_workloads.dir/factory.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/mlpsim_workloads.dir/micro.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/mlpsim_workloads.dir/specjbb.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/specjbb.cc.o.d"
+  "CMakeFiles/mlpsim_workloads.dir/specweb.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/specweb.cc.o.d"
+  "CMakeFiles/mlpsim_workloads.dir/workload_base.cc.o"
+  "CMakeFiles/mlpsim_workloads.dir/workload_base.cc.o.d"
+  "libmlpsim_workloads.a"
+  "libmlpsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

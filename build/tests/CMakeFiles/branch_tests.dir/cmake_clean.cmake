@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_tests.dir/branch/branch_unit_test.cpp.o"
+  "CMakeFiles/branch_tests.dir/branch/branch_unit_test.cpp.o.d"
+  "CMakeFiles/branch_tests.dir/branch/btb_test.cpp.o"
+  "CMakeFiles/branch_tests.dir/branch/btb_test.cpp.o.d"
+  "CMakeFiles/branch_tests.dir/branch/gshare_test.cpp.o"
+  "CMakeFiles/branch_tests.dir/branch/gshare_test.cpp.o.d"
+  "CMakeFiles/branch_tests.dir/branch/ras_test.cpp.o"
+  "CMakeFiles/branch_tests.dir/branch/ras_test.cpp.o.d"
+  "branch_tests"
+  "branch_tests.pdb"
+  "branch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/annotated_trace_test.cpp" "tests/CMakeFiles/core_tests.dir/core/annotated_trace_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/annotated_trace_test.cpp.o.d"
+  "/root/repo/tests/core/cpi_model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cpi_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cpi_model_test.cpp.o.d"
+  "/root/repo/tests/core/epoch_edge_test.cpp" "tests/CMakeFiles/core_tests.dir/core/epoch_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/epoch_edge_test.cpp.o.d"
+  "/root/repo/tests/core/epoch_engine_test.cpp" "tests/CMakeFiles/core_tests.dir/core/epoch_engine_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/epoch_engine_test.cpp.o.d"
+  "/root/repo/tests/core/epoch_examples_test.cpp" "tests/CMakeFiles/core_tests.dir/core/epoch_examples_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/epoch_examples_test.cpp.o.d"
+  "/root/repo/tests/core/inorder_test.cpp" "tests/CMakeFiles/core_tests.dir/core/inorder_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/inorder_test.cpp.o.d"
+  "/root/repo/tests/core/mlp_config_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mlp_config_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mlp_config_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/runahead_test.cpp" "tests/CMakeFiles/core_tests.dir/core/runahead_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/runahead_test.cpp.o.d"
+  "/root/repo/tests/core/store_mlp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/store_mlp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/store_mlp_test.cpp.o.d"
+  "/root/repo/tests/core/value_prediction_test.cpp" "tests/CMakeFiles/core_tests.dir/core/value_prediction_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/value_prediction_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cyclesim/CMakeFiles/mlpsim_cyclesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mlpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/mlpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/mlpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlpsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

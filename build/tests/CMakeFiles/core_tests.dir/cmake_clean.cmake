@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/annotated_trace_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/annotated_trace_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cpi_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cpi_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/epoch_edge_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/epoch_edge_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/epoch_engine_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/epoch_engine_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/epoch_examples_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/epoch_examples_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/inorder_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/inorder_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mlp_config_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mlp_config_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/runahead_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/runahead_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/store_mlp_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/store_mlp_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/value_prediction_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/value_prediction_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

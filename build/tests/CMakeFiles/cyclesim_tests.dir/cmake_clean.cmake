@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/cycle_sim_test.cpp.o"
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/cycle_sim_test.cpp.o.d"
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/pipeline_test.cpp.o"
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/pipeline_test.cpp.o.d"
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/validation_test.cpp.o"
+  "CMakeFiles/cyclesim_tests.dir/cyclesim/validation_test.cpp.o.d"
+  "cyclesim_tests"
+  "cyclesim_tests.pdb"
+  "cyclesim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclesim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tests.dir/memory/access_profiler_test.cpp.o"
+  "CMakeFiles/memory_tests.dir/memory/access_profiler_test.cpp.o.d"
+  "CMakeFiles/memory_tests.dir/memory/cache_test.cpp.o"
+  "CMakeFiles/memory_tests.dir/memory/cache_test.cpp.o.d"
+  "CMakeFiles/memory_tests.dir/memory/hierarchy_test.cpp.o"
+  "CMakeFiles/memory_tests.dir/memory/hierarchy_test.cpp.o.d"
+  "memory_tests"
+  "memory_tests.pdb"
+  "memory_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_tests.dir/predictor/value_predictor_test.cpp.o"
+  "CMakeFiles/predictor_tests.dir/predictor/value_predictor_test.cpp.o.d"
+  "predictor_tests"
+  "predictor_tests.pdb"
+  "predictor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

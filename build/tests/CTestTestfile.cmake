@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/memory_tests[1]_include.cmake")
+include("/root/repo/build/tests/branch_tests[1]_include.cmake")
+include("/root/repo/build/tests/predictor_tests[1]_include.cmake")
+include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/cyclesim_tests[1]_include.cmake")

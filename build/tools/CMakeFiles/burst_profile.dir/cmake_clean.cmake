@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_profile.dir/burst_profile.cc.o"
+  "CMakeFiles/burst_profile.dir/burst_profile.cc.o.d"
+  "burst_profile"
+  "burst_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
