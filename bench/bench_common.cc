@@ -5,8 +5,19 @@
 namespace mlpsim::bench {
 
 BenchSetup
-BenchSetup::fromOptions(const Options &opts)
+BenchSetup::fromOptions(const Options &opts,
+                        std::vector<std::string> extra_flags)
 {
+    std::vector<std::string> known{"warmup", "insts", "workload"};
+    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+    opts.rejectUnknown(known);
+
+    // A typo'd --workload value would otherwise filter every workload
+    // out and the bench would silently print nothing.
+    if (opts.has("workload"))
+        workloads::tryMakeWorkload(opts.getString("workload", ""))
+            .orFatal();
+
     BenchSetup setup;
     setup.warmupInsts = opts.scaledInsts("warmup", setup.warmupInsts);
     setup.measureInsts = opts.scaledInsts("insts", setup.measureInsts);

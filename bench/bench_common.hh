@@ -50,8 +50,14 @@ struct BenchSetup
     uint64_t measureInsts = 3'000'000;
     core::AnnotationOptions annotation;
 
-    /** Parse --warmup/--insts (and MLPSIM_SCALE) from @p opts. */
-    static BenchSetup fromOptions(const Options &opts);
+    /**
+     * Parse --warmup/--insts (and MLPSIM_SCALE) from @p opts, after
+     * rejecting any flag outside the standard bench set plus
+     * @p extra_flags — a typo'd flag terminates up front instead of
+     * silently leaving a default in force for a long run.
+     */
+    static BenchSetup fromOptions(const Options &opts,
+                                  std::vector<std::string> extra_flags = {});
 };
 
 /**

@@ -213,12 +213,15 @@ bench/CMakeFiles/figure11_overall_performance.dir/bench_common.cc.o: \
  /root/repo/src/trace/trace_buffer.hh /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
- /root/repo/src/core/epoch_engine.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/mlp_config.hh /root/repo/src/core/mlp_result.hh \
- /usr/include/c++/12/cstddef /root/repo/src/util/stats.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/status.hh /usr/include/c++/12/optional \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/epoch_engine.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/mlp_config.hh \
+ /root/repo/src/core/mlp_result.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/util/stats.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/workload_context.hh \
  /root/repo/src/memory/access_profiler.hh \
@@ -228,7 +231,4 @@ bench/CMakeFiles/figure11_overall_performance.dir/bench_common.cc.o: \
  /root/repo/src/cyclesim/cycle_sim.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/options.hh \
  /root/repo/src/util/table.hh /root/repo/src/workloads/factory.hh \
- /root/repo/src/workloads/workload_base.hh /root/repo/src/util/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.hh
+ /root/repo/src/workloads/workload_base.hh /root/repo/src/util/rng.hh

@@ -216,12 +216,15 @@ bench/CMakeFiles/perf_microbench.dir/perf_microbench.cpp.o: \
  /root/repo/src/branch/btb.hh /root/repo/src/branch/gshare.hh \
  /root/repo/src/branch/ras.hh /root/repo/src/trace/trace_buffer.hh \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
- /root/repo/src/core/epoch_engine.hh /usr/include/c++/12/array \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
+ /root/repo/src/util/status.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/epoch_engine.hh \
+ /usr/include/c++/12/array /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/core/mlp_config.hh /root/repo/src/core/mlp_result.hh \
  /root/repo/src/util/stats.hh /root/repo/src/core/workload_context.hh \
@@ -231,8 +234,5 @@ bench/CMakeFiles/perf_microbench.dir/perf_microbench.cpp.o: \
  /root/repo/src/core/inorder_model.hh \
  /root/repo/src/cyclesim/cycle_sim.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/workloads/factory.hh \
- /root/repo/src/workloads/workload_base.hh /root/repo/src/util/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.hh \
+ /root/repo/src/workloads/workload_base.hh /root/repo/src/util/rng.hh \
  /root/repo/src/workloads/micro.hh

@@ -132,25 +132,14 @@ src/core/CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/core/mlp_result.hh /usr/include/c++/12/cstddef \
- /root/repo/src/util/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/core/workload_context.hh \
- /root/repo/src/branch/branch_unit.hh /root/repo/src/branch/btb.hh \
- /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
- /root/repo/src/trace/trace_buffer.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
- /root/repo/src/memory/access_profiler.hh \
- /root/repo/src/memory/hierarchy.hh /root/repo/src/memory/cache.hh \
- /root/repo/src/predictor/value_predictor.hh \
- /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/util/status.hh \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -183,4 +172,16 @@ src/core/CMakeFiles/mlpsim_core.dir/epoch_engine.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/mlp_result.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/core/workload_context.hh \
+ /root/repo/src/branch/branch_unit.hh /root/repo/src/branch/btb.hh \
+ /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
+ /root/repo/src/trace/trace_buffer.hh \
+ /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
+ /root/repo/src/memory/access_profiler.hh \
+ /root/repo/src/memory/hierarchy.hh /root/repo/src/memory/cache.hh \
+ /root/repo/src/predictor/value_predictor.hh

@@ -8,10 +8,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/mlpsim_util.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/crc32.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/mlpsim_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/logging.cc.o.d"
   "/root/repo/src/util/options.cc" "src/util/CMakeFiles/mlpsim_util.dir/options.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/options.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/mlpsim_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/rng.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/mlpsim_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/mlpsim_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/status.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/mlpsim_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/mlpsim_util.dir/table.cc.o.d"
   )
 

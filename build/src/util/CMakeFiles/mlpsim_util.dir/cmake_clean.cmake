@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_util.dir/crc32.cc.o"
+  "CMakeFiles/mlpsim_util.dir/crc32.cc.o.d"
   "CMakeFiles/mlpsim_util.dir/logging.cc.o"
   "CMakeFiles/mlpsim_util.dir/logging.cc.o.d"
   "CMakeFiles/mlpsim_util.dir/options.cc.o"
@@ -7,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mlpsim_util.dir/rng.cc.o.d"
   "CMakeFiles/mlpsim_util.dir/stats.cc.o"
   "CMakeFiles/mlpsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/mlpsim_util.dir/status.cc.o"
+  "CMakeFiles/mlpsim_util.dir/status.cc.o.d"
   "CMakeFiles/mlpsim_util.dir/table.cc.o"
   "CMakeFiles/mlpsim_util.dir/table.cc.o.d"
   "libmlpsim_util.a"

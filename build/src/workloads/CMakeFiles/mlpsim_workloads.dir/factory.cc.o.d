@@ -197,13 +197,16 @@ src/workloads/CMakeFiles/mlpsim_workloads.dir/factory.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/status.hh \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/workloads/workload_base.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
- /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hh \
- /usr/include/c++/12/array /root/repo/src/workloads/database.hh \
- /root/repo/src/workloads/specjbb.hh /root/repo/src/workloads/specweb.hh
+ /root/repo/src/util/rng.hh /usr/include/c++/12/array \
+ /root/repo/src/workloads/database.hh /root/repo/src/workloads/specjbb.hh \
+ /root/repo/src/workloads/specweb.hh

@@ -296,4 +296,5 @@ tests/CMakeFiles/branch_tests.dir/branch/branch_unit_test.cpp.o: \
  /root/repo/src/branch/branch_unit.hh /root/repo/src/branch/btb.hh \
  /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
  /root/repo/src/trace/trace_buffer.hh \
- /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh
+ /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
+ /root/repo/src/util/status.hh /root/repo/src/util/logging.hh

@@ -298,6 +298,7 @@ tests/CMakeFiles/core_tests.dir/core/epoch_examples_test.cpp.o: \
  /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
  /root/repo/src/trace/trace_buffer.hh \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
+ /root/repo/src/util/status.hh /root/repo/src/util/logging.hh \
  /root/repo/src/core/epoch_engine.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/mlp_config.hh /root/repo/src/core/mlp_result.hh \

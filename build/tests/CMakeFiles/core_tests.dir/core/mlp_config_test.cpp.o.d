@@ -293,5 +293,6 @@ tests/CMakeFiles/core_tests.dir/core/mlp_config_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/mlp_config.hh /root/repo/src/core/mlp_result.hh \
+ /root/repo/src/core/mlp_config.hh /root/repo/src/util/status.hh \
+ /root/repo/src/util/logging.hh /root/repo/src/core/mlp_result.hh \
  /root/repo/src/util/stats.hh

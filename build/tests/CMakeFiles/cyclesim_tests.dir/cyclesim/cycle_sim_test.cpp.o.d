@@ -296,8 +296,8 @@ tests/CMakeFiles/cyclesim_tests.dir/cyclesim/cycle_sim_test.cpp.o: \
  /root/repo/src/cyclesim/cycle_sim.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/core/mlp_config.hh \
- /root/repo/src/core/workload_context.hh \
+ /root/repo/src/core/mlp_config.hh /root/repo/src/util/status.hh \
+ /root/repo/src/util/logging.hh /root/repo/src/core/workload_context.hh \
  /root/repo/src/branch/branch_unit.hh /root/repo/src/branch/btb.hh \
  /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
  /root/repo/src/trace/trace_buffer.hh \

@@ -320,6 +320,7 @@ tests/CMakeFiles/cyclesim_tests.dir/cyclesim/validation_test.cpp.o: \
  /root/repo/src/branch/gshare.hh /root/repo/src/branch/ras.hh \
  /root/repo/src/trace/trace_buffer.hh \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
+ /root/repo/src/util/status.hh /root/repo/src/util/logging.hh \
  /root/repo/src/core/epoch_engine.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/mlp_config.hh /root/repo/src/core/mlp_result.hh \
@@ -330,5 +331,4 @@ tests/CMakeFiles/cyclesim_tests.dir/cyclesim/validation_test.cpp.o: \
  /root/repo/src/core/inorder_model.hh \
  /root/repo/src/cyclesim/cycle_sim.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/workloads/factory.hh \
- /root/repo/src/workloads/workload_base.hh /root/repo/src/util/logging.hh \
- /root/repo/src/util/rng.hh
+ /root/repo/src/workloads/workload_base.hh /root/repo/src/util/rng.hh

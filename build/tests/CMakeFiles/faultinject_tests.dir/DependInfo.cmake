@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faultinject/config_fault_test.cpp" "tests/CMakeFiles/faultinject_tests.dir/faultinject/config_fault_test.cpp.o" "gcc" "tests/CMakeFiles/faultinject_tests.dir/faultinject/config_fault_test.cpp.o.d"
+  "/root/repo/tests/faultinject/trace_fault_test.cpp" "tests/CMakeFiles/faultinject_tests.dir/faultinject/trace_fault_test.cpp.o" "gcc" "tests/CMakeFiles/faultinject_tests.dir/faultinject/trace_fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cyclesim/CMakeFiles/mlpsim_cyclesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mlpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/mlpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/mlpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlpsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

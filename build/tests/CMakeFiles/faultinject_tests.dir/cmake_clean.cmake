@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultinject_tests.dir/faultinject/config_fault_test.cpp.o"
+  "CMakeFiles/faultinject_tests.dir/faultinject/config_fault_test.cpp.o.d"
+  "CMakeFiles/faultinject_tests.dir/faultinject/trace_fault_test.cpp.o"
+  "CMakeFiles/faultinject_tests.dir/faultinject/trace_fault_test.cpp.o.d"
+  "faultinject_tests"
+  "faultinject_tests.pdb"
+  "faultinject_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultinject_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

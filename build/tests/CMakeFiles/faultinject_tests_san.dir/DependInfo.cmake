@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/instruction.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/instruction.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/instruction.cc.o.d"
+  "/root/repo/src/trace/trace_buffer.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_buffer.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_buffer.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_io.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_io.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/crc32.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/crc32.cc.o.d"
+  "/root/repo/src/util/logging.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/logging.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/status.cc.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/__/src/util/status.cc.o.d"
+  "/root/repo/tests/faultinject/trace_fault_test.cpp" "tests/CMakeFiles/faultinject_tests_san.dir/faultinject/trace_fault_test.cpp.o" "gcc" "tests/CMakeFiles/faultinject_tests_san.dir/faultinject/trace_fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/instruction.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/instruction.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_buffer.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_buffer.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_io.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/trace/trace_io.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/crc32.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/crc32.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/logging.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/logging.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/status.cc.o"
+  "CMakeFiles/faultinject_tests_san.dir/__/src/util/status.cc.o.d"
+  "CMakeFiles/faultinject_tests_san.dir/faultinject/trace_fault_test.cpp.o"
+  "CMakeFiles/faultinject_tests_san.dir/faultinject/trace_fault_test.cpp.o.d"
+  "faultinject_tests_san"
+  "faultinject_tests_san.pdb"
+  "faultinject_tests_san[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultinject_tests_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

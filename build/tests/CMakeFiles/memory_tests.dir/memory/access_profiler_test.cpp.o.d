@@ -296,6 +296,7 @@ tests/CMakeFiles/memory_tests.dir/memory/access_profiler_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/memory/access_profiler.hh \
  /root/repo/src/memory/hierarchy.hh /root/repo/src/memory/cache.hh \
+ /root/repo/src/util/status.hh /root/repo/src/util/logging.hh \
  /root/repo/src/trace/trace_buffer.hh \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
  /root/repo/src/util/stats.hh

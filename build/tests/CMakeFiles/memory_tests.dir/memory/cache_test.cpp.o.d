@@ -293,4 +293,5 @@ tests/CMakeFiles/memory_tests.dir/memory/cache_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/memory/cache.hh
+ /root/repo/src/memory/cache.hh /root/repo/src/util/status.hh \
+ /root/repo/src/util/logging.hh

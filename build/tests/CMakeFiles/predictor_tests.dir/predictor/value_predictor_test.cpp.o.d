@@ -297,6 +297,7 @@ tests/CMakeFiles/predictor_tests.dir/predictor/value_predictor_test.cpp.o: \
  /root/repo/src/predictor/value_predictor.hh \
  /root/repo/src/memory/access_profiler.hh \
  /root/repo/src/memory/hierarchy.hh /root/repo/src/memory/cache.hh \
+ /root/repo/src/util/status.hh /root/repo/src/util/logging.hh \
  /root/repo/src/trace/trace_buffer.hh \
  /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
  /root/repo/src/util/stats.hh

@@ -293,9 +293,11 @@ tests/CMakeFiles/trace_tests.dir/trace/trace_io_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/trace/trace_io.hh /root/repo/src/trace/trace_buffer.hh \
- /root/repo/src/trace/trace_source.hh /root/repo/src/trace/instruction.hh \
- /root/repo/src/workloads/micro.hh \
+ /root/repo/tests/support/trace_corruption.hh /usr/include/c++/12/cstring \
+ /root/repo/src/trace/instruction.hh /root/repo/src/trace/trace_buffer.hh \
+ /root/repo/src/trace/trace_source.hh /root/repo/src/util/crc32.hh \
+ /root/repo/src/trace/trace_io.hh /root/repo/src/util/status.hh \
+ /root/repo/src/util/logging.hh /root/repo/src/workloads/micro.hh \
  /root/repo/src/workloads/workload_base.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/logging.hh /root/repo/src/util/rng.hh
+ /root/repo/src/util/rng.hh

@@ -8,9 +8,11 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/crc32_test.cpp" "tests/CMakeFiles/util_tests.dir/util/crc32_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/crc32_test.cpp.o.d"
   "/root/repo/tests/util/options_test.cpp" "tests/CMakeFiles/util_tests.dir/util/options_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/options_test.cpp.o.d"
   "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
   "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/status_test.cpp" "tests/CMakeFiles/util_tests.dir/util/status_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/status_test.cpp.o.d"
   "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"
   )
 

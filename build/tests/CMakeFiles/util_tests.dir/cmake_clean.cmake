@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/crc32_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/crc32_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/options_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/options_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/stats_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/status_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/status_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/table_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"
   "util_tests"

@@ -293,4 +293,5 @@ tests/CMakeFiles/util_tests.dir/util/options_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/options.hh
+ /root/repo/src/util/options.hh /root/repo/src/util/status.hh \
+ /root/repo/src/util/logging.hh

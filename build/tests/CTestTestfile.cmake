@@ -11,4 +11,6 @@ include("/root/repo/build/tests/branch_tests[1]_include.cmake")
 include("/root/repo/build/tests/predictor_tests[1]_include.cmake")
 include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/faultinject_tests[1]_include.cmake")
+include("/root/repo/build/tests/faultinject_tests_san[1]_include.cmake")
 include("/root/repo/build/tests/cyclesim_tests[1]_include.cmake")

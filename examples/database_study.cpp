@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.rejectUnknown({"insts", "latency"});
     const uint64_t insts = opts.scaledInsts("insts", 2'000'000);
     const uint64_t warmup = insts / 4;
     const double latency = opts.getDouble("latency", 1000.0);

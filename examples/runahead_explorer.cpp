@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.rejectUnknown({"insts"});
     const uint64_t insts = opts.scaledInsts("insts", 1'500'000);
     const uint64_t warmup = insts / 4;
 

@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.rejectUnknown({"insts", "path"});
     const uint64_t insts = opts.scaledInsts("insts", 500'000);
     const std::string path =
         opts.getString("path", "/tmp/mlpsim_example.trace");

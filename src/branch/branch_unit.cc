@@ -1,6 +1,39 @@
 #include "branch_unit.hh"
 
+#include <bit>
+
 namespace mlpsim::branch {
+
+Status
+validateConfig(const BranchConfig &config)
+{
+    if (config.gshareEntries == 0 ||
+        !std::has_single_bit(uint64_t(config.gshareEntries))) {
+        return Status::invalidArgument(
+            "gshare entries must be a power of two, got ",
+            config.gshareEntries);
+    }
+    if (config.historyBits > 16) {
+        return Status::invalidArgument(
+            "gshare history bits must be <= 16, got ",
+            config.historyBits);
+    }
+    if (config.btbAssoc == 0 ||
+        config.btbEntries % config.btbAssoc != 0) {
+        return Status::invalidArgument(
+            "BTB entries (", config.btbEntries,
+            ") must divide into ", config.btbAssoc, " ways");
+    }
+    if (!std::has_single_bit(
+            uint64_t(config.btbEntries / config.btbAssoc))) {
+        return Status::invalidArgument(
+            "BTB set count must be a power of two, got ",
+            config.btbEntries / config.btbAssoc);
+    }
+    if (config.rasDepth == 0)
+        return Status::invalidArgument("RAS depth must be positive");
+    return Status::okStatus();
+}
 
 BranchUnit::BranchUnit(const BranchConfig &config)
     : cfg(config), gshare(config.gshareEntries, config.historyBits),

@@ -19,6 +19,7 @@
 #include "branch/gshare.hh"
 #include "branch/ras.hh"
 #include "trace/trace_buffer.hh"
+#include "util/status.hh"
 
 namespace mlpsim::branch {
 
@@ -33,6 +34,13 @@ struct BranchConfig
     /** Perfect branch prediction (limit study): nothing mispredicts. */
     bool perfect = false;
 };
+
+/**
+ * Check predictor table geometries (power-of-two gshare, BTB sets
+ * dividing evenly into ways, non-zero RAS, history bits within the
+ * gshare's 16-bit register) without constructing anything.
+ */
+Status validateConfig(const BranchConfig &config);
 
 /** Combined direction + target predictor. */
 class BranchUnit

@@ -43,6 +43,49 @@ MlpConfig::label() const
                 : "");
 }
 
+Status
+MlpConfig::validate() const
+{
+    if (fetchBufferSize == 0 || issueWindowSize == 0 || robSize == 0) {
+        return Status::invalidArgument(
+            "window structures must be non-empty (fetch buffer ",
+            fetchBufferSize, ", issue window ", issueWindowSize,
+            ", ROB ", robSize, ")");
+    }
+    // The plain epoch model lets whichever window structure is smaller
+    // bind (a tiny ROB under a huge scheduler is unusual but well
+    // defined), so rob < window is only rejected for runahead: there
+    // the ROB-filling trigger condition assumes the ROB is the outer,
+    // decoupled structure (paper Sections 3.5 / 5.3.2).
+    if (mode == CoreMode::Runahead && robSize < issueWindowSize) {
+        return Status::invalidArgument(
+            "runahead machine with decoupled ROB (", robSize,
+            " entries) smaller than the issue window (", issueWindowSize,
+            " entries): runahead triggers on ROB fill, so the ROB must "
+            "be at least as large as the window; grow robSize or "
+            "shrink issueWindowSize");
+    }
+    if (mode == CoreMode::Runahead && maxRunaheadDistance == 0) {
+        return Status::invalidArgument(
+            "runahead mode with maxRunaheadDistance 0 can never run "
+            "ahead; use CoreMode::OutOfOrder instead");
+    }
+    if (epochInstHorizon == 0) {
+        return Status::invalidArgument(
+            "epochInstHorizon must be positive (epochs need room to "
+            "extend past their trigger)");
+    }
+    return Status::okStatus();
+}
+
+Expected<MlpConfig>
+MlpConfig::checked(MlpConfig config)
+{
+    MLPSIM_RETURN_IF_ERROR(
+        config.validate().withContext("machine '", config.label(), "'"));
+    return config;
+}
+
 MlpConfig
 MlpConfig::defaultOoO()
 {

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.hh"
+
 namespace mlpsim::core {
 
 /** The paper's Table 2 issue-constraint configurations. */
@@ -80,6 +82,18 @@ struct MlpConfig
 
     /** Paper-style label, e.g. "64C" or "RAE". */
     std::string label() const;
+
+    /**
+     * Reject inconsistent machine descriptions with an actionable
+     * message: zero-sized window structures, a runahead machine whose
+     * decoupled ROB is smaller than its issue window (runahead
+     * triggers on ROB fill) or that can never run ahead, or a zero
+     * epoch horizon. runMlp() checks this before simulating.
+     */
+    Status validate() const;
+
+    /** @p config if valid, its validation error otherwise. */
+    static Expected<MlpConfig> checked(MlpConfig config);
 
     /** The paper's "64C" default machine. */
     static MlpConfig defaultOoO();

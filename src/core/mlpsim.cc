@@ -2,10 +2,32 @@
 
 namespace mlpsim::core {
 
+Status
+AnnotationOptions::validate() const
+{
+    MLPSIM_RETURN_IF_ERROR(
+        memory::validateConfig(hierarchy).withContext("hierarchy"));
+    MLPSIM_RETURN_IF_ERROR(
+        branch::validateConfig(branch).withContext("branch predictor"));
+    MLPSIM_RETURN_IF_ERROR(
+        predictor::validateConfig(value).withContext("value predictor"));
+    return Status::okStatus();
+}
+
+Expected<AnnotatedTrace>
+AnnotatedTrace::make(const trace::TraceBuffer &buffer,
+                     const AnnotationOptions &options)
+{
+    MLPSIM_RETURN_IF_ERROR(options.validate().withContext(
+        "annotating trace '", buffer.name(), "'"));
+    return AnnotatedTrace(buffer, options);
+}
+
 AnnotatedTrace::AnnotatedTrace(const trace::TraceBuffer &buffer,
                                const AnnotationOptions &options)
     : buf(&buffer), opts(options)
 {
+    opts.validate().orFatal();
     memory::ProfileConfig profile_cfg;
     profile_cfg.hierarchy = opts.hierarchy;
     profile_cfg.warmupInsts = opts.warmupInsts;
@@ -32,9 +54,22 @@ AnnotatedTrace::context() const
     return ctx;
 }
 
-MlpResult
-runMlp(const MlpConfig &config, const WorkloadContext &workload)
+Expected<MlpResult>
+tryRunMlp(const MlpConfig &config, const WorkloadContext &workload)
 {
+    MLPSIM_RETURN_IF_ERROR(
+        config.validate().withContext("machine '", config.label(), "'"));
+    if (!workload.buffer || !workload.misses || !workload.branches) {
+        return Status::failedPrecondition(
+            "workload context is incomplete (missing trace or "
+            "annotations)");
+    }
+    if (config.valuePrediction && !workload.values) {
+        return Status::failedPrecondition(
+            "machine '", config.label(), "' needs value-prediction "
+            "annotations; build the trace with "
+            "AnnotationOptions::buildValues");
+    }
     switch (config.mode) {
       case CoreMode::InOrderStallOnMiss:
       case CoreMode::InOrderStallOnUse:
@@ -44,6 +79,12 @@ runMlp(const MlpConfig &config, const WorkloadContext &workload)
         break;
     }
     return EpochEngine(config, workload).run();
+}
+
+MlpResult
+runMlp(const MlpConfig &config, const WorkloadContext &workload)
+{
+    return tryRunMlp(config, workload).orFatal();
 }
 
 } // namespace mlpsim::core

@@ -44,6 +44,10 @@ struct AnnotationOptions
     /** Instructions excluded from all statistics (cache/predictor
      *  warm-up); pass the same value in MlpConfig::warmupInsts. */
     uint64_t warmupInsts = 0;
+
+    /** Check every substrate configuration (hierarchy, branch,
+     *  value predictor) before anything is constructed. */
+    Status validate() const;
 };
 
 /**
@@ -55,8 +59,20 @@ struct AnnotationOptions
 class AnnotatedTrace
 {
   public:
+    /**
+     * fatal()-on-error wrapper around make() kept for existing
+     * callers; terminates if @p options fail validation.
+     */
     AnnotatedTrace(const trace::TraceBuffer &buffer,
                    const AnnotationOptions &options);
+
+    /**
+     * Validate @p options, then profile and annotate @p buffer.
+     * The buffer must outlive the returned object.
+     */
+    static Expected<AnnotatedTrace>
+    make(const trace::TraceBuffer &buffer,
+         const AnnotationOptions &options);
 
     /** Borrowing view passed to the simulators. */
     WorkloadContext context() const;
@@ -80,7 +96,13 @@ class AnnotatedTrace
  * Run the epoch-model simulator configured by @p config over
  * @p workload and return its MLP statistics. Dispatches to the
  * out-of-order/runahead engine or the in-order models by mode.
+ * Fails (without simulating) if the configuration is inconsistent
+ * (MlpConfig::validate) or the context is incomplete.
  */
+Expected<MlpResult> tryRunMlp(const MlpConfig &config,
+                              const WorkloadContext &workload);
+
+/** fatal()-on-error wrapper around tryRunMlp() for existing callers. */
 MlpResult runMlp(const MlpConfig &config, const WorkloadContext &workload);
 
 } // namespace mlpsim::core

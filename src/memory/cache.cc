@@ -6,21 +6,37 @@
 
 namespace mlpsim::memory {
 
-Cache::Cache(const CacheConfig &config)
-    : ways(config.assoc), line(config.lineBytes)
+Status
+validateConfig(const CacheConfig &config)
 {
     if (config.sizeBytes == 0 || config.assoc == 0 ||
         config.lineBytes == 0) {
-        fatal("cache geometry must be non-zero");
+        return Status::invalidArgument("cache geometry must be non-zero");
     }
-    if (!std::has_single_bit(uint64_t(config.lineBytes)))
-        fatal("cache line size must be a power of two");
+    if (!std::has_single_bit(uint64_t(config.lineBytes))) {
+        return Status::invalidArgument(
+            "cache line size must be a power of two, got ",
+            config.lineBytes);
+    }
     const uint64_t num_lines = config.sizeBytes / config.lineBytes;
-    if (num_lines % config.assoc != 0)
-        fatal("cache size not divisible into ", config.assoc, " ways");
+    if (num_lines % config.assoc != 0) {
+        return Status::invalidArgument("cache size not divisible into ",
+                                       config.assoc, " ways");
+    }
+    const uint64_t sets = num_lines / config.assoc;
+    if (!std::has_single_bit(sets)) {
+        return Status::invalidArgument(
+            "cache set count must be a power of two, got ", sets);
+    }
+    return Status::okStatus();
+}
+
+Cache::Cache(const CacheConfig &config)
+    : ways(config.assoc), line(config.lineBytes)
+{
+    validateConfig(config).orFatal();
+    const uint64_t num_lines = config.sizeBytes / config.lineBytes;
     sets = static_cast<unsigned>(num_lines / config.assoc);
-    if (!std::has_single_bit(uint64_t(sets)))
-        fatal("cache set count must be a power of two, got ", sets);
     lineShift = std::countr_zero(uint64_t(config.lineBytes));
     lineMask = uint64_t(config.lineBytes) - 1;
     lines.resize(num_lines);

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace mlpsim::memory {
 
 /** Geometry of one cache level. */
@@ -21,6 +23,14 @@ struct CacheConfig
     unsigned assoc = 4;
     unsigned lineBytes = 64;
 };
+
+/**
+ * Check that @p config describes a realisable geometry (non-zero,
+ * power-of-two line size and set count, size divisible into ways).
+ * The Cache constructor fatal()s on the same conditions; this is the
+ * recoverable form for validating externally supplied configurations.
+ */
+Status validateConfig(const CacheConfig &config);
 
 /** Outcome of a single cache access. */
 struct CacheAccessResult

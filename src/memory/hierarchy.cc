@@ -17,6 +17,26 @@ tlbGeometry(const HierarchyConfig &config)
 
 } // namespace
 
+Status
+validateConfig(const HierarchyConfig &config)
+{
+    MLPSIM_RETURN_IF_ERROR(
+        validateConfig(config.l1i).withContext("L1I"));
+    MLPSIM_RETURN_IF_ERROR(
+        validateConfig(config.l1d).withContext("L1D"));
+    MLPSIM_RETURN_IF_ERROR(validateConfig(config.l2).withContext("L2"));
+    if (config.tlbEntries == 0)
+        return Status::invalidArgument("TLB must have entries");
+    if (config.pageBytes == 0 ||
+        (config.pageBytes & (config.pageBytes - 1)) != 0) {
+        return Status::invalidArgument(
+            "page size must be a power of two, got ", config.pageBytes);
+    }
+    MLPSIM_RETURN_IF_ERROR(
+        validateConfig(tlbGeometry(config)).withContext("TLB"));
+    return Status::okStatus();
+}
+
 CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
     : cfg(config), l1i(config.l1i), l1d(config.l1d), l2(config.l2),
       tlb(tlbGeometry(config))

@@ -30,6 +30,13 @@ struct HierarchyConfig
     bool perfectInstFetch = false;
 };
 
+/**
+ * Check every cache geometry plus the TLB/page parameters; rejects
+ * inconsistent hierarchies (zero TLB, non-power-of-two page size,
+ * bad cache geometry) with a message naming the offending level.
+ */
+Status validateConfig(const HierarchyConfig &config);
+
 /** Result of a hierarchy access, including the evicted L2 line. */
 struct HierarchyAccessResult
 {

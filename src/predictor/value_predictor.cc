@@ -6,11 +6,22 @@
 
 namespace mlpsim::predictor {
 
+Status
+validateConfig(const ValuePredictorConfig &config)
+{
+    if (config.entries == 0 ||
+        !std::has_single_bit(uint64_t(config.entries))) {
+        return Status::invalidArgument(
+            "value predictor entries must be a power of two, got ",
+            config.entries);
+    }
+    return Status::okStatus();
+}
+
 LastValuePredictor::LastValuePredictor(const ValuePredictorConfig &config)
     : cfg(config)
 {
-    if (!std::has_single_bit(uint64_t(config.entries)))
-        fatal("value predictor entries must be a power of two");
+    validateConfig(config).orFatal();
     table.resize(config.entries);
 }
 

@@ -18,6 +18,7 @@
 
 #include "memory/access_profiler.hh"
 #include "trace/trace_buffer.hh"
+#include "util/status.hh"
 
 namespace mlpsim::predictor {
 
@@ -35,6 +36,9 @@ struct ValuePredictorConfig
     unsigned entries = 16 * 1024; //!< direct-mapped, PC-tagged
     bool perfect = false;         //!< limit study: always correct
 };
+
+/** Recoverable form of the constructor's geometry checks. */
+Status validateConfig(const ValuePredictorConfig &config);
 
 /** Tagged direct-mapped last-value table. */
 class LastValuePredictor

@@ -1,9 +1,13 @@
 #include "trace_io.hh"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::trace {
@@ -12,15 +16,28 @@ namespace {
 
 constexpr char traceMagic[4] = {'M', 'L', 'P', 'T'};
 
+/**
+ * Full on-disk header. Version 1 files stop at `name` (80 bytes);
+ * version 2 appends the two CRC words (88 bytes). The prefix through
+ * `name` is layout-identical in both versions.
+ */
 struct FileHeader
 {
     char magic[4];
     uint32_t version;
     uint64_t numInsts;
     char name[64];
+    uint32_t payloadCrc; // v2: CRC-32 of all record bytes
+    uint32_t headerCrc;  // v2: CRC-32 of bytes [0, offsetof(headerCrc))
 };
 
-/** Fixed-width on-disk instruction record. */
+constexpr size_t headerSizeV1 = offsetof(FileHeader, payloadCrc);
+constexpr size_t headerSizeV2 = sizeof(FileHeader);
+constexpr size_t headerCrcSpan = offsetof(FileHeader, headerCrc);
+static_assert(headerSizeV1 == 80, "v1 header layout drifted");
+static_assert(headerSizeV2 == 88, "v2 header layout drifted");
+
+/** Fixed-width on-disk instruction record (identical in v1 and v2). */
 struct FileRecord
 {
     uint64_t pc;
@@ -37,83 +54,256 @@ struct FileRecord
 
 static_assert(sizeof(FileRecord) == 40, "trace record layout drifted");
 
+constexpr uint8_t maxInstClass =
+    static_cast<uint8_t>(InstClass::Serializing);
+constexpr uint8_t maxBranchKind = static_cast<uint8_t>(BranchKind::Jump);
+
 struct FileCloser
 {
     void operator()(std::FILE *f) const { if (f) std::fclose(f); }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+FileRecord
+packRecord(const Instruction &inst)
+{
+    FileRecord rec{};
+    rec.pc = inst.pc;
+    rec.effAddr = inst.effAddr;
+    rec.value = inst.value;
+    rec.target = inst.target;
+    rec.cls = static_cast<uint8_t>(inst.cls);
+    rec.dst = inst.dst;
+    for (unsigned s = 0; s < maxSrcRegs; ++s)
+        rec.src[s] = inst.src[s];
+    rec.taken = inst.taken ? 1 : 0;
+    rec.brKind = static_cast<uint8_t>(inst.brKind);
+    return rec;
+}
+
+/** Range-check the enum fields before trusting them as C++ enums. */
+Status
+unpackRecord(const FileRecord &rec, uint64_t index, Instruction &inst)
+{
+    if (rec.cls > maxInstClass) {
+        return Status::dataLoss("record ", index,
+                                ": invalid instruction class ",
+                                unsigned(rec.cls));
+    }
+    if (rec.brKind > maxBranchKind) {
+        return Status::dataLoss("record ", index,
+                                ": invalid branch kind ",
+                                unsigned(rec.brKind));
+    }
+    inst.pc = rec.pc;
+    inst.effAddr = rec.effAddr;
+    inst.value = rec.value;
+    inst.target = rec.target;
+    inst.cls = static_cast<InstClass>(rec.cls);
+    inst.dst = rec.dst;
+    for (unsigned s = 0; s < maxSrcRegs; ++s)
+        inst.src[s] = rec.src[s];
+    inst.taken = rec.taken != 0;
+    inst.brKind = static_cast<BranchKind>(rec.brKind);
+    return Status::okStatus();
+}
+
+Expected<uint64_t>
+fileSize(std::FILE *f, const std::string &path)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return Status::ioError("cannot seek in '", path, "'");
+    const long size = std::ftell(f);
+    if (size < 0)
+        return Status::ioError("cannot determine size of '", path, "'");
+    if (std::fseek(f, 0, SEEK_SET) != 0)
+        return Status::ioError("cannot seek in '", path, "'");
+    return uint64_t(size);
+}
+
 } // namespace
 
-void
-writeTraceFile(const std::string &path, const TraceBuffer &buffer)
+Status
+writeTrace(const std::string &path, const TraceBuffer &buffer)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot create trace file '", path, "'");
+    // Write to a sibling temp file and rename into place so a crashed
+    // or failed write can never leave a half-written trace at `path`.
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(::getpid());
+    FilePtr f(std::fopen(tmp_path.c_str(), "wb"));
+    if (!f) {
+        return Status::ioError("cannot create trace file '", tmp_path,
+                               "': ", std::strerror(errno));
+    }
 
+    auto fail = [&](Status status) {
+        f.reset();
+        std::remove(tmp_path.c_str());
+        return std::move(status).withContext("writing '", path, "'");
+    };
+
+    // The payload CRC is only known after streaming the records, so
+    // write a placeholder header first and patch it at the end; the
+    // rename makes the intermediate state invisible to readers.
     FileHeader hdr{};
     std::memcpy(hdr.magic, traceMagic, sizeof(traceMagic));
     hdr.version = traceFormatVersion;
     hdr.numInsts = buffer.size();
     std::strncpy(hdr.name, buffer.name().c_str(), sizeof(hdr.name) - 1);
-    if (std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1)
-        fatal("short write of trace header to '", path, "'");
+    if (std::fwrite(&hdr, headerSizeV2, 1, f.get()) != 1)
+        return fail(Status::ioError("short write of trace header"));
 
+    Crc32 payload_crc;
     for (const Instruction &inst : buffer.instructions()) {
-        FileRecord rec{};
-        rec.pc = inst.pc;
-        rec.effAddr = inst.effAddr;
-        rec.value = inst.value;
-        rec.target = inst.target;
-        rec.cls = static_cast<uint8_t>(inst.cls);
-        rec.dst = inst.dst;
-        for (unsigned s = 0; s < maxSrcRegs; ++s)
-            rec.src[s] = inst.src[s];
-        rec.taken = inst.taken ? 1 : 0;
-        rec.brKind = static_cast<uint8_t>(inst.brKind);
+        const FileRecord rec = packRecord(inst);
+        payload_crc.update(&rec, sizeof(rec));
         if (std::fwrite(&rec, sizeof(rec), 1, f.get()) != 1)
-            fatal("short write of trace record to '", path, "'");
+            return fail(Status::ioError("short write of trace record"));
     }
+
+    hdr.payloadCrc = payload_crc.value();
+    hdr.headerCrc = Crc32::compute(&hdr, headerCrcSpan);
+    if (std::fseek(f.get(), 0, SEEK_SET) != 0 ||
+        std::fwrite(&hdr, headerSizeV2, 1, f.get()) != 1) {
+        return fail(Status::ioError("cannot finalise trace header"));
+    }
+
+    if (std::fflush(f.get()) != 0)
+        return fail(Status::ioError("flush failed: ",
+                                    std::strerror(errno)));
+    f.reset(); // close before rename
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        Status st = Status::ioError("cannot rename '", tmp_path,
+                                    "' into place: ",
+                                    std::strerror(errno));
+        std::remove(tmp_path.c_str());
+        return std::move(st).withContext("writing '", path, "'");
+    }
+    return Status::okStatus();
+}
+
+Expected<TraceBuffer>
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        return Status::notFound("cannot open trace file '", path, "': ",
+                                std::strerror(errno));
+    }
+
+    auto corrupt = [&](Status status) {
+        return std::move(status).withContext("reading '", path, "'");
+    };
+
+    MLPSIM_ASSIGN_OR_RETURN(const uint64_t actual_size,
+                            fileSize(f.get(), path));
+
+    // Magic + version prefix, common to every format version.
+    uint8_t raw[headerSizeV2];
+    if (actual_size < 8 ||
+        std::fread(raw, 8, 1, f.get()) != 1) {
+        return corrupt(Status::dataLoss(
+            "file is ", actual_size,
+            " bytes, too short for a trace header"));
+    }
+    if (std::memcmp(raw, traceMagic, sizeof(traceMagic)) != 0)
+        return corrupt(Status::dataLoss("not an mlpsim trace file"));
+
+    uint32_t version;
+    std::memcpy(&version, raw + sizeof(traceMagic), sizeof(version));
+    if (version < traceFormatMinVersion || version > traceFormatVersion) {
+        return corrupt(Status::invalidArgument(
+            "unsupported format version ", version, " (expected ",
+            traceFormatMinVersion, "..", traceFormatVersion, ")"));
+    }
+
+    const size_t header_size =
+        version == 1 ? headerSizeV1 : headerSizeV2;
+    if (actual_size < header_size ||
+        std::fread(raw + 8, header_size - 8, 1, f.get()) != 1) {
+        return corrupt(Status::dataLoss(
+            "truncated header: file is ", actual_size,
+            " bytes, header needs ", header_size));
+    }
+
+    FileHeader hdr{};
+    std::memcpy(&hdr, raw, header_size);
+
+    if (version >= 2) {
+        const uint32_t computed = Crc32::compute(raw, headerCrcSpan);
+        if (computed != hdr.headerCrc) {
+            return corrupt(Status::dataLoss(
+                "header CRC mismatch (stored ", hdr.headerCrc,
+                ", computed ", computed, ")"));
+        }
+    }
+
+    // Bounded name read: the field must contain its terminator.
+    if (std::memchr(hdr.name, '\0', sizeof(hdr.name)) == nullptr) {
+        return corrupt(Status::dataLoss(
+            "trace name field is not NUL-terminated (oversized name)"));
+    }
+
+    // Cross-check the declared record count against the file's real
+    // size before reading a single record: catches truncation,
+    // trailing garbage, and a tampered count in one place.
+    if (hdr.numInsts >
+        (UINT64_MAX - header_size) / sizeof(FileRecord)) {
+        return corrupt(Status::dataLoss("implausible record count ",
+                                        hdr.numInsts));
+    }
+    const uint64_t expected_size =
+        header_size + hdr.numInsts * sizeof(FileRecord);
+    if (actual_size < expected_size) {
+        const uint64_t whole_records =
+            (actual_size - header_size) / sizeof(FileRecord);
+        return corrupt(Status::dataLoss(
+            "truncated: ", hdr.numInsts, " records declared but file "
+            "ends after record ", whole_records, " (", actual_size,
+            " of ", expected_size, " bytes)"));
+    }
+    if (actual_size > expected_size) {
+        return corrupt(Status::dataLoss(
+            "record-count mismatch: ", hdr.numInsts,
+            " records declared but file has ",
+            actual_size - expected_size, " trailing bytes"));
+    }
+
+    TraceBuffer buffer{std::string(hdr.name)};
+    Crc32 payload_crc;
+    for (uint64_t i = 0; i < hdr.numInsts; ++i) {
+        FileRecord rec{};
+        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1) {
+            return corrupt(Status::dataLoss("truncated at record ", i,
+                                            " of ", hdr.numInsts));
+        }
+        payload_crc.update(&rec, sizeof(rec));
+        Instruction inst;
+        Status rec_status = unpackRecord(rec, i, inst);
+        if (!rec_status.ok())
+            return corrupt(std::move(rec_status));
+        buffer.append(inst);
+    }
+
+    if (version >= 2 && payload_crc.value() != hdr.payloadCrc) {
+        return corrupt(Status::dataLoss(
+            "payload CRC mismatch (stored ", hdr.payloadCrc,
+            ", computed ", payload_crc.value(),
+            "): trace records are corrupt"));
+    }
+    return buffer;
+}
+
+void
+writeTraceFile(const std::string &path, const TraceBuffer &buffer)
+{
+    writeTrace(path, buffer).orFatal();
 }
 
 TraceBuffer
 readTraceFile(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fatal("cannot open trace file '", path, "'");
-
-    FileHeader hdr{};
-    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1)
-        fatal("short read of trace header from '", path, "'");
-    if (std::memcmp(hdr.magic, traceMagic, sizeof(traceMagic)) != 0)
-        fatal("'", path, "' is not an mlpsim trace file");
-    if (hdr.version != traceFormatVersion) {
-        fatal("trace file '", path, "' has version ", hdr.version,
-              ", expected ", traceFormatVersion);
-    }
-
-    hdr.name[sizeof(hdr.name) - 1] = '\0';
-    TraceBuffer buffer{std::string(hdr.name)};
-    for (uint64_t i = 0; i < hdr.numInsts; ++i) {
-        FileRecord rec{};
-        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1)
-            fatal("trace file '", path, "' truncated at record ", i);
-        Instruction inst;
-        inst.pc = rec.pc;
-        inst.effAddr = rec.effAddr;
-        inst.value = rec.value;
-        inst.target = rec.target;
-        inst.cls = static_cast<InstClass>(rec.cls);
-        inst.dst = rec.dst;
-        for (unsigned s = 0; s < maxSrcRegs; ++s)
-            inst.src[s] = rec.src[s];
-        inst.taken = rec.taken != 0;
-        inst.brKind = static_cast<trace::BranchKind>(rec.brKind);
-        buffer.append(inst);
-    }
-    return buffer;
+    return readTrace(path).orFatal();
 }
 
 } // namespace mlpsim::trace

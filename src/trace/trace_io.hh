@@ -1,34 +1,83 @@
 /**
  * @file
- * Versioned binary trace file format.
+ * Versioned binary trace file format (current: version 2).
  *
- * Layout: a fixed header (magic "MLPT", version, instruction count,
- * name) followed by one fixed-width little-endian record per
- * instruction. The format exists so expensive synthetic traces can be
- * generated once and replayed from disk, and so external tools can
- * feed real traces into mlpsim.
+ * The format exists so expensive synthetic traces can be generated
+ * once and replayed from disk, and so external tools can feed real
+ * traces into mlpsim. Because those files cross process and machine
+ * boundaries, the reader treats them as untrusted input: every
+ * structural defect — truncation, bit rot, tampering, a buggy writer —
+ * is reported as a descriptive Status error, never an abort and never
+ * silent garbage.
+ *
+ * On-disk layout (all fields little-endian, no padding):
+ *
+ *   offset size  field
+ *   ------ ----  ------------------------------------------------
+ *        0    4  magic "MLPT"
+ *        4    4  format version (2)
+ *        8    8  record count
+ *       16   64  trace name, NUL-terminated and NUL-padded
+ *       80    4  payload CRC-32 (IEEE, over all record bytes)   [v2]
+ *       84    4  header CRC-32 (IEEE, over bytes [0, 84))       [v2]
+ *       88  40×N instruction records (see trace_io.cc)
+ *
+ * Version 1 files (the original format) lack the two CRC words; their
+ * records start at offset 80. The reader accepts both versions; the
+ * writer always produces version 2.
+ *
+ * Integrity checks performed by readTrace():
+ *  - magic and version recognised;
+ *  - header CRC (v2) — any corrupted header byte is detected;
+ *  - file size must equal header size + 40 × record count exactly,
+ *    so truncation and trailing garbage are both diagnosed up front
+ *    (and the record count is cross-checked against reality);
+ *  - trace name must be NUL-terminated within its 64-byte field;
+ *  - per-record range checks on the class/branch-kind enums;
+ *  - payload CRC (v2) — any corrupted record byte is detected.
+ *
+ * writeTrace() writes to a temporary file in the same directory and
+ * atomically rename(2)s it into place, so an interrupted or failed
+ * write can never leave a half-written trace at the target path.
+ *
+ * Error-handling convention: the Status/Expected API (writeTrace /
+ * readTrace) is the real interface; writeTraceFile / readTraceFile are
+ * thin fatal()-on-error wrappers kept for interactive tools that want
+ * bad input to terminate the process (see DESIGN.md "Error handling").
  */
 #pragma once
 
 #include <string>
 
 #include "trace/trace_buffer.hh"
+#include "util/status.hh"
 
 namespace mlpsim::trace {
 
-/** Current on-disk format version. */
-constexpr uint32_t traceFormatVersion = 1;
+/** Version written by writeTrace(). */
+constexpr uint32_t traceFormatVersion = 2;
+
+/** Oldest version readTrace() still accepts. */
+constexpr uint32_t traceFormatMinVersion = 1;
 
 /**
- * Write @p buffer to @p path.
- * Calls fatal() if the file cannot be created or written.
+ * Write @p buffer to @p path (format version 2, atomic
+ * temp-file-and-rename). Returns a Status describing any I/O failure;
+ * on failure the target path is left untouched.
  */
+Status writeTrace(const std::string &path, const TraceBuffer &buffer);
+
+/**
+ * Read a version-1 or version-2 trace file, running the full
+ * integrity checklist above. Corrupt or truncated input yields a
+ * DataLoss/InvalidArgument Status naming the file and the defect.
+ */
+Expected<TraceBuffer> readTrace(const std::string &path);
+
+/** fatal()-on-error wrapper around writeTrace() for legacy callers. */
 void writeTraceFile(const std::string &path, const TraceBuffer &buffer);
 
-/**
- * Read a trace file produced by writeTraceFile().
- * Calls fatal() on missing file, bad magic, or version mismatch.
- */
+/** fatal()-on-error wrapper around readTrace() for legacy callers. */
 TraceBuffer readTraceFile(const std::string &path);
 
 } // namespace mlpsim::trace

@@ -1,0 +1,36 @@
+#include "crc32.hh"
+
+#include <array>
+
+namespace mlpsim {
+
+namespace {
+
+constexpr std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> crcTable = makeCrcTable();
+
+} // namespace
+
+void
+Crc32::update(const void *data, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint32_t c = state;
+    for (size_t i = 0; i < len; ++i)
+        c = crcTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    state = c;
+}
+
+} // namespace mlpsim

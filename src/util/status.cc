@@ -1,0 +1,29 @@
+#include "status.hh"
+
+namespace mlpsim {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid argument";
+      case ErrorCode::NotFound: return "not found";
+      case ErrorCode::DataLoss: return "data loss";
+      case ErrorCode::OutOfRange: return "out of range";
+      case ErrorCode::IoError: return "i/o error";
+      case ErrorCode::FailedPrecondition: return "failed precondition";
+      case ErrorCode::Internal: return "internal error";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(ec)) + ": " + msg;
+}
+
+} // namespace mlpsim

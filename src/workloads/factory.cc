@@ -15,17 +15,26 @@ commercialWorkloadNames()
     return names;
 }
 
+Expected<std::unique_ptr<WorkloadBase>>
+tryMakeWorkload(const std::string &name)
+{
+    if (name == "database")
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<DatabaseWorkload>());
+    if (name == "specjbb2000")
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<SpecJbbWorkload>());
+    if (name == "specweb99")
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<SpecWebWorkload>());
+    return Status::notFound("unknown workload '", name,
+                            "' (expected database|specjbb2000|specweb99)");
+}
+
 std::unique_ptr<WorkloadBase>
 makeWorkload(const std::string &name)
 {
-    if (name == "database")
-        return std::make_unique<DatabaseWorkload>();
-    if (name == "specjbb2000")
-        return std::make_unique<SpecJbbWorkload>();
-    if (name == "specweb99")
-        return std::make_unique<SpecWebWorkload>();
-    fatal("unknown workload '", name,
-          "' (expected database|specjbb2000|specweb99)");
+    return tryMakeWorkload(name).orFatal();
 }
 
 } // namespace mlpsim::workloads

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
 #include "workloads/workload_base.hh"
 
 namespace mlpsim::workloads {
@@ -18,8 +19,14 @@ const std::vector<std::string> &commercialWorkloadNames();
 
 /**
  * Construct a workload by name ("database", "specjbb2000",
- * "specweb99"). Calls fatal() on an unknown name.
+ * "specweb99"). An unknown name is a NotFound error listing the
+ * accepted names, so a sweep over many workloads can skip and report
+ * rather than die.
  */
+Expected<std::unique_ptr<WorkloadBase>>
+tryMakeWorkload(const std::string &name);
+
+/** fatal()-on-error wrapper around tryMakeWorkload(). */
 std::unique_ptr<WorkloadBase> makeWorkload(const std::string &name);
 
 } // namespace mlpsim::workloads

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Fault injection for the configuration validators: every
+ * inconsistent machine/hierarchy/branch/predictor description must be
+ * rejected with an actionable Status (naming the offending knob), and
+ * the recoverable entry points (tryRunMlp, AnnotatedTrace::make,
+ * tryMakeWorkload) must return those errors instead of terminating.
+ */
+#include <gtest/gtest.h>
+
+#include "core/mlpsim.hh"
+#include "workloads/factory.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::core;
+
+namespace {
+
+/** Expect a failed validation whose message mentions @p substring. */
+testing::AssertionResult
+rejectsWith(const Status &status, const char *substring)
+{
+    if (status.ok())
+        return testing::AssertionFailure() << "config was accepted";
+    if (status.toString().find(substring) == std::string::npos) {
+        return testing::AssertionFailure()
+               << "error does not mention '" << substring
+               << "': " << status.toString();
+    }
+    return testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(ConfigFault, DefaultConfigsAreValid)
+{
+    EXPECT_TRUE(MlpConfig::defaultOoO().validate().ok());
+    EXPECT_TRUE(MlpConfig::infinite().validate().ok());
+    EXPECT_TRUE(MlpConfig::runahead().validate().ok());
+    EXPECT_TRUE(MlpConfig::sized(128, IssueConfig::D).validate().ok());
+    EXPECT_TRUE(AnnotationOptions{}.validate().ok());
+}
+
+TEST(ConfigFault, ZeroWindowStructures)
+{
+    MlpConfig cfg;
+    cfg.robSize = 0;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "non-empty"));
+
+    cfg = MlpConfig{};
+    cfg.issueWindowSize = 0;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "non-empty"));
+
+    cfg = MlpConfig{};
+    cfg.fetchBufferSize = 0;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "non-empty"));
+}
+
+TEST(ConfigFault, RunaheadRobSmallerThanWindow)
+{
+    MlpConfig cfg = MlpConfig::runahead();
+    cfg.issueWindowSize = 64;
+    cfg.robSize = 32;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "ROB"));
+    EXPECT_FALSE(MlpConfig::checked(cfg).ok());
+
+    // The plain OoO epoch model accepts either structure binding.
+    cfg.mode = CoreMode::OutOfOrder;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(ConfigFault, RunaheadWithZeroDistance)
+{
+    MlpConfig cfg = MlpConfig::runahead();
+    cfg.maxRunaheadDistance = 0;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "maxRunaheadDistance"));
+}
+
+TEST(ConfigFault, ZeroEpochHorizon)
+{
+    MlpConfig cfg;
+    cfg.epochInstHorizon = 0;
+    EXPECT_TRUE(rejectsWith(cfg.validate(), "epochInstHorizon"));
+}
+
+TEST(ConfigFault, CheckedFactoryNamesTheMachine)
+{
+    MlpConfig cfg = MlpConfig::sized(64, IssueConfig::C);
+    cfg.robSize = 0;
+    const auto result = MlpConfig::checked(cfg);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("machine"),
+              std::string::npos);
+}
+
+TEST(ConfigFault, NonPowerOfTwoCacheGeometry)
+{
+    memory::CacheConfig cache;
+    cache.lineBytes = 48;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(cache),
+                            "power of two"));
+
+    cache = memory::CacheConfig{};
+    cache.sizeBytes = 192;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(cache), "divisible"));
+
+    cache = memory::CacheConfig{};
+    cache.assoc = 0;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(cache), "non-zero"));
+}
+
+TEST(ConfigFault, HierarchyNamesTheOffendingLevel)
+{
+    memory::HierarchyConfig hier;
+    hier.l2.lineBytes = 48;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(hier), "L2"));
+
+    hier = memory::HierarchyConfig{};
+    hier.l1d.sizeBytes = 0;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(hier), "L1D"));
+
+    hier = memory::HierarchyConfig{};
+    hier.tlbEntries = 0;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(hier), "TLB"));
+
+    hier = memory::HierarchyConfig{};
+    hier.pageBytes = 3000;
+    EXPECT_TRUE(rejectsWith(memory::validateConfig(hier), "page size"));
+}
+
+TEST(ConfigFault, BranchPredictorGeometry)
+{
+    branch::BranchConfig br;
+    br.gshareEntries = 1000;
+    EXPECT_TRUE(rejectsWith(branch::validateConfig(br), "gshare"));
+
+    br = branch::BranchConfig{};
+    br.historyBits = 24;
+    EXPECT_TRUE(rejectsWith(branch::validateConfig(br), "history"));
+
+    br = branch::BranchConfig{};
+    br.btbAssoc = 3;
+    EXPECT_TRUE(rejectsWith(branch::validateConfig(br), "BTB"));
+
+    br = branch::BranchConfig{};
+    br.btbEntries = 96;
+    br.btbAssoc = 4;
+    EXPECT_TRUE(rejectsWith(branch::validateConfig(br), "BTB set"));
+
+    br = branch::BranchConfig{};
+    br.rasDepth = 0;
+    EXPECT_TRUE(rejectsWith(branch::validateConfig(br), "RAS"));
+}
+
+TEST(ConfigFault, ValuePredictorGeometry)
+{
+    predictor::ValuePredictorConfig vp;
+    vp.entries = 1000;
+    EXPECT_TRUE(rejectsWith(predictor::validateConfig(vp),
+                            "power of two"));
+    vp.entries = 0;
+    EXPECT_FALSE(predictor::validateConfig(vp).ok());
+}
+
+TEST(ConfigFault, AnnotationOptionsComposeContext)
+{
+    AnnotationOptions opts;
+    opts.hierarchy.l1i.lineBytes = 7;
+    const Status st = opts.validate();
+    ASSERT_FALSE(st.ok());
+    // The context chain should lead from subsystem to detail.
+    EXPECT_NE(st.toString().find("hierarchy"), std::string::npos);
+    EXPECT_NE(st.toString().find("L1I"), std::string::npos);
+}
+
+TEST(ConfigFault, AnnotatedTraceMakeRejectsBadOptions)
+{
+    trace::TraceBuffer buf("tiny");
+    buf.append(trace::makeAlu(0x100, 1));
+    AnnotationOptions opts;
+    opts.branch.rasDepth = 0;
+    const auto result = AnnotatedTrace::make(buf, opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(result.status().message().find("tiny"), std::string::npos);
+}
+
+TEST(ConfigFault, TryRunMlpRejectsWithoutSimulating)
+{
+    trace::TraceBuffer buf("ctx");
+    buf.append(trace::makeAlu(0x100, 1));
+    const auto annotated = AnnotatedTrace::make(buf,
+                                                AnnotationOptions{});
+    ASSERT_TRUE(annotated.ok()) << annotated.status().toString();
+
+    MlpConfig bad;
+    bad.robSize = 0;
+    const auto result = tryRunMlp(bad, annotated->context());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::InvalidArgument);
+
+    // An incomplete context is a precondition failure, not a crash.
+    const auto empty = tryRunMlp(MlpConfig::defaultOoO(),
+                                 WorkloadContext{});
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), ErrorCode::FailedPrecondition);
+}
+
+TEST(ConfigFault, TryRunMlpStillSimulatesValidConfigs)
+{
+    trace::TraceBuffer buf("ok");
+    for (unsigned i = 0; i < 64; ++i)
+        buf.append(trace::makeAlu(0x100 + 4 * i, 1));
+    const auto annotated = AnnotatedTrace::make(buf,
+                                                AnnotationOptions{});
+    ASSERT_TRUE(annotated.ok());
+    const auto result = tryRunMlp(MlpConfig::defaultOoO(),
+                                  annotated->context());
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+}
+
+TEST(ConfigFault, UnknownWorkloadIsNotFound)
+{
+    const auto result = workloads::tryMakeWorkload("tpcc");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(result.status().message().find("specjbb2000"),
+              std::string::npos);
+    EXPECT_TRUE(workloads::tryMakeWorkload("database").ok());
+}
+
+} // namespace mlpsim::test

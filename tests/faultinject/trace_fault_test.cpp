@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Fault-injection harness for the trace-file reader.
+ *
+ * Every test starts from a known-good file, programmatically corrupts
+ * it (bit flips, truncation at each structural boundary, tampered
+ * header fields, trailing garbage…) and asserts the defect is
+ * *detected and reported* as a Status error — never a crash, abort,
+ * or silently-wrong TraceBuffer. The whole suite also runs under
+ * ASan/UBSan (faultinject_tests_san) so an out-of-bounds read on
+ * corrupt input fails loudly rather than by luck.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/trace_corruption.hh"
+#include "trace/trace_io.hh"
+
+namespace mlpsim::test {
+
+using namespace mlpsim::trace;
+
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return ::testing::TempDir() + "mlpsim_fault_" + tag + ".trace";
+}
+
+/** A small trace exercising every record field and class. */
+TraceBuffer
+sampleBuffer()
+{
+    TraceBuffer buf("faultinject");
+    buf.append(makeLoad(0x1000, 3, 0xABCD, 2, 99));
+    buf.append(makeStore(0x1004, 0x2000, 5, 4));
+    buf.append(makeBranch(0x1008, 0x3000, true, 6, BranchKind::Call));
+    buf.append(makePrefetch(0x100c, 0x4000, 7));
+    buf.append(makeSerializing(0x1010, 0x5000, 1));
+    buf.append(makeAlu(0x1014, 8, 9, 10));
+    return buf;
+}
+
+/** Write the sample trace and return its on-disk image. */
+std::vector<uint8_t>
+freshImage(const std::string &path)
+{
+    const Status st = writeTrace(path, sampleBuffer());
+    EXPECT_TRUE(st.ok()) << st.toString();
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    EXPECT_EQ(bytes.size(),
+              v2HeaderSize + sampleBuffer().size() * recordSize);
+    return bytes;
+}
+
+/** The corruption must surface as a Status error, never a crash. */
+testing::AssertionResult
+rejects(const std::string &path, const char *expect_substring)
+{
+    const Expected<TraceBuffer> result = readTrace(path);
+    if (result.ok()) {
+        return testing::AssertionFailure()
+               << "corrupt file was read back as "
+               << result.value().size() << " valid records";
+    }
+    const std::string text = result.status().toString();
+    if (text.find(expect_substring) == std::string::npos) {
+        return testing::AssertionFailure()
+               << "error does not mention '" << expect_substring
+               << "': " << text;
+    }
+    return testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(TraceFault, HeaderMagicBitFlip)
+{
+    const std::string path = tempPath("magicflip");
+    auto bytes = freshImage(path);
+    flipBit(bytes, 0, 3);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "not an mlpsim trace"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, WrongMagicEntirely)
+{
+    const std::string path = tempPath("badmagic");
+    auto bytes = freshImage(path);
+    std::memcpy(bytes.data(), "XXXX", 4);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "not an mlpsim trace"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, UnsupportedVersion)
+{
+    const std::string path = tempPath("badversion");
+    auto bytes = freshImage(path);
+    const uint32_t version = 99;
+    std::memcpy(bytes.data() + versionOffset, &version, sizeof(version));
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "unsupported format version 99"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, VersionZero)
+{
+    const std::string path = tempPath("version0");
+    auto bytes = freshImage(path);
+    const uint32_t version = 0;
+    std::memcpy(bytes.data() + versionOffset, &version, sizeof(version));
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "unsupported format version"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, HeaderCrcDetectsTamperedCount)
+{
+    // Tamper with the record count *without* fixing the header CRC:
+    // the checksum must catch it before any size reasoning happens.
+    const std::string path = tempPath("countflip");
+    auto bytes = freshImage(path);
+    flipBit(bytes, countOffset, 0);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "header CRC mismatch"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, RecordCountInflated)
+{
+    // A "plausible" tamper: bump the count and fix the header CRC so
+    // only the size cross-check can catch it.
+    const std::string path = tempPath("countup");
+    auto bytes = freshImage(path);
+    uint64_t count;
+    std::memcpy(&count, bytes.data() + countOffset, sizeof(count));
+    ++count;
+    std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
+    fixHeaderCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "truncated"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, RecordCountDeflated)
+{
+    const std::string path = tempPath("countdown");
+    auto bytes = freshImage(path);
+    uint64_t count;
+    std::memcpy(&count, bytes.data() + countOffset, sizeof(count));
+    --count;
+    std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
+    fixHeaderCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "trailing bytes"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, ImplausiblyHugeRecordCount)
+{
+    const std::string path = tempPath("hugecount");
+    auto bytes = freshImage(path);
+    const uint64_t count = UINT64_MAX / 2;
+    std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
+    fixHeaderCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "record count"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, OversizedNameField)
+{
+    // A name filling all 64 bytes with no terminator must be refused,
+    // not read past the end of the field.
+    const std::string path = tempPath("bigname");
+    auto bytes = freshImage(path);
+    std::memset(bytes.data() + nameOffset, 'A', 64);
+    fixHeaderCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "NUL-terminated"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, PayloadBitFlipsAtVariedOffsets)
+{
+    const std::string path = tempPath("payloadflip");
+    const auto pristine = freshImage(path);
+    // One flip per region: first record's pc, a middle record's value,
+    // an enum byte, the final record's last byte.
+    const size_t offsets[] = {
+        v2HeaderSize + 0,                       // record 0 pc
+        v2HeaderSize + recordSize * 2 + 16,     // record 2 value
+        v2HeaderSize + recordSize * 3 + 32,     // record 3 class byte
+        pristine.size() - 1,                    // very last byte
+    };
+    for (const size_t off : offsets) {
+        auto bytes = pristine;
+        flipBit(bytes, off, 5);
+        writeFileBytes(path, bytes);
+        // Either the CRC or (for an enum byte) the range check fires;
+        // both are acceptable detections, a crash or success is not.
+        const auto result = readTrace(path);
+        EXPECT_FALSE(result.ok())
+            << "payload flip at offset " << off << " was not detected";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, PayloadCrcFieldItselfCorrupted)
+{
+    const std::string path = tempPath("crcfield");
+    auto bytes = freshImage(path);
+    flipBit(bytes, payloadCrcOffset, 7);
+    fixHeaderCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "payload CRC mismatch"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, InvalidEnumSurvivesCrcFixup)
+{
+    // Corrupt an instruction class to 200 and *recompute* both CRCs —
+    // simulating a buggy writer rather than bit rot — so only the
+    // per-record range check stands between us and an out-of-range
+    // enum entering the simulator.
+    const std::string path = tempPath("badenum");
+    auto bytes = freshImage(path);
+    bytes[v2HeaderSize + recordSize * 1 + 32] = 200;
+    fixPayloadCrc(bytes);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "invalid instruction class"));
+
+    auto bytes2 = freshImage(path);
+    bytes2[v2HeaderSize + recordSize * 4 + 38] = 77; // brKind
+    fixPayloadCrc(bytes2);
+    writeFileBytes(path, bytes2);
+    EXPECT_TRUE(rejects(path, "invalid branch kind"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, TruncationAtEveryStructuralBoundary)
+{
+    const std::string path = tempPath("truncate");
+    const auto pristine = freshImage(path);
+    const size_t cuts[] = {
+        0,                            // empty file
+        1,                            // mid-magic
+        4,                            // magic only
+        7,                            // mid-version
+        8,                            // magic+version only
+        15,                           // mid-count
+        nameOffset + 10,              // mid-name
+        v1HeaderSize,                 // exactly a v1 header
+        headerCrcOffset,              // v2 header minus its CRC
+        v2HeaderSize,                 // header but zero of six records
+        v2HeaderSize + 1,             // one byte into record 0
+        v2HeaderSize + recordSize - 1,// one byte short of record 0
+        v2HeaderSize + recordSize,    // exactly one record
+        v2HeaderSize + recordSize * 3 + 17, // mid-record 3
+        pristine.size() - 1,          // last byte missing
+    };
+    for (const size_t cut : cuts) {
+        std::vector<uint8_t> bytes(pristine.begin(),
+                                   pristine.begin() + long(cut));
+        writeFileBytes(path, bytes);
+        const auto result = readTrace(path);
+        EXPECT_FALSE(result.ok())
+            << "truncation to " << cut << " bytes was not detected";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, TrailingGarbage)
+{
+    const std::string path = tempPath("trailing");
+    auto bytes = freshImage(path);
+    bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "trailing bytes"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, ExhaustiveSingleBitFlipSweep)
+{
+    // The v2 format's design property: EVERY single-bit flip anywhere
+    // in the file is detected (header CRC covers the header, payload
+    // CRC covers the records, and a flip inside either CRC field
+    // mismatches the recomputation).
+    const std::string path = tempPath("sweep");
+    const auto pristine = freshImage(path);
+    for (size_t byte = 0; byte < pristine.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto bytes = pristine;
+            flipBit(bytes, byte, bit);
+            writeFileBytes(path, bytes);
+            const auto result = readTrace(path);
+            ASSERT_FALSE(result.ok())
+                << "flip of byte " << byte << " bit " << bit
+                << " went undetected";
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, V1TruncationDetectedBySizeCrossCheck)
+{
+    // v1 files have no checksums, but the size cross-check still
+    // catches truncation up front.
+    const std::string path = tempPath("v1trunc");
+    writeV1TraceFile(path, sampleBuffer());
+    auto bytes = readFileBytes(path);
+    bytes.resize(v1HeaderSize + recordSize * 2 + 13);
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "truncated"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, V1EnumCorruptionDetectedByRangeCheck)
+{
+    const std::string path = tempPath("v1enum");
+    writeV1TraceFile(path, sampleBuffer());
+    auto bytes = readFileBytes(path);
+    bytes[v1HeaderSize + recordSize * 0 + 32] = 250;
+    writeFileBytes(path, bytes);
+    EXPECT_TRUE(rejects(path, "invalid instruction class"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFault, MissingFileIsStatusNotCrash)
+{
+    const auto result = readTrace("/nonexistent/dir/x.trace");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::NotFound);
+}
+
+} // namespace mlpsim::test

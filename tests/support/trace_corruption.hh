@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Byte-level trace-file manipulation for the fault-injection harness
+ * and the v1-compatibility tests.
+ *
+ * The on-disk layout is duplicated here *deliberately* rather than
+ * shared with trace_io.cc: if the production layout ever drifts, the
+ * compatibility tests fail instead of silently testing the new layout
+ * against itself.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+#include "trace/trace_buffer.hh"
+#include "util/crc32.hh"
+
+namespace mlpsim::test {
+
+/** v1 header: magic, version, count, name — no checksums. */
+constexpr size_t v1HeaderSize = 80;
+/** v2 header: v1 fields + payload CRC + header CRC. */
+constexpr size_t v2HeaderSize = 88;
+/** Fixed-width record, identical in both versions. */
+constexpr size_t recordSize = 40;
+
+constexpr size_t payloadCrcOffset = 80;
+constexpr size_t headerCrcOffset = 84;
+constexpr size_t nameOffset = 16;
+constexpr size_t countOffset = 8;
+constexpr size_t versionOffset = 4;
+
+inline std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(size_t(size < 0 ? 0 : size));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        bytes.clear();
+    }
+    std::fclose(f);
+    return bytes;
+}
+
+inline void
+writeFileBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return;
+    if (!bytes.empty())
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+/** Serialise one instruction into the 40-byte on-disk record form. */
+inline std::vector<uint8_t>
+packRawRecord(const trace::Instruction &inst)
+{
+    std::vector<uint8_t> rec(recordSize, 0);
+    auto put64 = [&](size_t off, uint64_t v) {
+        std::memcpy(rec.data() + off, &v, sizeof(v));
+    };
+    put64(0, inst.pc);
+    put64(8, inst.effAddr);
+    put64(16, inst.value);
+    put64(24, inst.target);
+    rec[32] = static_cast<uint8_t>(inst.cls);
+    rec[33] = inst.dst;
+    for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
+        rec[34 + s] = inst.src[s];
+    rec[37] = inst.taken ? 1 : 0;
+    rec[38] = static_cast<uint8_t>(inst.brKind);
+    return rec;
+}
+
+/**
+ * Write @p buffer in the *original* (seed) v1 format: 80-byte header,
+ * no checksums, records immediately after the name field.
+ */
+inline void
+writeV1TraceFile(const std::string &path,
+                 const trace::TraceBuffer &buffer)
+{
+    std::vector<uint8_t> bytes(v1HeaderSize, 0);
+    std::memcpy(bytes.data(), "MLPT", 4);
+    const uint32_t version = 1;
+    std::memcpy(bytes.data() + versionOffset, &version, sizeof(version));
+    const uint64_t count = buffer.size();
+    std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
+    std::strncpy(reinterpret_cast<char *>(bytes.data() + nameOffset),
+                 buffer.name().c_str(), 63);
+    for (const trace::Instruction &inst : buffer.instructions()) {
+        const auto rec = packRawRecord(inst);
+        bytes.insert(bytes.end(), rec.begin(), rec.end());
+    }
+    writeFileBytes(path, bytes);
+}
+
+/** Flip one bit of an in-memory file image. */
+inline void
+flipBit(std::vector<uint8_t> &bytes, size_t byte_index, unsigned bit)
+{
+    bytes.at(byte_index) ^= uint8_t(1u << bit);
+}
+
+/**
+ * Recompute and store the v2 header CRC after editing header bytes,
+ * so a test can target a *later* check (version, name, count…)
+ * without tripping the checksum first.
+ */
+inline void
+fixHeaderCrc(std::vector<uint8_t> &bytes)
+{
+    const uint32_t crc = Crc32::compute(bytes.data(), headerCrcOffset);
+    std::memcpy(bytes.data() + headerCrcOffset, &crc, sizeof(crc));
+}
+
+/** Likewise for the payload CRC after editing record bytes. */
+inline void
+fixPayloadCrc(std::vector<uint8_t> &bytes)
+{
+    const uint32_t crc = Crc32::compute(bytes.data() + v2HeaderSize,
+                                        bytes.size() - v2HeaderSize);
+    std::memcpy(bytes.data() + payloadCrcOffset, &crc, sizeof(crc));
+    fixHeaderCrc(bytes);
+}
+
+} // namespace mlpsim::test

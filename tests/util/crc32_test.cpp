@@ -1,0 +1,55 @@
+/** @file CRC-32 (IEEE 802.3) against published check values. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/crc32.hh"
+
+namespace mlpsim::test {
+
+TEST(Crc32, PublishedCheckValues)
+{
+    // The standard check value for poly 0xEDB88320 (zlib-compatible).
+    EXPECT_EQ(Crc32::compute("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(Crc32::compute("", 0), 0x00000000u);
+    EXPECT_EQ(Crc32::compute("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot)
+{
+    const char data[] = "The quick brown fox jumps over the lazy dog";
+    const size_t len = std::strlen(data);
+    Crc32 crc;
+    for (size_t i = 0; i < len; ++i)
+        crc.update(data + i, 1);
+    EXPECT_EQ(crc.value(), Crc32::compute(data, len));
+}
+
+TEST(Crc32, ResetStartsOver)
+{
+    Crc32 crc;
+    crc.update("garbage", 7);
+    crc.reset();
+    crc.update("123456789", 9);
+    EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SensitiveToEverySingleBitFlip)
+{
+    std::vector<uint8_t> data(64);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = uint8_t(i * 7 + 1);
+    const uint32_t base = Crc32::compute(data.data(), data.size());
+    for (size_t byte = 0; byte < data.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            data[byte] ^= uint8_t(1u << bit);
+            EXPECT_NE(Crc32::compute(data.data(), data.size()), base)
+                << "flip at byte " << byte << " bit " << bit;
+            data[byte] ^= uint8_t(1u << bit);
+        }
+    }
+}
+
+} // namespace mlpsim::test

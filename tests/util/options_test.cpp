@@ -21,6 +21,18 @@ parse(std::vector<std::string> args)
     return Options(int(argv.size()), argv.data());
 }
 
+Expected<Options>
+tryParse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &s : storage)
+        argv.push_back(const_cast<char *>(s.c_str()));
+    return Options::parse(int(argv.size()), argv.data());
+}
+
 } // namespace
 
 TEST(Options, EqualsForm)
@@ -74,6 +86,61 @@ TEST(Options, ExplicitValueOverridesScale)
     unsetenv("MLPSIM_SCALE");
 }
 
+TEST(Options, MalformedNumericIsAStatusError)
+{
+    auto o = parse({"--insts=12x", "--ratio=fast", "--neg=-3"});
+    const auto insts = o.tryGetU64("insts", 0);
+    ASSERT_FALSE(insts.ok());
+    EXPECT_EQ(insts.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(insts.status().message().find("--insts"),
+              std::string::npos);
+    EXPECT_FALSE(o.tryGetDouble("ratio", 0).ok());
+    EXPECT_FALSE(o.tryGetU64("neg", 0).ok());
+}
+
+TEST(Options, NumericOverflowIsOutOfRange)
+{
+    auto o = parse({"--insts=99999999999999999999999"});
+    const auto insts = o.tryGetU64("insts", 0);
+    ASSERT_FALSE(insts.ok());
+    EXPECT_EQ(insts.status().code(), ErrorCode::OutOfRange);
+}
+
+TEST(Options, TryGettersReturnDefaultWhenAbsent)
+{
+    auto o = parse({});
+    const auto u = o.tryGetU64("missing", 42);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(*u, 42u);
+    const auto d = o.tryGetDouble("missing", 2.5);
+    ASSERT_TRUE(d.ok());
+    EXPECT_DOUBLE_EQ(*d, 2.5);
+}
+
+TEST(Options, CheckKnownDiagnosesTypos)
+{
+    auto o = parse({"--instz=100", "--workload=database"});
+    const Status st = o.checkKnown({"insts", "workload", "warmup"});
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("--instz"), std::string::npos);
+    EXPECT_NE(st.message().find("--insts"), std::string::npos);
+
+    auto good = parse({"--insts=100", "--workload=database"});
+    EXPECT_TRUE(good.checkKnown({"insts", "workload", "warmup"}).ok());
+}
+
+TEST(Options, ParseStatusApiReportsErrors)
+{
+    const auto positional = tryParse({"oops"});
+    ASSERT_FALSE(positional.ok());
+    EXPECT_EQ(positional.status().code(), ErrorCode::InvalidArgument);
+
+    const auto empty_name = tryParse({"--=5"});
+    ASSERT_FALSE(empty_name.ok());
+    EXPECT_NE(empty_name.status().message().find("empty flag name"),
+              std::string::npos);
+}
+
 TEST(OptionsDeath, PositionalArgumentIsFatal)
 {
     EXPECT_EXIT(parse({"oops"}), ::testing::ExitedWithCode(1),
@@ -85,6 +152,34 @@ TEST(OptionsDeath, BadScaleIsFatal)
     setenv("MLPSIM_SCALE", "-1", 1);
     EXPECT_EXIT(parse({}), ::testing::ExitedWithCode(1), "positive");
     unsetenv("MLPSIM_SCALE");
+}
+
+TEST(OptionsDeath, ZeroScaleIsFatal)
+{
+    setenv("MLPSIM_SCALE", "0", 1);
+    EXPECT_EXIT(parse({}), ::testing::ExitedWithCode(1), "positive");
+    unsetenv("MLPSIM_SCALE");
+}
+
+TEST(OptionsDeath, MalformedScaleIsFatal)
+{
+    setenv("MLPSIM_SCALE", "fast", 1);
+    EXPECT_EXIT(parse({}), ::testing::ExitedWithCode(1),
+                "MLPSIM_SCALE");
+    unsetenv("MLPSIM_SCALE");
+}
+
+TEST(OptionsDeath, MalformedNumericIsFatal)
+{
+    EXPECT_EXIT(parse({"--insts=12x"}).getU64("insts", 0),
+                ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(OptionsDeath, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(parse({"--instz=5"}).rejectUnknown({"insts"}),
+                ::testing::ExitedWithCode(1), "unknown flag");
 }
 
 } // namespace mlpsim::test

@@ -60,6 +60,10 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.rejectUnknown({"insts", "warmup", "machine", "workload"});
+    if (opts.has("workload"))
+        workloads::tryMakeWorkload(opts.getString("workload", ""))
+            .orFatal();
     const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const std::string machine = opts.getString("machine", "64C");

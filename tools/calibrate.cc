@@ -50,6 +50,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.rejectUnknown({"insts", "warmup", "workload", "l2mb"});
     const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const uint64_t total = warmup + measure;
