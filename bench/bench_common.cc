@@ -2,13 +2,35 @@
 
 #include <cstdio>
 
+#include "util/logging.hh"
+
 namespace mlpsim::bench {
+
+namespace {
+
+/** One-line batch report on stderr (stdout stays deterministic). */
+void
+reportBatch(const std::string &what, unsigned threads,
+            const SweepRunner::BatchStats &batch)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: %zu jobs on %u thread%s, wall %.0f ms, "
+                  "busy %.0f ms, concurrency %.2fx, slowest job %.0f ms",
+                  what.c_str(), batch.jobs, threads,
+                  threads == 1 ? "" : "s", batch.wallMillis,
+                  batch.busyMillis, batch.concurrency(),
+                  batch.maxJobMillis);
+    inform(line);
+}
+
+} // namespace
 
 BenchSetup
 BenchSetup::fromOptions(const Options &opts,
                         std::vector<std::string> extra_flags)
 {
-    std::vector<std::string> known{"warmup", "insts", "workload"};
+    std::vector<std::string> known{"warmup", "insts", "workload", "jobs"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     opts.rejectUnknown(known);
 
@@ -21,6 +43,7 @@ BenchSetup::fromOptions(const Options &opts,
     BenchSetup setup;
     setup.warmupInsts = opts.scaledInsts("warmup", setup.warmupInsts);
     setup.measureInsts = opts.scaledInsts("insts", setup.measureInsts);
+    setup.jobs = unsigned(opts.getU64("jobs", 0));
     setup.annotation.warmupInsts = setup.warmupInsts;
     return setup;
 }
@@ -31,7 +54,11 @@ prepareWorkload(const std::string &name, const BenchSetup &setup)
     PreparedWorkload prepared;
     prepared.name = name;
     prepared.warmupInsts = setup.warmupInsts;
-    auto generator = workloads::makeWorkload(name);
+    // The explicit workloadSeed(name) pins the trace to the workload's
+    // name: preparation order, thread assignment and --jobs value
+    // cannot change a single emitted instruction.
+    auto generator =
+        workloads::makeWorkload(name, workloads::workloadSeed(name));
     prepared.buffer = std::make_unique<trace::TraceBuffer>(name);
     prepared.buffer->fill(*generator,
                           setup.warmupInsts + setup.measureInsts);
@@ -45,14 +72,32 @@ prepareWorkload(const std::string &name, const BenchSetup &setup)
 std::vector<PreparedWorkload>
 prepareAll(const BenchSetup &setup, const Options &opts)
 {
-    std::vector<PreparedWorkload> all;
+    std::vector<std::string> names;
     for (const auto &name : workloads::commercialWorkloadNames()) {
         if (opts.has("workload") &&
             opts.getString("workload", "") != name) {
             continue;
         }
-        all.push_back(prepareWorkload(name, setup));
+        names.push_back(name);
     }
+
+    // Each generator owns a private Rng seeded from the workload name,
+    // so concurrent materialisation yields bit-identical traces.
+    SweepRunner runner(setup.jobs);
+    std::vector<Job<PreparedWorkload>> jobs;
+    jobs.reserve(names.size());
+    for (const auto &name : names) {
+        jobs.push_back(runner.defer<PreparedWorkload>(
+            "prepare " + name,
+            [name, &setup] { return prepareWorkload(name, setup); }));
+    }
+    runner.runAll();
+    reportBatch("prepare", runner.jobs(), runner.lastBatch());
+
+    std::vector<PreparedWorkload> all;
+    all.reserve(jobs.size());
+    for (auto &job : jobs)
+        all.push_back(job.take());
     return all;
 }
 
@@ -69,6 +114,32 @@ runCycleSim(cyclesim::CycleSimConfig config,
 {
     config.warmupInsts = workload.warmupInsts;
     return cyclesim::CycleSim(config, workload.context()).run();
+}
+
+Job<core::MlpResult>
+Sweep::mlp(core::MlpConfig config, const PreparedWorkload &workload)
+{
+    const PreparedWorkload *wl = &workload;
+    return runner.defer<core::MlpResult>(
+        "mlp " + workload.name,
+        [config, wl] { return runMlp(config, *wl); });
+}
+
+Job<cyclesim::CycleSimResult>
+Sweep::cycleSim(cyclesim::CycleSimConfig config,
+                const PreparedWorkload &workload)
+{
+    const PreparedWorkload *wl = &workload;
+    return runner.defer<cyclesim::CycleSimResult>(
+        "cyclesim " + workload.name,
+        [config, wl] { return runCycleSim(config, *wl); });
+}
+
+void
+Sweep::run(const std::string &what)
+{
+    runner.runAll();
+    reportBatch(what, runner.jobs(), runner.lastBatch());
 }
 
 void

@@ -9,17 +9,30 @@
  * measurements. Absolute values are not expected to match the paper's
  * proprietary traces; orderings, approximate ratios and crossovers
  * are.
+ *
+ * Execution model: every bench expresses its (configuration x
+ * workload) grid as *deferred* cells on a Sweep, then calls
+ * Sweep::run() and formats the collected results. Cells run
+ * concurrently on --jobs threads (default: one per hardware thread;
+ * --jobs 1 reproduces the historical serial execution exactly), but
+ * results are read back in submission order, so the printed tables are
+ * bit-identical for every --jobs value. Trace preparation is
+ * deterministic under parallelism because each workload's generator
+ * owns a private Rng seeded by workloads::workloadSeed(name) — a
+ * function of the name only, not of preparation order.
  */
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mlpsim.hh"
 #include "cyclesim/cycle_sim.hh"
 #include "util/options.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 #include "workloads/factory.hh"
 
@@ -48,11 +61,13 @@ struct BenchSetup
 {
     uint64_t warmupInsts = 1'000'000;
     uint64_t measureInsts = 3'000'000;
+    /** Sweep parallelism: 0 = one thread per hardware thread. */
+    unsigned jobs = 0;
     core::AnnotationOptions annotation;
 
     /**
-     * Parse --warmup/--insts (and MLPSIM_SCALE) from @p opts, after
-     * rejecting any flag outside the standard bench set plus
+     * Parse --warmup/--insts/--jobs (and MLPSIM_SCALE) from @p opts,
+     * after rejecting any flag outside the standard bench set plus
      * @p extra_flags — a typo'd flag terminates up front instead of
      * silently leaving a default in force for a long run.
      */
@@ -62,12 +77,18 @@ struct BenchSetup
 
 /**
  * Build one workload under @p setup. @p name must be one of
- * workloads::commercialWorkloadNames().
+ * workloads::commercialWorkloadNames(). The trace seed is
+ * workloads::workloadSeed(name), so the result does not depend on
+ * which thread (or in which order) the preparation runs.
  */
 PreparedWorkload prepareWorkload(const std::string &name,
                                  const BenchSetup &setup);
 
-/** Build all three workloads (or only --workload=<name> if given). */
+/**
+ * Build all three workloads (or only --workload=<name> if given),
+ * concurrently on setup.jobs threads, returned in canonical
+ * (paper) order.
+ */
 std::vector<PreparedWorkload> prepareAll(const BenchSetup &setup,
                                          const Options &opts);
 
@@ -78,6 +99,47 @@ core::MlpResult runMlp(core::MlpConfig config,
 /** Run the timed reference simulator likewise. */
 cyclesim::CycleSimResult runCycleSim(cyclesim::CycleSimConfig config,
                                      const PreparedWorkload &workload);
+
+/**
+ * A bench's deferred job grid. Cells are enqueued with mlp() /
+ * cycleSim() / task<T>(), executed together by run(), and read back
+ * through their Job handles in whatever order the bench formats its
+ * tables. run() reports jobs/threads/wall-time/speedup on stderr so
+ * stdout stays bit-identical across --jobs values.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(const BenchSetup &setup) : runner(setup.jobs) {}
+
+    /** Defer one epoch-model cell. @p workload must outlive run(). */
+    Job<core::MlpResult> mlp(core::MlpConfig config,
+                             const PreparedWorkload &workload);
+
+    /** Defer one timed-pipeline cell. */
+    Job<cyclesim::CycleSimResult> cycleSim(cyclesim::CycleSimConfig config,
+                                           const PreparedWorkload &workload);
+
+    /** Defer an arbitrary cell (e.g. prepare-variant-then-run). */
+    template <typename T, typename Fn>
+    Job<T>
+    task(std::string label, Fn &&fn)
+    {
+        return runner.defer<T>(std::move(label),
+                               std::function<T()>(std::forward<Fn>(fn)));
+    }
+
+    /**
+     * Execute every cell deferred since the last run(). May be called
+     * again for a dependent second stage.
+     */
+    void run(const std::string &what = "sweep");
+
+    unsigned jobs() const { return runner.jobs(); }
+
+  private:
+    SweepRunner runner;
+};
 
 /** Print the standard bench banner (what/how much was simulated). */
 void printBanner(const std::string &bench_name,

@@ -55,22 +55,65 @@ main(int argc, char **argv)
         {"RAE.perfVP.perfBP", rae_vp, true, true},
     };
 
-    TextTable table({"workload", "machine", "MLP", "est CPI",
-                     "improvement"});
-    for (const auto &name : workloads::commercialWorkloadNames()) {
-        if (opts.has("workload") &&
-            opts.getString("workload", "") != name) {
-            continue;
-        }
-        const auto wl = prepareWorkload(name, setup);
+    const auto wls = prepareAll(setup, opts);
+
+    constexpr size_t numMachines = sizeof(machines) / sizeof(machines[0]);
+
+    struct Cells
+    {
+        Job<cyclesim::CycleSimResult> cycPerfect, cycTimed;
+        Job<core::MlpResult> base;
+        std::vector<Job<core::MlpResult>> machine;
+    };
+
+    Sweep sweep(setup);
+    std::vector<Cells> perWl(wls.size());
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const auto &wl = wls[w];
+        Cells &cells = perWl[w];
 
         // CPI_perf and Overlap_CM measured once on the timed pipeline.
         cyclesim::CycleSimConfig perfect;
         perfect.perfectL2 = true;
-        const double cpi_perf = runCycleSim(perfect, wl).cpi();
+        cells.cycPerfect = sweep.cycleSim(perfect, wl);
         cyclesim::CycleSimConfig timed;
         timed.offChipLatency = unsigned(penalty);
-        const auto measured = runCycleSim(timed, wl);
+        cells.cycTimed = sweep.cycleSim(timed, wl);
+
+        cells.base = sweep.mlp(cfg64d, wl);
+        for (const auto &m : machines) {
+            if (m.perfBp || m.perfVp) {
+                // The perfect-substrate machine re-annotates its own
+                // private copy of the workload inside the cell.
+                const std::string name = wl.name;
+                const bool perf_bp = m.perfBp;
+                const bool perf_vp = m.perfVp;
+                const core::MlpConfig cfg = m.cfg;
+                cells.machine.push_back(sweep.task<core::MlpResult>(
+                    name + " " + m.label,
+                    [name, perf_bp, perf_vp, cfg, setup] {
+                        BenchSetup perfect_setup = setup;
+                        perfect_setup.annotation.branch.perfect = perf_bp;
+                        perfect_setup.annotation.value.perfect = perf_vp;
+                        const auto wl2 =
+                            prepareWorkload(name, perfect_setup);
+                        return runMlp(cfg, wl2);
+                    }));
+            } else {
+                cells.machine.push_back(sweep.mlp(m.cfg, wl));
+            }
+        }
+    }
+    sweep.run();
+
+    TextTable table({"workload", "machine", "MLP", "est CPI",
+                     "improvement"});
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const auto &wl = wls[w];
+        const Cells &cells = perWl[w];
+
+        const double cpi_perf = cells.cycPerfect.get().cpi();
+        const auto &measured = cells.cycTimed.get();
         const double overlap = core::solveOverlapCM(
             measured.cpi(), cpi_perf, measured.missRatePer100() / 100.0,
             penalty, measured.mlp());
@@ -82,21 +125,12 @@ main(int argc, char **argv)
             return core::estimateCpi(params);
         };
 
-        const double base_cpi = estimate(runMlp(cfg64d, wl));
-        for (const auto &m : machines) {
-            core::MlpResult r;
-            if (m.perfBp || m.perfVp) {
-                BenchSetup perfect_setup = setup;
-                perfect_setup.annotation.branch.perfect = m.perfBp;
-                perfect_setup.annotation.value.perfect = m.perfVp;
-                const auto wl2 = prepareWorkload(name, perfect_setup);
-                r = runMlp(m.cfg, wl2);
-            } else {
-                r = runMlp(m.cfg, wl);
-            }
+        const double base_cpi = estimate(cells.base.get());
+        for (size_t mi = 0; mi < numMachines; ++mi) {
+            const auto &r = cells.machine[mi].get();
             const double cpi = estimate(r);
-            table.addRow({name, m.label, TextTable::num(r.mlp()),
-                          TextTable::num(cpi),
+            table.addRow({wl.name, machines[mi].label,
+                          TextTable::num(r.mlp()), TextTable::num(cpi),
                           TextTable::num(core::speedupPercent(base_cpi,
                                                               cpi),
                                          0) +

@@ -23,19 +23,33 @@ main(int argc, char **argv)
                 "Figure 4 (impact of ROB size and issue constraints)",
                 setup);
 
-    for (const auto &wl : prepareAll(setup, opts)) {
-        std::printf("-- %s --\n", wl.name.c_str());
-        TextTable table({"window/ROB", "A", "B", "C", "D", "E"});
+    const auto wls = prepareAll(setup, opts);
+
+    // Enqueue the whole workload x window x config grid, run it
+    // concurrently, then format in submission order.
+    Sweep sweep(setup);
+    std::vector<Job<core::MlpResult>> cells;
+    for (const auto &wl : wls) {
         for (unsigned window : {16u, 32u, 64u, 128u, 256u}) {
-            std::vector<std::string> row{std::to_string(window)};
             for (auto ic :
                  {core::IssueConfig::A, core::IssueConfig::B,
                   core::IssueConfig::C, core::IssueConfig::D,
                   core::IssueConfig::E}) {
-                row.push_back(TextTable::num(
-                    runMlp(core::MlpConfig::sized(window, ic), wl)
-                        .mlp()));
+                cells.push_back(
+                    sweep.mlp(core::MlpConfig::sized(window, ic), wl));
             }
+        }
+    }
+    sweep.run();
+
+    size_t cell = 0;
+    for (const auto &wl : wls) {
+        std::printf("-- %s --\n", wl.name.c_str());
+        TextTable table({"window/ROB", "A", "B", "C", "D", "E"});
+        for (unsigned window : {16u, 32u, 64u, 128u, 256u}) {
+            std::vector<std::string> row{std::to_string(window)};
+            for (int ic = 0; ic < 5; ++ic)
+                row.push_back(TextTable::num(cells[cell++].get().mlp()));
             table.addRow(std::move(row));
         }
         std::printf("%s\n", table.render().c_str());

@@ -24,7 +24,23 @@ main(int argc, char **argv)
     printBanner("figure5_inhibitors",
                 "Figure 5 (factors inhibiting further MLP)", setup);
 
-    for (const auto &wl : prepareAll(setup, opts)) {
+    const auto wls = prepareAll(setup, opts);
+
+    Sweep sweep(setup);
+    std::vector<Job<core::MlpResult>> cells;
+    for (const auto &wl : wls) {
+        for (unsigned window : {32u, 64u, 128u, 256u}) {
+            for (auto ic : {core::IssueConfig::A, core::IssueConfig::C,
+                            core::IssueConfig::E}) {
+                cells.push_back(
+                    sweep.mlp(core::MlpConfig::sized(window, ic), wl));
+            }
+        }
+    }
+    sweep.run();
+
+    size_t cell = 0;
+    for (const auto &wl : wls) {
         std::printf("-- %s --\n", wl.name.c_str());
         std::vector<std::string> header{"config"};
         for (size_t i = 0; i < core::numInhibitors; ++i)
@@ -35,8 +51,7 @@ main(int argc, char **argv)
         for (unsigned window : {32u, 64u, 128u, 256u}) {
             for (auto ic : {core::IssueConfig::A, core::IssueConfig::C,
                             core::IssueConfig::E}) {
-                const auto r =
-                    runMlp(core::MlpConfig::sized(window, ic), wl);
+                const auto &r = cells[cell++].get();
                 std::vector<std::string> row{
                     std::to_string(window) +
                     core::issueConfigName(ic)};

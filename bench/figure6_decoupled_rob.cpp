@@ -24,36 +24,35 @@ main(int argc, char **argv)
                 "Figure 6 (decoupling issue window and ROB sizes)",
                 setup);
 
-    for (const auto &wl : prepareAll(setup, opts)) {
-        std::printf("-- %s --\n", wl.name.c_str());
-        TextTable table({"window+cfg", "1X", "2X", "4X", "8X", "2048"});
+    const auto wls = prepareAll(setup, opts);
+
+    Sweep sweep(setup);
+    struct Cells
+    {
+        std::vector<Job<core::MlpResult>> grid; //!< 12 rows x 5 columns
+        Job<core::MlpResult> inf;
+        Job<core::MlpResult> d64, d64_256, e64, e64_1024;
+    };
+    std::vector<Cells> perWl(wls.size());
+    for (size_t w = 0; w < wls.size(); ++w) {
+        Cells &cells = perWl[w];
         for (unsigned window : {16u, 32u, 64u, 128u}) {
             for (auto ic : {core::IssueConfig::C, core::IssueConfig::D,
                             core::IssueConfig::E}) {
-                std::vector<std::string> row{
-                    std::to_string(window) +
-                    core::issueConfigName(ic)};
                 for (unsigned mult : {1u, 2u, 4u, 8u}) {
                     core::MlpConfig cfg =
                         core::MlpConfig::sized(window, ic);
                     cfg.robSize = window * mult;
-                    row.push_back(TextTable::num(runMlp(cfg, wl).mlp()));
+                    cells.grid.push_back(sweep.mlp(cfg, wls[w]));
                 }
                 core::MlpConfig big = core::MlpConfig::sized(window, ic);
                 big.robSize = 2048;
-                row.push_back(TextTable::num(runMlp(big, wl).mlp()));
-                table.addRow(std::move(row));
+                cells.grid.push_back(sweep.mlp(big, wls[w]));
             }
         }
-        std::printf("%s", table.render().c_str());
-        std::printf("INF (window 2048, ROB 2048, config E): %.2f\n\n",
-                    runMlp(core::MlpConfig::infinite(), wl).mlp());
-    }
+        cells.inf = sweep.mlp(core::MlpConfig::infinite(), wls[w]);
 
-    // The two expansions the paper calls out explicitly.
-    std::printf("paper call-outs (gain from enlarging the ROB):\n");
-    Options opts2(argc, argv);
-    for (const auto &wl : prepareAll(setup, opts2)) {
+        // The two expansions the paper calls out explicitly.
         core::MlpConfig d64 = core::MlpConfig::sized(64,
                                                      core::IssueConfig::D);
         core::MlpConfig d64_256 = d64;
@@ -62,16 +61,48 @@ main(int argc, char **argv)
                                                      core::IssueConfig::E);
         core::MlpConfig e64_1024 = e64;
         e64_1024.robSize = 1024;
-        const double g1 = 100.0 * (runMlp(d64_256, wl).mlp() /
-                                       runMlp(d64, wl).mlp() -
+        cells.d64 = sweep.mlp(d64, wls[w]);
+        cells.d64_256 = sweep.mlp(d64_256, wls[w]);
+        cells.e64 = sweep.mlp(e64, wls[w]);
+        cells.e64_1024 = sweep.mlp(e64_1024, wls[w]);
+    }
+    sweep.run();
+
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const Cells &cells = perWl[w];
+        std::printf("-- %s --\n", wls[w].name.c_str());
+        TextTable table({"window+cfg", "1X", "2X", "4X", "8X", "2048"});
+        size_t cell = 0;
+        for (unsigned window : {16u, 32u, 64u, 128u}) {
+            for (auto ic : {core::IssueConfig::C, core::IssueConfig::D,
+                            core::IssueConfig::E}) {
+                std::vector<std::string> row{
+                    std::to_string(window) +
+                    core::issueConfigName(ic)};
+                for (int col = 0; col < 5; ++col)
+                    row.push_back(
+                        TextTable::num(cells.grid[cell++].get().mlp()));
+                table.addRow(std::move(row));
+            }
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("INF (window 2048, ROB 2048, config E): %.2f\n\n",
+                    cells.inf.get().mlp());
+    }
+
+    std::printf("paper call-outs (gain from enlarging the ROB):\n");
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const Cells &cells = perWl[w];
+        const double g1 = 100.0 * (cells.d64_256.get().mlp() /
+                                       cells.d64.get().mlp() -
                                    1.0);
-        const double g2 = 100.0 * (runMlp(e64_1024, wl).mlp() /
-                                       runMlp(e64, wl).mlp() -
+        const double g2 = 100.0 * (cells.e64_1024.get().mlp() /
+                                       cells.e64.get().mlp() -
                                    1.0);
         std::printf("  %-12s 64D rob 64->256: %+.0f%% (paper db/jbb/web "
                     "+16/+12/+2)   64E rob 64->1024: %+.0f%% (paper "
                     "+51/+49/+22)\n",
-                    wl.name.c_str(), g1, g2);
+                    wls[w].name.c_str(), g1, g2);
     }
     return 0;
 }

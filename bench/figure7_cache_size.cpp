@@ -21,7 +21,22 @@ main(int argc, char **argv)
     printBanner("figure7_cache_size", "Figure 7 (impact of L2 size)",
                 setup);
 
-    TextTable table({"workload", "L2", "miss/100", "MLP(64C)"});
+    // Each cell re-annotates its workload with a different L2, so the
+    // whole PreparedWorkload is private to (and owned by) the cell.
+    struct CellResult
+    {
+        double missPer100;
+        double mlp;
+    };
+
+    Sweep sweep(setup);
+    struct CellRef
+    {
+        std::string name;
+        uint64_t kb;
+        Job<CellResult> job;
+    };
+    std::vector<CellRef> cells;
     for (const auto &name : workloads::commercialWorkloadNames()) {
         if (opts.has("workload") &&
             opts.getString("workload", "") != name) {
@@ -30,18 +45,29 @@ main(int argc, char **argv)
         for (uint64_t kb : {512u, 1024u, 2048u, 4096u, 8192u}) {
             BenchSetup sized = setup;
             sized.annotation.hierarchy.l2.sizeBytes = kb * 1024;
-            const auto wl = prepareWorkload(name, sized);
-            const auto r =
-                runMlp(core::MlpConfig::defaultOoO(), wl);
-            table.addRow({name,
-                          kb >= 1024
-                              ? std::to_string(kb / 1024) + "MB"
-                              : std::to_string(kb) + "KB",
-                          TextTable::num(
-                              wl.annotated->misses().missRatePer100(),
-                              3),
-                          TextTable::num(r.mlp())});
+            auto job = sweep.task<CellResult>(
+                name + " l2=" + std::to_string(kb) + "KB",
+                [name, sized] {
+                    const auto wl = prepareWorkload(name, sized);
+                    const auto r =
+                        runMlp(core::MlpConfig::defaultOoO(), wl);
+                    return CellResult{
+                        wl.annotated->misses().missRatePer100(),
+                        r.mlp()};
+                });
+            cells.push_back(CellRef{name, kb, std::move(job)});
         }
+    }
+    sweep.run();
+
+    TextTable table({"workload", "L2", "miss/100", "MLP(64C)"});
+    for (const auto &cell : cells) {
+        table.addRow({cell.name,
+                      cell.kb >= 1024
+                          ? std::to_string(cell.kb / 1024) + "MB"
+                          : std::to_string(cell.kb) + "KB",
+                      TextTable::num(cell.job.get().missPer100, 3),
+                      TextTable::num(cell.job.get().mlp)});
     }
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper shape: MLP falls with L2 size for database and "

@@ -22,19 +22,31 @@ main(int argc, char **argv)
     printBanner("figure8_runahead", "Figure 8 (runahead execution)",
                 setup);
 
+    const auto wls = prepareAll(setup, opts);
+
+    core::MlpConfig base64 =
+        core::MlpConfig::sized(64, core::IssueConfig::D);
+    core::MlpConfig base256 = base64;
+    base256.robSize = 256;
+
+    Sweep sweep(setup);
+    std::vector<Job<core::MlpResult>> cells;
+    for (const auto &wl : wls) {
+        cells.push_back(sweep.mlp(base64, wl));
+        cells.push_back(sweep.mlp(base256, wl));
+        cells.push_back(sweep.mlp(core::MlpConfig::runahead(), wl));
+        cells.push_back(sweep.mlp(core::MlpConfig::infinite(), wl));
+    }
+    sweep.run();
+
     TextTable table({"workload", "64D/rob64", "64D/rob256", "RAE",
                      "INF", "RAE vs rob64", "RAE vs rob256"});
-    for (const auto &wl : prepareAll(setup, opts)) {
-        core::MlpConfig base64 =
-            core::MlpConfig::sized(64, core::IssueConfig::D);
-        core::MlpConfig base256 = base64;
-        base256.robSize = 256;
-
-        const double m64 = runMlp(base64, wl).mlp();
-        const double m256 = runMlp(base256, wl).mlp();
-        const double rae = runMlp(core::MlpConfig::runahead(), wl).mlp();
-        const double inf =
-            runMlp(core::MlpConfig::infinite(), wl).mlp();
+    size_t cell = 0;
+    for (const auto &wl : wls) {
+        const double m64 = cells[cell++].get().mlp();
+        const double m256 = cells[cell++].get().mlp();
+        const double rae = cells[cell++].get().mlp();
+        const double inf = cells[cell++].get().mlp();
 
         table.addRow({wl.name, TextTable::num(m64),
                       TextTable::num(m256), TextTable::num(rae),

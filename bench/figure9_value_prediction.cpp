@@ -31,8 +31,35 @@ main(int argc, char **argv)
     const char *paper6[3][3] = {{"42%", "7%", "51%"},
                                 {"20%", "3%", "77%"},
                                 {"25%", "5%", "70%"}};
+    const auto wls = prepareAll(setup, opts);
+
+    core::MlpConfig rob64 =
+        core::MlpConfig::sized(64, core::IssueConfig::D);
+    core::MlpConfig rob256 = rob64;
+    rob256.robSize = 256;
+    const struct
+    {
+        const char *label;
+        core::MlpConfig cfg;
+    } machines[] = {{"64D/rob64", rob64},
+                    {"64D/rob256", rob256},
+                    {"RAE", core::MlpConfig::runahead()}};
+
+    Sweep sweep(setup);
+    std::vector<Job<core::MlpResult>> cells;
+    for (const auto &wl : wls) {
+        for (const auto &m : machines) {
+            core::MlpConfig with_vp = m.cfg;
+            with_vp.valuePrediction = true;
+            cells.push_back(sweep.mlp(m.cfg, wl));
+            cells.push_back(sweep.mlp(with_vp, wl));
+        }
+    }
+    sweep.run();
+
     int wi = 0;
-    for (const auto &wl : prepareAll(setup, opts)) {
+    size_t cell = 0;
+    for (const auto &wl : wls) {
         const auto &v = wl.annotated->values();
         t6.addRow({wl.name, TextTable::num(100 * v.fracCorrect(), 0) + "%",
                    TextTable::num(100 * v.fracWrong(), 0) + "%",
@@ -40,22 +67,9 @@ main(int argc, char **argv)
                    "", paper6[wi][0], paper6[wi][1], paper6[wi][2]});
         ++wi;
 
-        core::MlpConfig rob64 =
-            core::MlpConfig::sized(64, core::IssueConfig::D);
-        core::MlpConfig rob256 = rob64;
-        rob256.robSize = 256;
-        const struct
-        {
-            const char *label;
-            core::MlpConfig cfg;
-        } machines[] = {{"64D/rob64", rob64},
-                        {"64D/rob256", rob256},
-                        {"RAE", core::MlpConfig::runahead()}};
         for (const auto &m : machines) {
-            core::MlpConfig with_vp = m.cfg;
-            with_vp.valuePrediction = true;
-            const double base = runMlp(m.cfg, wl).mlp();
-            const double vp = runMlp(with_vp, wl).mlp();
+            const double base = cells[cell++].get().mlp();
+            const double vp = cells[cell++].get().mlp();
             t9.addRow({wl.name, m.label, TextTable::num(base),
                        TextTable::num(vp),
                        TextTable::num(100.0 * (vp / base - 1.0), 1) +

@@ -55,16 +55,35 @@ main(int argc, char **argv)
                      "CPI_on", "CPI_off", "miss/100", "MLP",
                      "OverlapCM"});
 
-    for (const auto &wl : prepareAll(setup, opts)) {
+    const auto wls = prepareAll(setup, opts);
+
+    Sweep sweep(setup);
+    struct Cells
+    {
+        Job<cyclesim::CycleSimResult> perfect;
+        std::vector<Job<cyclesim::CycleSimResult>> timed;
+    };
+    std::vector<Cells> perWl(wls.size());
+    for (size_t w = 0; w < wls.size(); ++w) {
         // CPI with a perfect L2 (latency-independent).
         cyclesim::CycleSimConfig perfect;
         perfect.perfectL2 = true;
-        const double cpi_perf = runCycleSim(perfect, wl).cpi();
-
+        perWl[w].perfect = sweep.cycleSim(perfect, wls[w]);
         for (unsigned latency : {200u, 1000u}) {
             cyclesim::CycleSimConfig cfg;
             cfg.offChipLatency = latency;
-            const auto r = runCycleSim(cfg, wl);
+            perWl[w].timed.push_back(sweep.cycleSim(cfg, wls[w]));
+        }
+    }
+    sweep.run();
+
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const auto &wl = wls[w];
+        const double cpi_perf = perWl[w].perfect.get().cpi();
+
+        size_t cell = 0;
+        for (unsigned latency : {200u, 1000u}) {
+            const auto &r = perWl[w].timed[cell++].get();
 
             const double miss_rate = r.missRatePer100() / 100.0;
             const double overlap = core::solveOverlapCM(

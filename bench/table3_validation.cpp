@@ -27,23 +27,48 @@ main(int argc, char **argv)
     TextTable table({"workload", "window", "config", "cyc200", "cyc500",
                      "cyc1000", "MLPsim", "max|err|"});
 
-    double worst_err_1000 = 0.0;
-    for (const auto &wl : prepareAll(setup, opts)) {
+    const auto wls = prepareAll(setup, opts);
+
+    struct RowCells
+    {
+        std::vector<Job<cyclesim::CycleSimResult>> cyc;
+        Job<core::MlpResult> model;
+    };
+
+    Sweep sweep(setup);
+    std::vector<RowCells> rows;
+    for (const auto &wl : wls) {
         for (unsigned window : {32u, 64u, 128u}) {
             for (auto ic : {core::IssueConfig::A, core::IssueConfig::B,
                             core::IssueConfig::C}) {
-                double cyc[3] = {};
-                const unsigned lats[3] = {200, 500, 1000};
-                for (int l = 0; l < 3; ++l) {
+                RowCells row;
+                for (unsigned lat : {200u, 500u, 1000u}) {
                     cyclesim::CycleSimConfig cfg;
                     cfg.issue = ic;
                     cfg.issueWindowSize = window;
                     cfg.robSize = window;
-                    cfg.offChipLatency = lats[l];
-                    cyc[l] = runCycleSim(cfg, wl).mlp();
+                    cfg.offChipLatency = lat;
+                    row.cyc.push_back(sweep.cycleSim(cfg, wl));
                 }
-                const double model =
-                    runMlp(core::MlpConfig::sized(window, ic), wl).mlp();
+                row.model =
+                    sweep.mlp(core::MlpConfig::sized(window, ic), wl);
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+    sweep.run();
+
+    double worst_err_1000 = 0.0;
+    size_t rowIdx = 0;
+    for (const auto &wl : wls) {
+        for (unsigned window : {32u, 64u, 128u}) {
+            for (auto ic : {core::IssueConfig::A, core::IssueConfig::B,
+                            core::IssueConfig::C}) {
+                const RowCells &cells = rows[rowIdx++];
+                double cyc[3] = {};
+                for (int l = 0; l < 3; ++l)
+                    cyc[l] = cells.cyc[l].get().mlp();
+                const double model = cells.model.get().mlp();
                 double err = 0.0;
                 for (double c : cyc)
                     err = std::max(err, std::abs(c - model));

@@ -35,19 +35,43 @@ main(int argc, char **argv)
     TextTable table({"workload", "config", "est(A)", "est(B)", "est(C)",
                      "measured", "worst err%"});
 
-    double global_worst = 0.0;
-    for (const auto &wl : prepareAll(setup, opts)) {
-        // Measured CPI / Overlap_CM per configuration (timed runs).
-        double measured[3], overlap[3];
+    const auto wls = prepareAll(setup, opts);
+
+    struct Cells
+    {
+        Job<cyclesim::CycleSimResult> perfect;
+        std::vector<Job<cyclesim::CycleSimResult>> timed;
+        std::vector<Job<core::MlpResult>> model;
+    };
+
+    Sweep sweep(setup);
+    std::vector<Cells> perWl(wls.size());
+    for (size_t w = 0; w < wls.size(); ++w) {
         cyclesim::CycleSimConfig perfect;
         perfect.perfectL2 = true;
-        const double cpi_perf = runCycleSim(perfect, wl).cpi();
-
+        perWl[w].perfect = sweep.cycleSim(perfect, wls[w]);
         for (int j = 0; j < 3; ++j) {
             cyclesim::CycleSimConfig cfg;
             cfg.issue = configs[j];
             cfg.offChipLatency = unsigned(penalty);
-            const auto r = runCycleSim(cfg, wl);
+            perWl[w].timed.push_back(sweep.cycleSim(cfg, wls[w]));
+        }
+        for (int i = 0; i < 3; ++i) {
+            perWl[w].model.push_back(sweep.mlp(
+                core::MlpConfig::sized(64, configs[i]), wls[w]));
+        }
+    }
+    sweep.run();
+
+    double global_worst = 0.0;
+    for (size_t w = 0; w < wls.size(); ++w) {
+        const auto &wl = wls[w];
+        // Measured CPI / Overlap_CM per configuration (timed runs).
+        double measured[3], overlap[3];
+        const double cpi_perf = perWl[w].perfect.get().cpi();
+
+        for (int j = 0; j < 3; ++j) {
+            const auto &r = perWl[w].timed[j].get();
             measured[j] = r.cpi();
             overlap[j] = core::solveOverlapCM(
                 r.cpi(), cpi_perf, r.missRatePer100() / 100.0, penalty,
@@ -56,8 +80,7 @@ main(int argc, char **argv)
 
         // Epoch-model MLP / miss rate per configuration.
         for (int i = 0; i < 3; ++i) {
-            const auto model =
-                runMlp(core::MlpConfig::sized(64, configs[i]), wl);
+            const auto &model = perWl[w].model[i].get();
             std::vector<std::string> row{
                 wl.name, core::issueConfigName(configs[i])};
             double worst = 0.0;

@@ -39,17 +39,29 @@ main(int argc, char **argv)
     printBanner("table5_inorder", "Table 5 (MLP of in-order issue)",
                 setup);
 
+    const auto wls = prepareAll(setup, opts);
+
+    core::MlpConfig som;
+    som.mode = core::CoreMode::InOrderStallOnMiss;
+    core::MlpConfig sou;
+    sou.mode = core::CoreMode::InOrderStallOnUse;
+
+    Sweep sweep(setup);
+    std::vector<Job<core::MlpResult>> cells;
+    for (const auto &wl : wls) {
+        cells.push_back(sweep.mlp(som, wl));
+        cells.push_back(sweep.mlp(sou, wl));
+        cells.push_back(sweep.mlp(core::MlpConfig::defaultOoO(), wl));
+    }
+    sweep.run();
+
     TextTable table({"workload", "stall-on-miss", "stall-on-use",
                      "64C", "64C/sou", "|", "paper:som", "sou"});
-    for (const auto &wl : prepareAll(setup, opts)) {
-        core::MlpConfig som;
-        som.mode = core::CoreMode::InOrderStallOnMiss;
-        core::MlpConfig sou;
-        sou.mode = core::CoreMode::InOrderStallOnUse;
-        const double m_som = runMlp(som, wl).mlp();
-        const double m_sou = runMlp(sou, wl).mlp();
-        const double m_ooo =
-            runMlp(core::MlpConfig::defaultOoO(), wl).mlp();
+    size_t cell = 0;
+    for (const auto &wl : wls) {
+        const double m_som = cells[cell++].get().mlp();
+        const double m_sou = cells[cell++].get().mlp();
+        const double m_ooo = cells[cell++].get().mlp();
         const PaperRow p = paperRow(wl.name);
         table.addRow({wl.name, TextTable::num(m_som),
                       TextTable::num(m_sou), TextTable::num(m_ooo),

@@ -1,12 +1,47 @@
 #include "logging.hh"
 
+#include <mutex>
+
 namespace mlpsim {
 namespace detail {
+
+namespace {
+
+/**
+ * Single process-wide sink lock. Every log line (warn/inform/fatal/
+ * panic) is written under it so lines from concurrent sweep workers
+ * never interleave mid-line. Function-local static: safe to use from
+ * static initialisation and never destroyed before the last logger.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
+
+void
+logLine(const char *kind, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
 
 void
 exitWith(const char *kind, const std::string &msg, bool abort_process)
 {
-    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+        // A dying bench may have half a table buffered on stdout and
+        // the diagnostic above on stderr; flush both so the terminal
+        // shows everything that was produced before the exit, even
+        // when other threads are mid-run.
+        std::fflush(stderr);
+        std::fflush(stdout);
+    }
     if (abort_process)
         std::abort();
     std::exit(1);

@@ -5,6 +5,12 @@
  * fatal() terminates due to a user error (bad configuration, bad
  * arguments); panic() terminates due to an internal invariant violation
  * (a simulator bug). warn()/inform() report status without stopping.
+ *
+ * All helpers are thread-safe: every line goes through one
+ * mutex-guarded sink, so messages from concurrent sweep workers
+ * (util/parallel.hh) never interleave mid-line, and fatal()/panic()
+ * flush both stdio streams before terminating so partial bench output
+ * is not lost.
  */
 #pragma once
 
@@ -31,6 +37,9 @@ concat(Args &&...args)
 [[noreturn]] void exitWith(const char *kind, const std::string &msg,
                            bool abort_process);
 
+/** Write "<kind>: <msg>\n" to stderr under the process-wide lock. */
+void logLine(const char *kind, const std::string &msg);
+
 } // namespace detail
 
 /** Terminate: the user asked for something unsupported or inconsistent. */
@@ -56,8 +65,7 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    std::fprintf(stderr, "warn: %s\n",
-                 detail::concat(std::forward<Args>(args)...).c_str());
+    detail::logLine("warn", detail::concat(std::forward<Args>(args)...));
 }
 
 /** Report normal operating status. */
@@ -65,8 +73,7 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    std::fprintf(stderr, "info: %s\n",
-                 detail::concat(std::forward<Args>(args)...).c_str());
+    detail::logLine("info", detail::concat(std::forward<Args>(args)...));
 }
 
 /** panic() unless the stated invariant holds. */

@@ -1,0 +1,151 @@
+#include "parallel.hh"
+
+#include <algorithm>
+
+namespace mlpsim {
+
+// ----- ThreadPool --------------------------------------------------
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    MLPSIM_ASSERT(threads >= 1, "ThreadPool needs at least one thread");
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(fn));
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return queue.empty() && busy == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        wake.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+            // stopping && drained: workers exit only once no work is
+            // left, so ~ThreadPool never abandons a posted job.
+            return;
+        }
+        std::function<void()> fn = std::move(queue.front());
+        queue.pop_front();
+        ++busy;
+        lock.unlock();
+        fn();
+        lock.lock();
+        --busy;
+        if (queue.empty() && busy == 0)
+            idle.notify_all();
+    }
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+// ----- SweepRunner -------------------------------------------------
+
+double
+SweepRunner::BatchStats::concurrency() const
+{
+    return wallMillis > 0.0 ? busyMillis / wallMillis : 1.0;
+}
+
+SweepRunner::SweepRunner(unsigned job_count)
+    : jobCount(job_count == 0 ? ThreadPool::hardwareThreads() : job_count)
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::enqueue(std::shared_ptr<detail::JobSlot> slot,
+                     std::function<void()> body)
+{
+    ++deferredCount;
+    pending.push_back(Pending{std::move(slot), std::move(body)});
+}
+
+void
+SweepRunner::execute(Pending &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        job.body();
+    } catch (...) {
+        job.slot->error = std::current_exception();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    job.slot->wallMillis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    job.slot->done = true;
+}
+
+void
+SweepRunner::runAll()
+{
+    std::vector<Pending> jobs;
+    jobs.swap(pending);
+
+    const auto start = std::chrono::steady_clock::now();
+    if (jobCount == 1 || jobs.size() <= 1) {
+        // Inline execution: exactly the pre-parallel serial behaviour
+        // (same thread, same order), so --jobs 1 is a true baseline.
+        for (auto &job : jobs)
+            execute(job);
+    } else {
+        if (!pool)
+            pool = std::make_unique<ThreadPool>(jobCount);
+        for (auto &job : jobs)
+            pool->post([&job] { execute(job); });
+        pool->waitIdle();
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    batch = BatchStats{};
+    batch.jobs = jobs.size();
+    batch.wallMillis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    for (const auto &job : jobs) {
+        batch.busyMillis += job.slot->wallMillis;
+        batch.maxJobMillis =
+            std::max(batch.maxJobMillis, job.slot->wallMillis);
+    }
+
+    // Deterministic failure propagation: completion order varies run
+    // to run, submission order does not.
+    for (const auto &job : jobs) {
+        if (job.slot->error)
+            std::rethrow_exception(job.slot->error);
+    }
+}
+
+} // namespace mlpsim

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Fixed thread pool and deterministic job-grid execution.
+ *
+ * MLPsim's sweeps — (machine configuration x workload) grids over the
+ * same annotated traces — are embarrassingly parallel: every job only
+ * reads a const AnnotatedTrace and writes its own result object.
+ * SweepRunner exploits that without giving up reproducibility:
+ *
+ *  - Jobs are *deferred*: defer() records a closure and returns a
+ *    typed Job<T> handle; nothing executes until runAll().
+ *  - runAll() executes all pending jobs on a fixed pool of worker
+ *    threads (or inline on the calling thread when the runner was
+ *    built with one job slot, which is bit-for-bit today's serial
+ *    behaviour).
+ *  - Results are collected in *submission order*: a Job<T> handle is a
+ *    stable slot, so consumers read the grid back in exactly the order
+ *    they built it no matter which worker finished first. Stdout
+ *    formatting therefore stays deterministic.
+ *  - Exceptions propagate deterministically too: a throwing job parks
+ *    its std::exception_ptr in its slot, the batch still runs to
+ *    completion, and runAll() rethrows the *first* failure in
+ *    submission order (not completion order).
+ *
+ * Per-job wall time is recorded on every slot and aggregated per
+ * runAll() batch so callers can report observed speedup.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mlpsim {
+
+/**
+ * A fixed set of worker threads draining one FIFO queue.
+ *
+ * The pool is deliberately minimal: post() closures, waitIdle() for
+ * the queue to drain. Ordering guarantees live one level up in
+ * SweepRunner; the pool itself promises only that every posted closure
+ * runs exactly once.
+ */
+class ThreadPool
+{
+  public:
+    /** Spin up @p threads workers. @pre threads >= 1. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins all workers after the queue drains. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p fn; it must not throw (wrap exceptions yourself). */
+    void post(std::function<void()> fn);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void waitIdle();
+
+    unsigned threadCount() const { return unsigned(workers.size()); }
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable wake;     //!< work available / shutting down
+    std::condition_variable idle;     //!< queue drained + workers idle
+    unsigned busy = 0;                //!< workers currently running a job
+    bool stopping = false;
+};
+
+namespace detail {
+
+/** Type-erased result slot shared by SweepRunner and Job<T>. */
+struct JobSlot
+{
+    virtual ~JobSlot() = default;
+
+    std::string label;                //!< for diagnostics/progress
+    std::exception_ptr error;         //!< set if the closure threw
+    double wallMillis = 0.0;          //!< execution time of this job
+    bool done = false;                //!< ran (successfully or not)
+};
+
+template <typename T>
+struct TypedJobSlot final : JobSlot
+{
+    std::optional<T> value;
+};
+
+} // namespace detail
+
+/**
+ * Handle to one deferred job's future result. Valid to read after the
+ * owning SweepRunner::runAll() returned (which implies the job ran and
+ * did not throw — a throw would have propagated out of runAll()).
+ */
+template <typename T>
+class Job
+{
+  public:
+    Job() = default;
+
+    /** The job's result. @pre the owning runAll() has returned. */
+    const T &
+    get() const
+    {
+        MLPSIM_ASSERT(slot && slot->done,
+                      "Job::get() before SweepRunner::runAll()");
+        MLPSIM_ASSERT(slot->value.has_value(),
+                      "Job::get() on a failed job");
+        return *slot->value;
+    }
+
+    /** Move the result out (for move-only result types). */
+    T
+    take()
+    {
+        MLPSIM_ASSERT(slot && slot->done,
+                      "Job::take() before SweepRunner::runAll()");
+        MLPSIM_ASSERT(slot->value.has_value(),
+                      "Job::take() on a failed or already-taken job");
+        T out = std::move(*slot->value);
+        slot->value.reset();
+        return out;
+    }
+
+    /** Wall-clock execution time of this job, in milliseconds. */
+    double millis() const { return slot ? slot->wallMillis : 0.0; }
+
+    bool valid() const { return slot != nullptr; }
+
+  private:
+    friend class SweepRunner;
+    explicit Job(std::shared_ptr<detail::TypedJobSlot<T>> s)
+        : slot(std::move(s))
+    {
+    }
+
+    std::shared_ptr<detail::TypedJobSlot<T>> slot;
+};
+
+/**
+ * Deferred job grid with submission-ordered result collection.
+ *
+ * Usage:
+ * @code
+ *   SweepRunner runner(jobs);                    // 0 = hardware threads
+ *   auto a = runner.defer<double>("cell a", [] { return runA(); });
+ *   auto b = runner.defer<double>("cell b", [] { return runB(); });
+ *   runner.runAll();                             // parallel execution
+ *   use(a.get(), b.get());                       // submission order
+ * @endcode
+ *
+ * runAll() may be called repeatedly; each call executes the jobs
+ * deferred since the previous call (so dependent stages are expressed
+ * as consecutive batches). Worker threads are created lazily on the
+ * first parallel batch and reused across batches.
+ */
+class SweepRunner
+{
+  public:
+    /** Aggregate statistics of the most recent runAll() batch. */
+    struct BatchStats
+    {
+        std::size_t jobs = 0;
+        double wallMillis = 0.0;    //!< batch wall-clock time
+        double busyMillis = 0.0;    //!< sum of per-job wall times
+        double maxJobMillis = 0.0;  //!< slowest single job
+
+        /**
+         * busy/wall — the average number of jobs in flight. On an
+         * otherwise-idle machine with enough cores this equals the
+         * wall-clock speedup over --jobs 1; on an oversubscribed
+         * machine it only measures concurrency (per-job wall times
+         * are inflated by time slicing).
+         */
+        double concurrency() const;
+    };
+
+    /**
+     * @param job_count Worker threads for parallel batches; 0 selects
+     *        ThreadPool::hardwareThreads(); 1 executes every batch
+     *        inline on the calling thread (exact serial semantics).
+     */
+    explicit SweepRunner(unsigned job_count = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** The effective parallelism (resolved, never 0). */
+    unsigned jobs() const { return jobCount; }
+
+    /** Record @p fn for the next runAll(); returns its result handle. */
+    template <typename T>
+    Job<T>
+    defer(std::string label, std::function<T()> fn)
+    {
+        auto slot = std::make_shared<detail::TypedJobSlot<T>>();
+        slot->label = std::move(label);
+        enqueue(slot, [slot, fn = std::move(fn)] { slot->value = fn(); });
+        return Job<T>(slot);
+    }
+
+    /** defer() for jobs whose only effect is via captured state. */
+    void
+    deferVoid(std::string label, std::function<void()> fn)
+    {
+        auto slot = std::make_shared<detail::TypedJobSlot<bool>>();
+        slot->label = std::move(label);
+        enqueue(slot, [fn = std::move(fn)] { fn(); });
+    }
+
+    /**
+     * Execute all jobs deferred since the last runAll(). Blocks until
+     * every one of them finished, then rethrows the first exception in
+     * submission order (if any). Successful slots remain readable
+     * through their Job<T> handles either way.
+     */
+    void runAll();
+
+    /** Total jobs deferred over the runner's lifetime. */
+    std::size_t totalDeferred() const { return deferredCount; }
+
+    const BatchStats &lastBatch() const { return batch; }
+
+  private:
+    struct Pending
+    {
+        std::shared_ptr<detail::JobSlot> slot;
+        std::function<void()> body;  //!< fills the slot's value
+    };
+
+    void enqueue(std::shared_ptr<detail::JobSlot> slot,
+                 std::function<void()> body);
+    static void execute(Pending &job);
+
+    unsigned jobCount;
+    std::vector<Pending> pending;
+    std::size_t deferredCount = 0;
+    std::unique_ptr<ThreadPool> pool;  //!< lazily created, reused
+    BatchStats batch;
+};
+
+} // namespace mlpsim

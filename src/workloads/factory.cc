@@ -1,6 +1,7 @@
 #include "factory.hh"
 
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "workloads/database.hh"
 #include "workloads/specjbb.hh"
 #include "workloads/specweb.hh"
@@ -31,10 +32,54 @@ tryMakeWorkload(const std::string &name)
                             "' (expected database|specjbb2000|specweb99)");
 }
 
+Expected<std::unique_ptr<WorkloadBase>>
+tryMakeWorkload(const std::string &name, uint64_t seed)
+{
+    if (name == "database") {
+        DatabaseParams params;
+        params.seed = seed;
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<DatabaseWorkload>(params));
+    }
+    if (name == "specjbb2000") {
+        SpecJbbParams params;
+        params.seed = seed;
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<SpecJbbWorkload>(params));
+    }
+    if (name == "specweb99") {
+        SpecWebParams params;
+        params.seed = seed;
+        return std::unique_ptr<WorkloadBase>(
+            std::make_unique<SpecWebWorkload>(params));
+    }
+    return Status::notFound("unknown workload '", name,
+                            "' (expected database|specjbb2000|specweb99)");
+}
+
 std::unique_ptr<WorkloadBase>
 makeWorkload(const std::string &name)
 {
     return tryMakeWorkload(name).orFatal();
+}
+
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name, uint64_t seed)
+{
+    return tryMakeWorkload(name, seed).orFatal();
+}
+
+uint64_t
+workloadSeed(const std::string &name)
+{
+    // FNV-1a, then splitMix64 to spread the hash's low entropy across
+    // all 64 bits before it seeds xoshiro256**.
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return splitMix64(hash);
 }
 
 } // namespace mlpsim::workloads

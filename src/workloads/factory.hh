@@ -26,7 +26,23 @@ const std::vector<std::string> &commercialWorkloadNames();
 Expected<std::unique_ptr<WorkloadBase>>
 tryMakeWorkload(const std::string &name);
 
+/** tryMakeWorkload() with the generator's Rng seed overridden. */
+Expected<std::unique_ptr<WorkloadBase>>
+tryMakeWorkload(const std::string &name, uint64_t seed);
+
 /** fatal()-on-error wrapper around tryMakeWorkload(). */
 std::unique_ptr<WorkloadBase> makeWorkload(const std::string &name);
+
+/** fatal()-on-error wrapper around the seeded tryMakeWorkload(). */
+std::unique_ptr<WorkloadBase> makeWorkload(const std::string &name,
+                                           uint64_t seed);
+
+/**
+ * The canonical per-workload trace seed: splitMix64 of an FNV-1a hash
+ * of @p name. A pure function of the workload's *name*, so a trace is
+ * bit-identical no matter where, in what order, or on which thread it
+ * is materialised (the bench suite prepares workloads concurrently).
+ */
+uint64_t workloadSeed(const std::string &name);
 
 } // namespace mlpsim::workloads

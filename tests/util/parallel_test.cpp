@@ -1,0 +1,179 @@
+/**
+ * @file
+ * SweepRunner / ThreadPool unit tests: submission-ordered result
+ * collection, deterministic exception propagation, batch reuse, and
+ * basic pool liveness. Compiled both plain (util target) and under
+ * ThreadSanitizer (parallel_tests_tsan) in the default ctest tier.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parallel.hh"
+
+namespace mlpsim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryPostedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.post([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 200);
+    EXPECT_EQ(pool.threadCount(), 4u);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.post([&count] { ++count; });
+        // No waitIdle: the destructor must still run every job.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsNeverZero)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(SweepRunnerTest, ResultsComeBackInSubmissionOrder)
+{
+    SweepRunner runner(8);
+    std::vector<Job<uint64_t>> jobs;
+    for (uint64_t i = 0; i < 100; ++i) {
+        jobs.push_back(runner.defer<uint64_t>(
+            "square", [i] { return i * i; }));
+    }
+    runner.runAll();
+    for (uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(jobs[i].get(), i * i) << "slot " << i;
+    EXPECT_EQ(runner.lastBatch().jobs, 100u);
+}
+
+TEST(SweepRunnerTest, SerialAndParallelProduceIdenticalResults)
+{
+    auto fill = [](SweepRunner &runner) {
+        std::vector<Job<double>> jobs;
+        for (int i = 0; i < 32; ++i) {
+            jobs.push_back(runner.defer<double>("cell", [i] {
+                double acc = 1.0;
+                for (int k = 1; k <= 50 + i; ++k)
+                    acc = acc * 1.0000001 + double(k);
+                return acc;
+            }));
+        }
+        runner.runAll();
+        return jobs;
+    };
+    SweepRunner serial(1), parallel(8);
+    auto a = fill(serial);
+    auto b = fill(parallel);
+    ASSERT_EQ(a.size(), b.size());
+    // Identical code over identical inputs: bit-identical doubles.
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].get(), b[i].get()) << "slot " << i;
+}
+
+TEST(SweepRunnerTest, FirstExceptionInSubmissionOrderWins)
+{
+    SweepRunner runner(8);
+    for (int i = 0; i < 16; ++i) {
+        runner.deferVoid("maybe-throw", [i] {
+            if (i == 3)
+                throw std::runtime_error("slot 3 failed");
+            if (i == 11)
+                throw std::runtime_error("slot 11 failed");
+        });
+    }
+    // Whatever order the workers finish in, the rethrow must pick the
+    // earliest-submitted failure.
+    try {
+        runner.runAll();
+        FAIL() << "runAll() should have thrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "slot 3 failed");
+    }
+}
+
+TEST(SweepRunnerTest, SuccessfulSlotsRemainReadableAfterFailedBatch)
+{
+    SweepRunner runner(4);
+    auto ok = runner.defer<int>("ok", [] { return 42; });
+    runner.deferVoid("boom", [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(runner.runAll(), std::runtime_error);
+    EXPECT_EQ(ok.get(), 42);
+}
+
+TEST(SweepRunnerTest, RunnerIsReusableAcrossBatches)
+{
+    SweepRunner runner(4);
+    auto first = runner.defer<int>("first", [] { return 1; });
+    runner.runAll();
+    // Second batch can consume the first batch's result (the benches'
+    // prepare-then-sweep pattern).
+    auto second = runner.defer<int>(
+        "second", [&first] { return first.get() + 1; });
+    runner.runAll();
+    EXPECT_EQ(first.get(), 1);
+    EXPECT_EQ(second.get(), 2);
+    EXPECT_EQ(runner.totalDeferred(), 2u);
+    EXPECT_EQ(runner.lastBatch().jobs, 1u);
+}
+
+TEST(SweepRunnerTest, ZeroResolvesToHardwareConcurrency)
+{
+    SweepRunner runner(0);
+    EXPECT_EQ(runner.jobs(), ThreadPool::hardwareThreads());
+}
+
+TEST(SweepRunnerTest, MoveOnlyResultsAreTakeable)
+{
+    SweepRunner runner(2);
+    auto job = runner.defer<std::unique_ptr<int>>(
+        "ptr", [] { return std::make_unique<int>(7); });
+    runner.runAll();
+    std::unique_ptr<int> out = job.take();
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 7);
+}
+
+TEST(SweepRunnerTest, RecordsPerJobAndBatchTiming)
+{
+    SweepRunner runner(2);
+    auto job = runner.defer<int>("work", [] {
+        volatile int64_t sink = 0;
+        for (int64_t i = 0; i < 2'000'000; ++i)
+            sink += i;
+        return sink > 0 ? 1 : 0;
+    });
+    runner.runAll();
+    EXPECT_EQ(job.get(), 1);
+    EXPECT_GE(job.millis(), 0.0);
+    const auto &batch = runner.lastBatch();
+    EXPECT_EQ(batch.jobs, 1u);
+    EXPECT_GE(batch.wallMillis, 0.0);
+    EXPECT_GE(batch.busyMillis, 0.0);
+    EXPECT_GE(batch.maxJobMillis, 0.0);
+    EXPECT_GT(batch.concurrency(), 0.0);
+}
+
+} // namespace
+} // namespace mlpsim

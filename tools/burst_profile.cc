@@ -11,13 +11,16 @@
  * queueing model of the memory system needs.
  *
  * Usage: ./burst_profile [--workload NAME] [--machine 64C|RAE|INF|som]
- *                        [--insts N] [--warmup N]
+ *                        [--insts N] [--warmup N] [--jobs N]
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/mlpsim.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 #include "workloads/factory.hh"
 
@@ -60,7 +63,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
-    opts.rejectUnknown({"insts", "warmup", "machine", "workload"});
+    opts.rejectUnknown({"insts", "warmup", "machine", "workload", "jobs"});
     if (opts.has("workload"))
         workloads::tryMakeWorkload(opts.getString("workload", ""))
             .orFatal();
@@ -68,21 +71,37 @@ main(int argc, char **argv)
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const std::string machine = opts.getString("machine", "64C");
 
+    // One job per workload: prepare + annotate + simulate; results are
+    // printed in canonical order regardless of completion order.
+    SweepRunner runner(unsigned(opts.getU64("jobs", 0)));
+    std::vector<std::string> names;
+    std::vector<Job<core::MlpResult>> cells;
     for (const auto &name : workloads::commercialWorkloadNames()) {
         if (opts.has("workload") &&
             opts.getString("workload", "") != name) {
             continue;
         }
-        auto generator = workloads::makeWorkload(name);
-        trace::TraceBuffer buffer(name);
-        buffer.fill(*generator, warmup + measure);
-        core::AnnotationOptions annotation;
-        annotation.warmupInsts = warmup;
-        core::AnnotatedTrace annotated(buffer, annotation);
+        names.push_back(name);
+        cells.push_back(runner.defer<core::MlpResult>(
+            name, [name, warmup, measure, &machine] {
+                auto generator = workloads::makeWorkload(
+                    name, workloads::workloadSeed(name));
+                trace::TraceBuffer buffer(name);
+                buffer.fill(*generator, warmup + measure);
+                core::AnnotationOptions annotation;
+                annotation.warmupInsts = warmup;
+                core::AnnotatedTrace annotated(buffer, annotation);
 
-        core::MlpConfig cfg = machineByName(machine);
-        cfg.warmupInsts = warmup;
-        const auto r = core::runMlp(cfg, annotated.context());
+                core::MlpConfig cfg = machineByName(machine);
+                cfg.warmupInsts = warmup;
+                return core::runMlp(cfg, annotated.context());
+            }));
+    }
+    runner.runAll();
+
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto &r = cells[w].get();
 
         std::printf("== %s on %s ==\n", name.c_str(), machine.c_str());
         std::printf("epochs: %llu   accesses: %llu   MLP: %.3f   "

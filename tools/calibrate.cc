@@ -11,10 +11,14 @@
  */
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/mlpsim.hh"
 #include "trace/trace_stats.hh"
 #include "util/options.hh"
+#include "util/parallel.hh"
 #include "workloads/factory.hh"
 
 using namespace mlpsim;
@@ -36,13 +40,21 @@ targets(const std::string &name)
     return {0.09, 1.28, 1.10, 1.13, 1.9};
 }
 
-double
-runCfg(core::MlpConfig cfg, const core::WorkloadContext &ctx,
-       uint64_t warmup)
+/** One materialised workload (buffer heap-allocated so moves are safe). */
+struct Prep
 {
-    cfg.warmupInsts = warmup;
-    return core::runMlp(cfg, ctx).mlp();
-}
+    std::string name;
+    std::unique_ptr<trace::TraceBuffer> buf;
+    std::unique_ptr<core::AnnotatedTrace> ann;
+};
+
+/** The epoch-model cells calibrate reports for one workload. */
+struct Cells
+{
+    Job<core::MlpResult> som, sou;
+    std::vector<Job<core::MlpResult>> grid; //!< 4 windows x 5 configs
+    Job<core::MlpResult> c64, rae, inf;
+};
 
 } // namespace
 
@@ -50,26 +62,86 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
-    opts.rejectUnknown({"insts", "warmup", "workload", "l2mb"});
+    opts.rejectUnknown({"insts", "warmup", "workload", "l2mb", "jobs"});
     const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const uint64_t total = warmup + measure;
+    const uint64_t l2mb = opts.getU64("l2mb", 2);
 
+    std::vector<std::string> names;
     for (const auto &name : workloads::commercialWorkloadNames()) {
         if (opts.has("workload") &&
             opts.getString("workload", "") != name) {
             continue;
         }
-        auto wl = workloads::makeWorkload(name);
-        trace::TraceBuffer buf(name);
-        buf.fill(*wl, total);
+        names.push_back(name);
+    }
 
-        core::AnnotationOptions aopts;
-        aopts.warmupInsts = warmup;
-        aopts.hierarchy.l2.sizeBytes =
-            opts.getU64("l2mb", 2) * 1024 * 1024;
-        core::AnnotatedTrace ann(buf, aopts);
-        const auto ctx = ann.context();
+    SweepRunner runner(unsigned(opts.getU64("jobs", 0)));
+
+    // Stage 1: materialise + annotate every workload concurrently.
+    std::vector<Job<Prep>> prepJobs;
+    for (const auto &name : names) {
+        prepJobs.push_back(runner.defer<Prep>(
+            "prepare " + name, [name, total, warmup, l2mb] {
+                Prep prep;
+                prep.name = name;
+                auto wl = workloads::makeWorkload(
+                    name, workloads::workloadSeed(name));
+                prep.buf = std::make_unique<trace::TraceBuffer>(name);
+                prep.buf->fill(*wl, total);
+
+                core::AnnotationOptions aopts;
+                aopts.warmupInsts = warmup;
+                aopts.hierarchy.l2.sizeBytes = l2mb * 1024 * 1024;
+                prep.ann = std::make_unique<core::AnnotatedTrace>(
+                    *prep.buf, aopts);
+                return prep;
+            }));
+    }
+    runner.runAll();
+
+    std::vector<Prep> preps;
+    for (auto &job : prepJobs)
+        preps.push_back(job.take());
+
+    // Stage 2: every epoch-model cell of every workload concurrently.
+    using core::IssueConfig;
+    auto defer = [&](const Prep &prep, core::MlpConfig cfg) {
+        cfg.warmupInsts = warmup;
+        const core::AnnotatedTrace *ann = prep.ann.get();
+        return runner.defer<core::MlpResult>(
+            "mlp " + prep.name,
+            [cfg, ann] { return core::runMlp(cfg, ann->context()); });
+    };
+
+    std::vector<Cells> cells(preps.size());
+    for (size_t w = 0; w < preps.size(); ++w) {
+        core::MlpConfig som;
+        som.mode = core::CoreMode::InOrderStallOnMiss;
+        core::MlpConfig sou;
+        sou.mode = core::CoreMode::InOrderStallOnUse;
+        cells[w].som = defer(preps[w], som);
+        cells[w].sou = defer(preps[w], sou);
+        for (unsigned window : {32u, 64u, 128u, 256u}) {
+            for (auto ic : {IssueConfig::A, IssueConfig::B,
+                            IssueConfig::C, IssueConfig::D,
+                            IssueConfig::E}) {
+                cells[w].grid.push_back(defer(
+                    preps[w], core::MlpConfig::sized(window, ic)));
+            }
+        }
+        cells[w].c64 = defer(
+            preps[w], core::MlpConfig::sized(64, IssueConfig::C));
+        cells[w].rae = defer(preps[w], core::MlpConfig::runahead());
+        cells[w].inf = defer(preps[w], core::MlpConfig::infinite());
+    }
+    runner.runAll();
+
+    for (size_t w = 0; w < preps.size(); ++w) {
+        const std::string &name = preps[w].name;
+        const trace::TraceBuffer &buf = *preps[w].buf;
+        const core::AnnotatedTrace &ann = *preps[w].ann;
         const auto &m = ann.misses();
         const auto t = targets(name);
 
@@ -116,36 +188,27 @@ main(int argc, char **argv)
             std::printf("\n");
         }
 
-        using core::IssueConfig;
-        core::MlpConfig som;
-        som.mode = core::CoreMode::InOrderStallOnMiss;
-        core::MlpConfig sou;
-        sou.mode = core::CoreMode::InOrderStallOnUse;
         std::printf("MLP: som=%.2f(%.2f) sou=%.2f(%.2f)\n",
-                    runCfg(som, ctx, warmup), t.som,
-                    runCfg(sou, ctx, warmup), t.sou);
+                    cells[w].som.get().mlp(), t.som,
+                    cells[w].sou.get().mlp(), t.sou);
+        size_t cell = 0;
         for (unsigned window : {32u, 64u, 128u, 256u}) {
             std::printf("  w=%-3u", window);
             for (auto ic : {IssueConfig::A, IssueConfig::B,
                             IssueConfig::C, IssueConfig::D,
                             IssueConfig::E}) {
                 std::printf(" %s=%.2f", core::issueConfigName(ic),
-                            runCfg(core::MlpConfig::sized(window, ic),
-                                   ctx, warmup));
+                            cells[w].grid[cell++].get().mlp());
             }
             std::printf("\n");
         }
         std::printf("  64C=%.2f(paper %.2f) RAE=%.2f(paper %.1f) "
                     "INF=%.2f\n",
-                    runCfg(core::MlpConfig::sized(64, IssueConfig::C),
-                           ctx, warmup), t.mlp64C,
-                    runCfg(core::MlpConfig::runahead(), ctx, warmup),
-                    t.rae,
-                    runCfg(core::MlpConfig::infinite(), ctx, warmup));
+                    cells[w].c64.get().mlp(), t.mlp64C,
+                    cells[w].rae.get().mlp(), t.rae,
+                    cells[w].inf.get().mlp());
 
-        auto cfg64c = core::MlpConfig::sized(64, IssueConfig::C);
-        cfg64c.warmupInsts = warmup;
-        const auto r = core::runMlp(cfg64c, ctx);
+        const auto &r = cells[w].c64.get();
         std::printf("64C inhibitors:");
         for (size_t i = 0; i < core::numInhibitors; ++i) {
             const auto inh = static_cast<core::Inhibitor>(i);
