@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "metrics/export.hh"
+#include "metrics/registry.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::bench {
@@ -30,7 +32,8 @@ BenchSetup
 BenchSetup::fromOptions(const Options &opts,
                         std::vector<std::string> extra_flags)
 {
-    std::vector<std::string> known{"warmup", "insts", "workload", "jobs"};
+    std::vector<std::string> known{"warmup", "insts", "workload", "jobs",
+                                   "metrics-out", "trace-events"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     opts.rejectUnknown(known);
 
@@ -45,12 +48,19 @@ BenchSetup::fromOptions(const Options &opts,
     setup.measureInsts = opts.scaledInsts("insts", setup.measureInsts);
     setup.jobs = unsigned(opts.getU64("jobs", 0));
     setup.annotation.warmupInsts = setup.warmupInsts;
+    setup.metricsOut = opts.getString("metrics-out", "");
+    setup.traceEventsOut = opts.getString("trace-events", "");
+    if (!setup.metricsOut.empty() || !setup.traceEventsOut.empty()) {
+        metrics::setEnabled(true);
+        metrics::installSweepIsolation();
+    }
     return setup;
 }
 
 PreparedWorkload
 prepareWorkload(const std::string &name, const BenchSetup &setup)
 {
+    metrics::ScopedLabel wl_label(name);
     PreparedWorkload prepared;
     prepared.name = name;
     prepared.warmupInsts = setup.warmupInsts;
@@ -60,8 +70,17 @@ prepareWorkload(const std::string &name, const BenchSetup &setup)
     auto generator =
         workloads::makeWorkload(name, workloads::workloadSeed(name));
     prepared.buffer = std::make_unique<trace::TraceBuffer>(name);
-    prepared.buffer->fill(*generator,
-                          setup.warmupInsts + setup.measureInsts);
+    {
+        metrics::ScopedTimer t("workloads/generate_s");
+        prepared.buffer->fill(*generator,
+                              setup.warmupInsts + setup.measureInsts);
+    }
+    if (metrics::enabled()) {
+        auto &reg = metrics::cur();
+        reg.add(metrics::scopedPath("workloads/traces"), 1);
+        reg.add(metrics::scopedPath("workloads/generated_insts"),
+                prepared.buffer->size());
+    }
     core::AnnotationOptions annotation = setup.annotation;
     annotation.warmupInsts = setup.warmupInsts;
     prepared.annotated = std::make_unique<core::AnnotatedTrace>(
@@ -121,8 +140,11 @@ Sweep::mlp(core::MlpConfig config, const PreparedWorkload &workload)
 {
     const PreparedWorkload *wl = &workload;
     return runner.defer<core::MlpResult>(
-        "mlp " + workload.name,
-        [config, wl] { return runMlp(config, *wl); });
+        "mlp " + workload.name, [config, wl] {
+            metrics::ScopedLabel wl_label(wl->name);
+            metrics::ScopedLabel cfg_label(config.metricLabel());
+            return runMlp(config, *wl);
+        });
 }
 
 Job<cyclesim::CycleSimResult>
@@ -131,8 +153,11 @@ Sweep::cycleSim(cyclesim::CycleSimConfig config,
 {
     const PreparedWorkload *wl = &workload;
     return runner.defer<cyclesim::CycleSimResult>(
-        "cyclesim " + workload.name,
-        [config, wl] { return runCycleSim(config, *wl); });
+        "cyclesim " + workload.name, [config, wl] {
+            metrics::ScopedLabel wl_label(wl->name);
+            metrics::ScopedLabel cfg_label(config.metricLabel());
+            return runCycleSim(config, *wl);
+        });
 }
 
 void
@@ -154,6 +179,24 @@ printBanner(const std::string &bench_name, const std::string &paper_item,
                 (unsigned long long)setup.warmupInsts,
                 (unsigned long long)setup.measureInsts);
     std::printf("====================================================\n");
+}
+
+void
+writeBenchOutputs(const BenchSetup &setup, const std::string &bench_name)
+{
+    if (!setup.metricsOut.empty()) {
+        metrics::JsonValue meta = metrics::JsonValue::object();
+        meta.set("bench", metrics::JsonValue(bench_name));
+        meta.set("warmup_insts", metrics::JsonValue(setup.warmupInsts));
+        meta.set("measure_insts", metrics::JsonValue(setup.measureInsts));
+        metrics::writeSnapshotFile(setup.metricsOut, std::move(meta))
+            .orFatal();
+        inform("metrics snapshot written to ", setup.metricsOut);
+    }
+    if (!setup.traceEventsOut.empty()) {
+        metrics::writeTraceEventsFile(setup.traceEventsOut).orFatal();
+        inform("trace events written to ", setup.traceEventsOut);
+    }
 }
 
 } // namespace mlpsim::bench

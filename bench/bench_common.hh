@@ -66,10 +66,23 @@ struct BenchSetup
     core::AnnotationOptions annotation;
 
     /**
-     * Parse --warmup/--insts/--jobs (and MLPSIM_SCALE) from @p opts,
-     * after rejecting any flag outside the standard bench set plus
-     * @p extra_flags — a typo'd flag terminates up front instead of
-     * silently leaving a default in force for a long run.
+     * Destination for the deterministic metrics snapshot ("" = metric
+     * collection stays off). A ".csv" extension selects CSV, anything
+     * else JSON. The file contents are bit-identical for every --jobs
+     * value (see metrics/registry.hh).
+     */
+    std::string metricsOut;
+    /** Destination for the Chrome trace_event timeline of sweep job
+     *  spans ("" = off). Wall-clock data; *not* deterministic. */
+    std::string traceEventsOut;
+
+    /**
+     * Parse --warmup/--insts/--jobs/--metrics-out/--trace-events (and
+     * MLPSIM_SCALE) from @p opts, after rejecting any flag outside the
+     * standard bench set plus @p extra_flags — a typo'd flag terminates
+     * up front instead of silently leaving a default in force for a
+     * long run. Giving either output flag enables metric collection
+     * and installs the sweep-isolation hooks before any threads start.
      */
     static BenchSetup fromOptions(const Options &opts,
                                   std::vector<std::string> extra_flags = {});
@@ -144,5 +157,14 @@ class Sweep
 /** Print the standard bench banner (what/how much was simulated). */
 void printBanner(const std::string &bench_name,
                  const std::string &paper_item, const BenchSetup &setup);
+
+/**
+ * Write the files requested by --metrics-out / --trace-events (no-op
+ * when neither was given). Call once at the end of main, after every
+ * sweep has run. The snapshot's meta block records @p bench_name and
+ * the instruction budgets — deterministic values only.
+ */
+void writeBenchOutputs(const BenchSetup &setup,
+                       const std::string &bench_name);
 
 } // namespace mlpsim::bench

@@ -119,5 +119,6 @@ main(int argc, char **argv)
     std::printf("Paper (RAE baseline): perfI/perfVP/perfBP each "
                 "+39-48%% db, +21-23%% web; perfI +0%% jbb;\n"
                 "perfVP+perfBP: +134%% db, +215%% jbb, +57%% web.\n");
+    writeBenchOutputs(setup, "figure10_limit_study");
     return 0;
 }

@@ -140,5 +140,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper: RAE +60%%/+44%%/+11%%; "
                 "RAE.perfVP.perfBP +174%%/+103%%/+21%% (db/jbb/web).\n");
+    writeBenchOutputs(setup, "figure11_overall_performance");
     return 0;
 }

@@ -43,5 +43,6 @@ main(int argc, char **argv)
     std::printf("\nPaper shape: observed >> uniform at small N for all "
                 "three workloads,\nmost extreme for SPECweb99 and "
                 "SPECjbb2000 (Section 2.3).\n");
+    writeBenchOutputs(setup, "figure2_clustering");
     return 0;
 }

@@ -56,5 +56,6 @@ main(int argc, char **argv)
     }
     std::printf("Paper anchors (config C): database 1.27/1.38/1.47 at "
                 "32/64/128; jbb 1.11/1.13/1.19; web 1.22/1.28/1.31.\n");
+    writeBenchOutputs(setup, "figure4_rob_issue");
     return 0;
 }

@@ -67,5 +67,6 @@ main(int argc, char **argv)
         std::printf("%s\n", table.render().c_str());
     }
     std::printf("(percent of epochs; rows are windowSize+issueConfig)\n");
+    writeBenchOutputs(setup, "figure5_inhibitors");
     return 0;
 }

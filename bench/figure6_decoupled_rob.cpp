@@ -104,5 +104,6 @@ main(int argc, char **argv)
                     "+51/+49/+22)\n",
                     wls[w].name.c_str(), g1, g2);
     }
+    writeBenchOutputs(setup, "figure6_decoupled_rob");
     return 0;
 }

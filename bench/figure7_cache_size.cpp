@@ -72,5 +72,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper shape: MLP falls with L2 size for database and "
                 "SPECjbb2000,\nrises for SPECweb99.\n");
+    writeBenchOutputs(setup, "figure7_cache_size");
     return 0;
 }

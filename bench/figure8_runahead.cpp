@@ -58,5 +58,6 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper: +82%%/+56%% (db), +102%%/+81%% (jbb), "
                 "+49%%/+46%% (web); RAE == INF.\n");
+    writeBenchOutputs(setup, "figure8_runahead");
     return 0;
 }

@@ -87,5 +87,6 @@ main(int argc, char **argv)
                 t9.render().c_str());
     std::printf("\nPaper: db 4-9%% (best on RAE); jbb/web ~0%% "
                 "conventional, 2%%/5%% on RAE.\n");
+    writeBenchOutputs(setup, "figure9_value_prediction");
     return 0;
 }

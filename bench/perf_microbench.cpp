@@ -5,14 +5,29 @@
  * of the epoch-instruction-horizon design choice called out in
  * DESIGN.md. These guard against performance regressions in the
  * simulation loop itself.
+ *
+ * Besides the usual console table, every run writes a machine-readable
+ * summary (default BENCH_perf.json, --metrics-out FILE to move it):
+ * one `{bench, workload, config, wall_s, instr_per_s, peak_rss_kb}`
+ * row per benchmark, for tracking simulator throughput across
+ * revisions without scraping console output.
  */
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
 
 #include "core/mlpsim.hh"
 #include "cyclesim/cycle_sim.hh"
+#include "metrics/json.hh"
+#include "util/logging.hh"
 #include "workloads/factory.hh"
 #include "workloads/micro.hh"
 
@@ -135,6 +150,106 @@ BM_InOrderModel(benchmark::State &state)
 }
 BENCHMARK(BM_InOrderModel);
 
+/** The workload each BM_ function above exercises. */
+std::string
+benchWorkload(const std::string &bench)
+{
+    if (bench == "WorkloadGeneration")
+        return "specjbb2000";
+    if (bench == "EpochHorizonAblation")
+        return "specweb99";
+    return "database";
+}
+
+uint64_t
+peakRssKb()
+{
+#if !defined(_WIN32)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+        return uint64_t(usage.ru_maxrss); // kilobytes on Linux
+#endif
+    return 0;
+}
+
+/**
+ * The normal console table, plus one perf-summary row per benchmark:
+ * total measured wall time, simulated instructions per second, and the
+ * process peak RSS observed by the time the benchmark finished.
+ */
+class PerfJsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        ConsoleReporter::ReportRuns(reports);
+        for (const Run &run : reports) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            // "BM_EpochEngine/64" -> bench "EpochEngine", config "64".
+            std::string name = run.benchmark_name();
+            if (name.rfind("BM_", 0) == 0)
+                name = name.substr(3);
+            std::string config;
+            if (const auto slash = name.find('/');
+                slash != std::string::npos) {
+                config = name.substr(slash + 1);
+                name = name.substr(0, slash);
+            }
+            metrics::JsonValue row = metrics::JsonValue::object();
+            row.set("bench", name);
+            row.set("workload", benchWorkload(name));
+            row.set("config", config);
+            row.set("wall_s", run.real_accumulated_time);
+            const double instrs =
+                double(run.iterations) * double(traceInsts);
+            row.set("instr_per_s",
+                    run.real_accumulated_time > 0.0
+                        ? instrs / run.real_accumulated_time
+                        : 0.0);
+            row.set("peak_rss_kb", peakRssKb());
+            results.push(std::move(row));
+        }
+    }
+
+    metrics::JsonValue results = metrics::JsonValue::array();
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --metrics-out before google-benchmark sees (and
+    // rejects) it; everything else passes through to the library.
+    std::string metrics_out = "BENCH_perf.json";
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--metrics-out=", 0) == 0) {
+            metrics_out = std::string(arg.substr(14));
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int pass_argc = int(args.size());
+    benchmark::Initialize(&pass_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc, args.data()))
+        return 1;
+
+    PerfJsonReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    metrics::JsonValue doc = metrics::JsonValue::object();
+    doc.set("schema", "mlpsim-bench-perf-v1");
+    doc.set("results", std::move(reporter.results));
+    metrics::writeJsonFile(metrics_out, doc).orFatal();
+    inform("perf summary written to ", metrics_out);
+    return 0;
+}

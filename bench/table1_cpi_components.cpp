@@ -108,5 +108,6 @@ main(int argc, char **argv)
         }
     }
     std::printf("%s", table.render().c_str());
+    writeBenchOutputs(setup, "table1_cpi_components");
     return 0;
 }

@@ -88,5 +88,6 @@ main(int argc, char **argv)
     std::printf("\nworst |cyc1000 - MLPsim| = %.3f "
                 "(paper: near-identical at 1000 cycles)\n",
                 worst_err_1000);
+    writeBenchOutputs(setup, "table3_validation");
     return 0;
 }

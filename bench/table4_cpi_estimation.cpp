@@ -105,5 +105,6 @@ main(int argc, char **argv)
     std::printf("\nworst estimation error = %.1f%% (paper: within "
                 "2%%)\n",
                 global_worst);
+    writeBenchOutputs(setup, "table4_cpi_estimation");
     return 0;
 }

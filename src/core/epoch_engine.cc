@@ -1,5 +1,6 @@
 #include "epoch_engine.hh"
 
+#include "metrics/registry.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::core {
@@ -473,6 +474,13 @@ EpochEngine::closeEpoch()
         result.smissAccesses += epochSmiss;
         result.inhibitors.record(cause);
         result.accessesPerEpoch.add(epochAccesses);
+        // The inlined enabled() check keeps this per-epoch histogram
+        // update out of the hot path unless --metrics-out asked for it.
+        if (metrics::enabled()) {
+            metrics::cur().observeKey(
+                metrics::scopedPath("core/epoch_engine/epoch_insts"),
+                nextDispatchIdx - triggerIdx);
+        }
     }
 
     ++currentEpoch;
@@ -501,6 +509,7 @@ EpochEngine::run()
     // Generous progress guard: every iteration either advances the
     // machine or closes an epoch, both bounded by the trace length.
     uint64_t guard = 64 * trace_size + 1'000'000;
+    const uint64_t guard_start = guard;
 
     while (true) {
         if (guard-- == 0)
@@ -527,6 +536,20 @@ EpochEngine::run()
               " (rob=", rob.size(), " waiting=", waiting.size(), ")");
     }
 
+    if (metrics::enabled()) {
+        auto &m = metrics::cur();
+        m.add(metrics::scopedPath("core/epoch_engine/runs"));
+        m.add(metrics::scopedPath("core/epoch_engine/epochs"),
+              result.epochs);
+        m.add(metrics::scopedPath("core/epoch_engine/useful_accesses"),
+              result.usefulAccesses);
+        m.add(metrics::scopedPath("core/epoch_engine/measured_insts"),
+              result.measuredInsts);
+        m.add(metrics::scopedPath("core/epoch_engine/loop_iterations"),
+              guard_start - guard);
+        m.set(metrics::scopedPath("core/epoch_engine/mlp"),
+              result.mlp());
+    }
     return result;
 }
 

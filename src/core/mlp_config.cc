@@ -43,6 +43,21 @@ MlpConfig::label() const
                 : "");
 }
 
+std::string
+MlpConfig::metricLabel() const
+{
+    std::string out = label();
+    for (char &c : out) {
+        if (c == '/' || c == ' ')
+            c = '-';
+    }
+    if (valuePrediction)
+        out += "+vp";
+    if (finiteStoreBuffer)
+        out += "+sb";
+    return out;
+}
+
 Status
 MlpConfig::validate() const
 {

@@ -84,6 +84,13 @@ struct MlpConfig
     std::string label() const;
 
     /**
+     * label() flattened for use as one metric-path segment (no '/')
+     * and extended with the feature toggles label() omits ("+vp",
+     * "+sb"), so distinct machines never share a metrics prefix.
+     */
+    std::string metricLabel() const;
+
+    /**
      * Reject inconsistent machine descriptions with an actionable
      * message: zero-sized window structures, a runahead machine whose
      * decoupled ROB is smaller than its issue window (runahead

@@ -1,5 +1,7 @@
 #include "mlpsim.hh"
 
+#include "metrics/registry.hh"
+
 namespace mlpsim::core {
 
 Status
@@ -31,15 +33,28 @@ AnnotatedTrace::AnnotatedTrace(const trace::TraceBuffer &buffer,
     memory::ProfileConfig profile_cfg;
     profile_cfg.hierarchy = opts.hierarchy;
     profile_cfg.warmupInsts = opts.warmupInsts;
-    missAnn = memory::AccessProfiler(profile_cfg).profile(buffer);
+    {
+        metrics::ScopedTimer t("core/annotate/profile_s");
+        missAnn = memory::AccessProfiler(profile_cfg).profile(buffer);
+    }
 
-    brAnn = branch::annotateBranches(buffer, opts.branch,
-                                     opts.warmupInsts);
+    {
+        metrics::ScopedTimer t("core/annotate/branch_s");
+        brAnn = branch::annotateBranches(buffer, opts.branch,
+                                         opts.warmupInsts);
+    }
 
     if (opts.buildValues) {
+        metrics::ScopedTimer t("core/annotate/value_s");
         valAnn = predictor::annotateValues(buffer, missAnn, opts.value,
                                            opts.warmupInsts);
         hasValues = true;
+    }
+
+    if (metrics::enabled()) {
+        metrics::cur().add(metrics::scopedPath("core/annotate/traces"), 1);
+        metrics::cur().add(metrics::scopedPath("core/annotate/insts"),
+                           buffer.size());
     }
 }
 

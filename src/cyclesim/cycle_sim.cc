@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/registry.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::cyclesim {
@@ -10,6 +11,19 @@ using core::IssueConfig;
 using trace::InstClass;
 using trace::Instruction;
 using trace::noReg;
+
+std::string
+CycleSimConfig::metricLabel() const
+{
+    std::string out = "cyc" + std::to_string(issueWindowSize) +
+                      core::issueConfigName(issue);
+    if (robSize != issueWindowSize)
+        out += "-rob" + std::to_string(robSize);
+    out += "-mp" + std::to_string(offChipLatency);
+    if (perfectL2)
+        out += "+perfL2";
+    return out;
+}
 
 CycleSim::CycleSim(const CycleSimConfig &config,
                    const core::WorkloadContext &workload)
@@ -372,6 +386,20 @@ CycleSim::run()
 
     result.cycles = now - measureStartCycle;
     result.instructions = committed - cfg.warmupInsts;
+
+    if (metrics::enabled()) {
+        auto &m = metrics::cur();
+        m.add(metrics::scopedPath("cyclesim/runs"));
+        m.add(metrics::scopedPath("cyclesim/cycles"), result.cycles);
+        m.add(metrics::scopedPath("cyclesim/instructions"),
+              result.instructions);
+        m.add(metrics::scopedPath("cyclesim/offchip_accesses"),
+              result.offChipAccesses);
+        m.add(metrics::scopedPath("cyclesim/mlp_cycles"),
+              result.mlpCycles);
+        m.set(metrics::scopedPath("cyclesim/cpi"), result.cpi());
+        m.set(metrics::scopedPath("cyclesim/mlp"), result.mlp());
+    }
     return result;
 }
 

@@ -58,6 +58,9 @@ struct CycleSimConfig
     bool perfectL2 = false;
 
     uint64_t warmupInsts = 0;
+
+    /** Metric-path segment, e.g. "cyc64C-mp200" or "...+perfL2". */
+    std::string metricLabel() const;
 };
 
 /** Measurements over the post-warm-up region. */

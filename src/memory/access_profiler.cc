@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "metrics/registry.hh"
+
 namespace mlpsim::memory {
 
 MissAnnotations
@@ -150,6 +152,22 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
           case InstClass::Branch:
             break;
         }
+    }
+
+    if (metrics::enabled()) {
+        mem.exportMetrics(metrics::scopedPath("memory"));
+        auto &reg = metrics::cur();
+        reg.add(metrics::scopedPath("memory/profile/runs"), 1);
+        reg.add(metrics::scopedPath("memory/profile/fetch_misses"),
+                ann.fetchMisses);
+        reg.add(metrics::scopedPath("memory/profile/load_misses"),
+                ann.loadMisses);
+        reg.add(metrics::scopedPath("memory/profile/store_misses"),
+                ann.storeMisses);
+        reg.add(metrics::scopedPath("memory/profile/useful_prefetches"),
+                ann.usefulPrefetches);
+        reg.add(metrics::scopedPath("memory/profile/useless_prefetches"),
+                ann.uselessPrefetches);
     }
 
     return ann;

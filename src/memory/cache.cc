@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "metrics/registry.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::memory {
@@ -139,6 +140,14 @@ double
 Cache::missRatio() const
 {
     return nAccesses ? double(nMisses) / double(nAccesses) : 0.0;
+}
+
+void
+Cache::exportMetrics(const std::string &prefix) const
+{
+    auto &reg = metrics::cur();
+    reg.add(prefix + "/accesses", nAccesses);
+    reg.add(prefix + "/misses", nMisses);
 }
 
 } // namespace mlpsim::memory

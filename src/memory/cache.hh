@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/status.hh"
@@ -77,6 +78,15 @@ class Cache
     uint64_t accesses() const { return nAccesses; }
     uint64_t misses() const { return nMisses; }
     double missRatio() const;
+
+    /**
+     * Record this cache's access/miss tallies as counters under
+     * `<prefix>/...` in the thread's current metric registry. The
+     * cache keeps its counts unconditionally (two integer increments
+     * per access); exporting once at the end of a replay is what keeps
+     * metrics collection out of the per-access hot path.
+     */
+    void exportMetrics(const std::string &prefix) const;
 
   private:
     struct Line

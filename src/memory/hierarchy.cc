@@ -1,5 +1,7 @@
 #include "hierarchy.hh"
 
+#include "metrics/registry.hh"
+
 namespace mlpsim::memory {
 
 namespace {
@@ -103,6 +105,17 @@ HierarchyAccessResult
 CacheHierarchy::prefetch(uint64_t addr)
 {
     return accessThrough(l1d, addr, false);
+}
+
+void
+CacheHierarchy::exportMetrics(const std::string &prefix) const
+{
+    l1i.exportMetrics(prefix + "/l1i");
+    l1d.exportMetrics(prefix + "/l1d");
+    l2.exportMetrics(prefix + "/l2");
+    auto &reg = metrics::cur();
+    reg.add(prefix + "/tlb/accesses", nTlbAccesses);
+    reg.add(prefix + "/tlb/misses", nTlbMisses);
 }
 
 void

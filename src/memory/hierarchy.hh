@@ -79,6 +79,10 @@ class CacheHierarchy
     uint64_t tlbMisses() const { return nTlbMisses; }
     uint64_t tlbAccesses() const { return nTlbAccesses; }
 
+    /** Export per-level access/miss counters under `<prefix>/l1i`,
+     *  `/l1d`, `/l2` and `/tlb` (see Cache::exportMetrics). */
+    void exportMetrics(const std::string &prefix) const;
+
     void reset();
 
   private:

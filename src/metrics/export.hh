@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exporters for collected metrics: per-run JSON snapshots, CSV, and a
+ * Chrome trace_event timeline of SweepRunner job spans.
+ *
+ * Snapshot determinism: with the default options (timers excluded),
+ * the JSON and CSV forms are pure functions of the metric values —
+ * lexicographically ordered paths, exact integer formatting, shortest
+ * round-trip doubles — so two runs with the same flags produce
+ * bit-identical files regardless of --jobs or machine load. The
+ * trace-event export is the opposite by design: it records observed
+ * wall-clock spans so a --jobs schedule can be inspected in
+ * chrome://tracing or https://ui.perfetto.dev.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/json.hh"
+#include "metrics/registry.hh"
+#include "util/parallel.hh"
+
+namespace mlpsim::metrics {
+
+/** Knobs for the snapshot serialisers. */
+struct SnapshotOptions
+{
+    /**
+     * Include Timer metrics. Off by default: wall-clock durations vary
+     * run to run and would break the bit-identical-snapshot guarantee
+     * the bench --metrics-out files advertise.
+     */
+    bool includeTimers = false;
+};
+
+/** The standard snapshot document identifier. */
+inline constexpr const char *snapshotSchema = "mlpsim-metrics-v1";
+
+/**
+ * Serialise @p snapshot as the canonical JSON document:
+ * `{"schema": ..., "meta": <meta>, "metrics": {<path>: {...}, ...}}`.
+ * @p meta must be an object holding only run-deterministic values
+ * (bench name, instruction budgets — not wall time, not --jobs).
+ */
+JsonValue toJson(const std::map<std::string, Metric> &snapshot,
+                 JsonValue meta = JsonValue::object(),
+                 const SnapshotOptions &options = {});
+
+/** One `path,kind,...` row per metric, headered, path-ordered. */
+std::string toCsv(const std::map<std::string, Metric> &snapshot,
+                  const SnapshotOptions &options = {});
+
+/**
+ * Write the global registry's snapshot to @p path atomically. A
+ * ".csv" extension selects the CSV form; anything else gets JSON.
+ */
+Status writeSnapshotFile(const std::string &path,
+                         JsonValue meta = JsonValue::object(),
+                         const SnapshotOptions &options = {});
+
+/**
+ * Serialise job spans in the Chrome trace_event format ("X" complete
+ * events, microsecond timestamps, one tid per sweep worker).
+ */
+JsonValue spansToTraceEvents(const std::vector<JobSpan> &spans);
+
+/**
+ * Drain all SweepRunner spans recorded so far and write them to
+ * @p path as a trace-event file.
+ */
+Status writeTraceEventsFile(const std::string &path);
+
+} // namespace mlpsim::metrics

@@ -42,9 +42,35 @@ ThreadPool::waitIdle()
     idle.wait(lock, [this] { return queue.empty() && busy == 0; });
 }
 
+namespace {
+
+/**
+ * Process-wide job-hook and span state. One mutex guards both; jobs
+ * touch it twice each (hook copy at start, span append at end), which
+ * is noise next to a job body that simulates millions of instructions.
+ */
+std::mutex g_jobStateMutex;
+JobHooks g_jobHooks;
+std::vector<JobSpan> g_jobSpans;
+
+/** 1-based id per pool worker thread; 0 on every other thread. */
+thread_local unsigned t_workerId = 0;
+std::atomic<unsigned> g_nextWorkerId{0};
+
+JobHooks
+currentJobHooks()
+{
+    std::lock_guard<std::mutex> lock(g_jobStateMutex);
+    return g_jobHooks;
+}
+
+} // namespace
+
 void
 ThreadPool::workerLoop()
 {
+    if (t_workerId == 0)
+        t_workerId = 1 + g_nextWorkerId.fetch_add(1);
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
         wake.wait(lock, [this] { return stopping || !queue.empty(); });
@@ -82,6 +108,9 @@ SweepRunner::BatchStats::concurrency() const
 SweepRunner::SweepRunner(unsigned job_count)
     : jobCount(job_count == 0 ? ThreadPool::hardwareThreads() : job_count)
 {
+    // Pin the span origin no later than the first runner, so no job
+    // can start before it and spans never go negative.
+    processEpoch();
 }
 
 SweepRunner::~SweepRunner() = default;
@@ -97,6 +126,9 @@ SweepRunner::enqueue(std::shared_ptr<detail::JobSlot> slot,
 void
 SweepRunner::execute(Pending &job)
 {
+    const JobHooks hooks = currentJobHooks();
+    if (hooks.begin)
+        job.slot->hookToken = hooks.begin();
     const auto start = std::chrono::steady_clock::now();
     try {
         job.body();
@@ -104,8 +136,14 @@ SweepRunner::execute(Pending &job)
         job.slot->error = std::current_exception();
     }
     const auto end = std::chrono::steady_clock::now();
+    if (hooks.end)
+        hooks.end(job.slot->hookToken);
+    job.slot->startMillis =
+        std::chrono::duration<double, std::milli>(start - processEpoch())
+            .count();
     job.slot->wallMillis =
         std::chrono::duration<double, std::milli>(end - start).count();
+    job.slot->worker = t_workerId;
     job.slot->done = true;
 }
 
@@ -140,12 +178,57 @@ SweepRunner::runAll()
             std::max(batch.maxJobMillis, job.slot->wallMillis);
     }
 
+    {
+        std::lock_guard<std::mutex> lock(g_jobStateMutex);
+        for (const auto &job : jobs) {
+            g_jobSpans.push_back(JobSpan{job.slot->label,
+                                         job.slot->startMillis,
+                                         job.slot->wallMillis,
+                                         job.slot->worker});
+        }
+    }
+
+    // Commit per-job hook tokens in submission order — the ordering
+    // the metrics layer's deterministic-merge contract depends on —
+    // and drop the tokens so job-private state is released with the
+    // batch, not with the Job<T> handles.
+    const JobHooks hooks = currentJobHooks();
+    for (const auto &job : jobs) {
+        if (hooks.commit && job.slot->hookToken)
+            hooks.commit(job.slot->hookToken);
+        job.slot->hookToken.reset();
+    }
+
     // Deterministic failure propagation: completion order varies run
     // to run, submission order does not.
     for (const auto &job : jobs) {
         if (job.slot->error)
             std::rethrow_exception(job.slot->error);
     }
+}
+
+void
+SweepRunner::setJobHooks(JobHooks hooks)
+{
+    std::lock_guard<std::mutex> lock(g_jobStateMutex);
+    g_jobHooks = std::move(hooks);
+}
+
+std::vector<JobSpan>
+SweepRunner::drainSpans()
+{
+    std::lock_guard<std::mutex> lock(g_jobStateMutex);
+    std::vector<JobSpan> out;
+    out.swap(g_jobSpans);
+    return out;
+}
+
+std::chrono::steady_clock::time_point
+SweepRunner::processEpoch()
+{
+    // First use pins the origin; static-local init is thread-safe.
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
 }
 
 } // namespace mlpsim

@@ -87,6 +87,36 @@ class ThreadPool
     bool stopping = false;
 };
 
+/**
+ * The executed extent of one job: when it started (relative to a
+ * process-wide epoch), how long it ran, and on which worker. Spans are
+ * recorded for every job of every runner into one process-wide log so
+ * the metrics layer can export a Chrome trace_event timeline of a
+ * whole binary's schedule (prepare batches and sweep batches alike).
+ */
+struct JobSpan
+{
+    std::string label;
+    double startMillis = 0.0;  //!< since processEpoch()
+    double durMillis = 0.0;
+    unsigned worker = 0;       //!< 0 = the runner's calling thread
+};
+
+/**
+ * Optional per-job instrumentation installed process-wide (see
+ * SweepRunner::setJobHooks). `begin` runs on the executing thread
+ * right before the job body and returns an opaque token; `end` runs on
+ * the same thread right after the body; `commit` runs on the runAll()
+ * caller once the batch finished, once per job in *submission order* —
+ * the ordering the metrics layer relies on for deterministic merges.
+ */
+struct JobHooks
+{
+    std::function<std::shared_ptr<void>()> begin;
+    std::function<void(const std::shared_ptr<void> &)> end;
+    std::function<void(const std::shared_ptr<void> &)> commit;
+};
+
 namespace detail {
 
 /** Type-erased result slot shared by SweepRunner and Job<T>. */
@@ -96,7 +126,10 @@ struct JobSlot
 
     std::string label;                //!< for diagnostics/progress
     std::exception_ptr error;         //!< set if the closure threw
+    std::shared_ptr<void> hookToken;  //!< JobHooks begin() result
+    double startMillis = 0.0;         //!< since processEpoch()
     double wallMillis = 0.0;          //!< execution time of this job
+    unsigned worker = 0;              //!< executing worker (0 = caller)
     bool done = false;                //!< ran (successfully or not)
 };
 
@@ -242,6 +275,23 @@ class SweepRunner
     std::size_t totalDeferred() const { return deferredCount; }
 
     const BatchStats &lastBatch() const { return batch; }
+
+    /**
+     * Install process-wide per-job hooks (all runners, all batches).
+     * Pass a default-constructed JobHooks to uninstall. Not intended
+     * to change while a batch is in flight.
+     */
+    static void setJobHooks(JobHooks hooks);
+
+    /**
+     * All job spans recorded process-wide since the last drain, in
+     * batch-completion order (submission order within a batch).
+     * Draining clears the log.
+     */
+    static std::vector<JobSpan> drainSpans();
+
+    /** The steady-clock origin JobSpan::startMillis is relative to. */
+    static std::chrono::steady_clock::time_point processEpoch();
 
   private:
     struct Pending

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.hh"
+
 namespace mlpsim {
 
 void
@@ -25,6 +27,26 @@ double
 RunningStat::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double combined_n = double(n) + double(other.n);
+    const double delta = other.mu - mu;
+    m2 += other.m2 +
+          delta * delta * double(n) * double(other.n) / combined_n;
+    mu += delta * double(other.n) / combined_n;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n += other.n;
 }
 
 void
@@ -55,19 +77,49 @@ Histogram::cdfAt(uint64_t key) const
     return double(below_or_equal) / double(n);
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[key, count] : other.counts)
+        counts[key] += count;
+    n += other.n;
+    weighted_sum += other.weighted_sum;
+}
+
+uint64_t
+Histogram::minKey() const
+{
+    MLPSIM_ASSERT(n, "minKey() on an empty histogram");
+    return counts.begin()->first;
+}
+
+uint64_t
+Histogram::maxKey() const
+{
+    MLPSIM_ASSERT(n, "maxKey() on an empty histogram");
+    return counts.rbegin()->first;
+}
+
 uint64_t
 Histogram::quantile(double q) const
 {
+    MLPSIM_ASSERT(q >= 0.0 && q <= 1.0,
+                  "quantile fraction outside [0, 1]: ", q);
     if (!n)
         return 0;
-    const auto target = static_cast<uint64_t>(std::ceil(q * double(n)));
+    if (q == 0.0)
+        return minKey();
+    // ceil(q * n) never exceeds n for q <= 1, but guard the product
+    // against floating-point round-up anyway.
+    const auto target = std::min(
+        uint64_t(n), static_cast<uint64_t>(std::ceil(q * double(n))));
     uint64_t running = 0;
     for (const auto &[k, c] : counts) {
         running += c;
         if (running >= target)
             return k;
     }
-    return counts.rbegin()->first;
+    return maxKey();
 }
 
 void

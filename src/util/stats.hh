@@ -17,6 +17,13 @@ class RunningStat
   public:
     void add(double x);
 
+    /**
+     * Fold @p other into this accumulator (Chan et al. parallel
+     * variance combine). Deterministic for a fixed merge order; the
+     * metrics layer therefore always merges in submission order.
+     */
+    void merge(const RunningStat &other);
+
     uint64_t count() const { return n; }
     double mean() const { return n ? mu : 0.0; }
     double variance() const { return n > 1 ? m2 / double(n - 1) : 0.0; }
@@ -46,13 +53,28 @@ class Histogram
   public:
     void add(uint64_t key, uint64_t weight = 1);
 
+    /** Fold @p other's buckets into this histogram. */
+    void merge(const Histogram &other);
+
     uint64_t samples() const { return n; }
     double mean() const;
 
-    /** Fraction of samples with key <= @p key (empirical CDF). */
+    /** Smallest / largest key observed. @pre samples() > 0. */
+    uint64_t minKey() const;
+    uint64_t maxKey() const;
+
+    /**
+     * Fraction of samples with key <= @p key (empirical CDF).
+     * Defined as 0.0 on an empty histogram.
+     */
     double cdfAt(uint64_t key) const;
 
-    /** Smallest key k such that cdfAt(k) >= @p q. */
+    /**
+     * Smallest key k such that cdfAt(k) >= @p q, for @p q in [0, 1]
+     * (panics outside that range). Edge cases are defined, not
+     * accidental: q = 0.0 returns minKey(), q = 1.0 returns maxKey(),
+     * and an empty histogram returns 0 for every q.
+     */
     uint64_t quantile(double q) const;
 
     const std::map<uint64_t, uint64_t> &buckets() const { return counts; }

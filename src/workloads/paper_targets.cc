@@ -1,0 +1,110 @@
+#include "paper_targets.hh"
+
+#include "metrics/export.hh"
+#include "util/logging.hh"
+
+namespace mlpsim::workloads {
+
+namespace {
+
+struct Row
+{
+    const char *name;
+    PaperTargets t;
+};
+
+// Table 1 / Table 5 / Figure 4 / Figure 8 published values.
+constexpr Row rows[] = {
+    {"database", {0.84, 1.38, 1.02, 1.06, 2.5}},
+    {"specjbb2000", {0.19, 1.13, 1.00, 1.01, 2.3}},
+    {"specweb99", {0.09, 1.28, 1.10, 1.13, 1.9}},
+};
+
+metrics::JsonValue
+gauge(double value)
+{
+    metrics::JsonValue m = metrics::JsonValue::object();
+    m.set("kind", "gauge");
+    m.set("value", value);
+    return m;
+}
+
+} // namespace
+
+const metrics::JsonValue &
+paperTargetsSnapshot()
+{
+    static const metrics::JsonValue doc = [] {
+        using metrics::JsonValue;
+        JsonValue meta = JsonValue::object();
+        meta.set("source",
+                 "Chou, Fahs and Abraham, ISCA 2004: published workload "
+                 "characteristics (Tables 1 and 5, Figures 4 and 8)");
+        JsonValue paths = JsonValue::object();
+        for (const Row &row : rows) {
+            const std::string prefix = std::string(row.name) + "/paper/";
+            paths.set(prefix + "miss_per_100", gauge(row.t.missPer100));
+            paths.set(prefix + "mlp_64C", gauge(row.t.mlp64C));
+            paths.set(prefix + "mlp_runahead", gauge(row.t.mlpRunahead));
+            paths.set(prefix + "mlp_stall_on_miss", gauge(row.t.mlpSom));
+            paths.set(prefix + "mlp_stall_on_use", gauge(row.t.mlpSou));
+        }
+        JsonValue out = JsonValue::object();
+        out.set("schema", metrics::snapshotSchema);
+        out.set("meta", std::move(meta));
+        out.set("metrics", std::move(paths));
+        return out;
+    }();
+    return doc;
+}
+
+std::string
+paperTargetsJsonText()
+{
+    return paperTargetsSnapshot().dump(2);
+}
+
+Expected<PaperTargets>
+targetsFromSnapshot(const metrics::JsonValue &doc, const std::string &name)
+{
+    const metrics::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->string() != metrics::snapshotSchema) {
+        return Status::invalidArgument(
+            "targets document is not a ", metrics::snapshotSchema,
+            " snapshot");
+    }
+    const metrics::JsonValue *paths = doc.find("metrics");
+    if (!paths || !paths->isObject())
+        return Status::invalidArgument(
+            "targets snapshot has no \"metrics\" object");
+
+    auto read = [&](const char *metric, double *out) -> Status {
+        const std::string path = name + "/paper/" + metric;
+        const metrics::JsonValue *entry = paths->find(path);
+        if (!entry)
+            return Status::notFound("targets snapshot lacks '", path, "'");
+        const metrics::JsonValue *value = entry->find("value");
+        if (!value || !value->isNumber())
+            return Status::invalidArgument("'", path,
+                                           "' has no numeric value");
+        *out = value->number();
+        return Status::okStatus();
+    };
+
+    PaperTargets t;
+    MLPSIM_RETURN_IF_ERROR(read("miss_per_100", &t.missPer100));
+    MLPSIM_RETURN_IF_ERROR(read("mlp_64C", &t.mlp64C));
+    MLPSIM_RETURN_IF_ERROR(read("mlp_stall_on_miss", &t.mlpSom));
+    MLPSIM_RETURN_IF_ERROR(read("mlp_stall_on_use", &t.mlpSou));
+    MLPSIM_RETURN_IF_ERROR(read("mlp_runahead", &t.mlpRunahead));
+    return t;
+}
+
+PaperTargets
+paperTargets(const std::string &name)
+{
+    return targetsFromSnapshot(paperTargetsSnapshot(), name).orFatal();
+}
+
+} // namespace mlpsim::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's published per-workload characteristics, shipped as a
+ * metrics snapshot.
+ *
+ * Several binaries compare this reproduction's measurements against
+ * numbers from the paper (Table 1 miss rates, Table 5 in-order MLP,
+ * the Figure 4 64-entry config-C point, the Figure 8 runahead MLP).
+ * Instead of each binary hard-coding its own copy of those constants,
+ * they live in exactly one document — a `mlpsim-metrics-v1` snapshot
+ * whose gauge paths follow the standard `workload/component/metric`
+ * label scheme — embedded here and committed verbatim as
+ * `data/paper_targets.json` so external tooling can consume the same
+ * numbers. tools/calibrate can also be pointed at a *different*
+ * snapshot (--targets FILE), e.g. one produced by a previous calibrate
+ * run, to diff two parameterisations.
+ */
+#pragma once
+
+#include <string>
+
+#include "metrics/json.hh"
+
+namespace mlpsim::workloads {
+
+/** The paper's published targets for one commercial workload. */
+struct PaperTargets
+{
+    double missPer100 = 0.0;  //!< Table 1: useful misses / 100 insts
+    double mlp64C = 0.0;      //!< Figure 4: MLP of the default 64C
+    double mlpSom = 0.0;      //!< Table 5: in-order stall-on-miss MLP
+    double mlpSou = 0.0;      //!< Table 5: in-order stall-on-use MLP
+    double mlpRunahead = 0.0; //!< Figure 8: runahead (RAE) MLP
+};
+
+/** The embedded snapshot document (identical to data/paper_targets.json). */
+const metrics::JsonValue &paperTargetsSnapshot();
+
+/** The embedded document's serialised text, exactly as committed. */
+std::string paperTargetsJsonText();
+
+/**
+ * Extract @p name's targets from @p doc, a metrics snapshot holding
+ * `<name>/paper/<metric>` gauges. Diagnoses a wrong schema or a
+ * missing workload/metric path instead of defaulting silently.
+ */
+Expected<PaperTargets> targetsFromSnapshot(const metrics::JsonValue &doc,
+                                           const std::string &name);
+
+/** The embedded targets for @p name; fatal() on an unknown workload. */
+PaperTargets paperTargets(const std::string &name);
+
+} // namespace mlpsim::workloads

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * MetricRegistry unit tests: kind bookkeeping, merge semantics, the
+ * thread-local label/collector context, exporter output shape, and the
+ * zero-cost-when-disabled contract.
+ *
+ * These tests use private MetricRegistry instances wherever possible;
+ * the few that touch process state (enabled flag, label stack) restore
+ * it before returning so test order never matters.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/export.hh"
+#include "metrics/registry.hh"
+
+namespace mlpsim::metrics {
+namespace {
+
+TEST(MetricRegistry, RecordsEveryKind)
+{
+    MetricRegistry reg;
+    reg.add("c");
+    reg.add("c", 4);
+    reg.set("g", 1.5);
+    reg.set("g", 2.5);
+    reg.observe("s", 1.0);
+    reg.observe("s", 3.0);
+    reg.observeKey("h", 7, 2);
+    reg.observeKey("h", 9);
+    reg.addTime("t", 0.25);
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    EXPECT_EQ(snap.at("c").kind, MetricKind::Counter);
+    EXPECT_EQ(snap.at("c").counter, 5u);
+    EXPECT_EQ(snap.at("g").kind, MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(snap.at("g").gauge, 2.5); // last write wins
+    EXPECT_EQ(snap.at("s").kind, MetricKind::Stat);
+    EXPECT_EQ(snap.at("s").stat.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.at("s").stat.mean(), 2.0);
+    EXPECT_EQ(snap.at("h").kind, MetricKind::Hist);
+    EXPECT_EQ(snap.at("h").hist.samples(), 3u);
+    EXPECT_EQ(snap.at("t").kind, MetricKind::Timer);
+    EXPECT_DOUBLE_EQ(snap.at("t").stat.sum(), 0.25);
+
+    EXPECT_FALSE(reg.empty());
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+}
+
+TEST(MetricRegistry, MergeFollowsPerKindSemantics)
+{
+    MetricRegistry a, b;
+    a.add("counter", 3);
+    b.add("counter", 4);
+    a.set("gauge", 1.0);
+    b.set("gauge", 9.0);
+    a.observe("stat", 2.0);
+    b.observe("stat", 4.0);
+    a.observeKey("hist", 1);
+    b.observeKey("hist", 5, 3);
+    b.add("only_in_b", 2);
+
+    a.merge(b);
+    const auto snap = a.snapshot();
+    EXPECT_EQ(snap.at("counter").counter, 7u); // counters sum
+    // Gauges are last-write-wins; merge order is submission order, so
+    // the later job's value survives, matching serial execution.
+    EXPECT_DOUBLE_EQ(snap.at("gauge").gauge, 9.0);
+    EXPECT_EQ(snap.at("stat").stat.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.at("stat").stat.mean(), 3.0);
+    EXPECT_EQ(snap.at("hist").hist.samples(), 4u);
+    EXPECT_EQ(snap.at("only_in_b").counter, 2u);
+}
+
+TEST(MetricRegistry, KindMismatchIsFatal)
+{
+    MetricRegistry reg;
+    reg.add("path");
+    EXPECT_DEATH({ reg.set("path", 1.0); }, "registered as");
+
+    Metric counter, gauge;
+    counter.kind = MetricKind::Counter;
+    gauge.kind = MetricKind::Gauge;
+    EXPECT_DEATH({ counter.merge(gauge); }, "merging");
+}
+
+TEST(MetricLabels, ScopedLabelsComposeLeftToRight)
+{
+    EXPECT_EQ(scopedPath("metric"), "metric");
+    {
+        ScopedLabel outer("database");
+        EXPECT_EQ(scopedPath("metric"), "database/metric");
+        {
+            ScopedLabel inner("64C");
+            EXPECT_EQ(scopedPath("core/metric"),
+                      "database/64C/core/metric");
+        }
+        EXPECT_EQ(scopedPath("metric"), "database/metric");
+    }
+    EXPECT_EQ(scopedPath("metric"), "metric");
+}
+
+TEST(MetricLabels, CollectorScopeRedirectsCur)
+{
+    EXPECT_EQ(&cur(), &MetricRegistry::global());
+    MetricRegistry job;
+    {
+        CollectorScope scope(&job);
+        EXPECT_EQ(&cur(), &job);
+        cur().add("routed");
+        MetricRegistry nested;
+        {
+            CollectorScope inner(&nested);
+            EXPECT_EQ(&cur(), &nested);
+        }
+        EXPECT_EQ(&cur(), &job); // unwinds to the previous collector
+    }
+    EXPECT_EQ(&cur(), &MetricRegistry::global());
+    EXPECT_EQ(job.snapshot().at("routed").counter, 1u);
+}
+
+TEST(MetricExport, SnapshotJsonShapeAndTimerExclusion)
+{
+    MetricRegistry reg;
+    reg.add("alpha/count", 3);
+    reg.set("alpha/value", 0.5);
+    reg.observe("beta/stat", 2.0);
+    reg.observeKey("beta/hist", 4, 2);
+    reg.addTime("beta/wall_s", 0.125);
+
+    JsonValue meta = JsonValue::object();
+    meta.set("bench", "unit");
+    const JsonValue doc = toJson(reg.snapshot(), std::move(meta));
+
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->string(), snapshotSchema);
+    EXPECT_EQ(doc.find("meta")->find("bench")->string(), "unit");
+
+    const JsonValue &metrics_obj = *doc.find("metrics");
+    ASSERT_NE(metrics_obj.find("alpha/count"), nullptr);
+    EXPECT_EQ(metrics_obj.find("alpha/count")->find("kind")->string(),
+              "counter");
+    EXPECT_EQ(metrics_obj.find("alpha/count")->find("value")->uinteger(),
+              3u);
+    EXPECT_EQ(metrics_obj.find("alpha/value")->find("kind")->string(),
+              "gauge");
+    EXPECT_EQ(metrics_obj.find("beta/stat")->find("kind")->string(),
+              "stat");
+    EXPECT_EQ(metrics_obj.find("beta/hist")->find("kind")->string(),
+              "histogram");
+    // Timers are wall-clock noise: excluded unless explicitly asked
+    // for, so the default document stays bit-identical run to run.
+    EXPECT_EQ(metrics_obj.find("beta/wall_s"), nullptr);
+
+    SnapshotOptions with_timers;
+    with_timers.includeTimers = true;
+    const JsonValue full =
+        toJson(reg.snapshot(), JsonValue::object(), with_timers);
+    ASSERT_NE(full.find("metrics")->find("beta/wall_s"), nullptr);
+    EXPECT_EQ(full.find("metrics")
+                  ->find("beta/wall_s")
+                  ->find("kind")
+                  ->string(),
+              "timer");
+}
+
+TEST(MetricExport, CsvIsHeaderedAndTimerFree)
+{
+    MetricRegistry reg;
+    reg.add("z/count", 2);
+    reg.add("a/count", 1);
+    reg.addTime("a/wall_s", 1.0);
+
+    const std::string csv = toCsv(reg.snapshot());
+    EXPECT_EQ(csv.rfind("path,kind,count,value,mean,min,max", 0), 0u);
+    EXPECT_NE(csv.find("a/count,counter"), std::string::npos);
+    EXPECT_NE(csv.find("z/count,counter"), std::string::npos);
+    EXPECT_EQ(csv.find("wall_s"), std::string::npos);
+    // Paths come out lexicographically ordered.
+    EXPECT_LT(csv.find("a/count"), csv.find("z/count"));
+
+    SnapshotOptions with_timers;
+    with_timers.includeTimers = true;
+    EXPECT_NE(toCsv(reg.snapshot(), with_timers).find("a/wall_s,timer"),
+              std::string::npos);
+}
+
+TEST(MetricEnabled, DisabledCollectionIsInvisible)
+{
+    ASSERT_FALSE(enabled()) << "tests expect collection off by default";
+
+    // ScopedTimer must not record anything while disabled.
+    MetricRegistry quiet;
+    {
+        CollectorScope scope(&quiet);
+        ScopedTimer timer("should_not_appear");
+    }
+    EXPECT_TRUE(quiet.empty());
+
+    setEnabled(true);
+    EXPECT_TRUE(enabled());
+    MetricRegistry loud;
+    {
+        CollectorScope scope(&loud);
+        ScopedTimer timer("recorded_s");
+    }
+    setEnabled(false);
+    const auto snap = loud.snapshot();
+    ASSERT_EQ(snap.count("recorded_s"), 1u);
+    EXPECT_EQ(snap.at("recorded_s").kind, MetricKind::Timer);
+    EXPECT_EQ(snap.at("recorded_s").stat.count(), 1u);
+    EXPECT_GE(snap.at("recorded_s").stat.min(), 0.0);
+}
+
+} // namespace
+} // namespace mlpsim::metrics

@@ -105,6 +105,95 @@ TEST(Histogram, Quantiles)
     EXPECT_EQ(h.quantile(1.0), 100u);
 }
 
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram h;
+    // Empty histogram: defined as 0 for every fraction.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+
+    h.add(3, 2);
+    h.add(7, 5);
+    h.add(40);
+    EXPECT_EQ(h.minKey(), 3u);
+    EXPECT_EQ(h.maxKey(), 40u);
+    EXPECT_EQ(h.quantile(0.0), 3u);  // q = 0 is the smallest key
+    EXPECT_EQ(h.quantile(1.0), 40u); // q = 1 is the largest key
+    // Tiny but non-zero fractions land on the first bucket.
+    EXPECT_EQ(h.quantile(1e-12), 3u);
+    // Fractions just under 1 land on the last non-empty step.
+    EXPECT_EQ(h.quantile(0.875), 7u);
+    EXPECT_EQ(h.quantile(0.876), 40u);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeFractions)
+{
+    Histogram h;
+    h.add(1);
+    EXPECT_DEATH({ (void)h.quantile(-0.1); }, "outside");
+    EXPECT_DEATH({ (void)h.quantile(1.5); }, "outside");
+}
+
+TEST(Histogram, MinMaxKeyRequireSamples)
+{
+    Histogram h;
+    EXPECT_DEATH({ (void)h.minKey(); }, "empty");
+    EXPECT_DEATH({ (void)h.maxKey(); }, "empty");
+}
+
+TEST(Histogram, MergeMatchesSerialAccumulation)
+{
+    Histogram a, b, serial;
+    for (uint64_t i = 1; i <= 10; ++i) {
+        a.add(i, i);
+        serial.add(i, i);
+    }
+    for (uint64_t i = 5; i <= 15; ++i) {
+        b.add(i, 2);
+        serial.add(i, 2);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.samples(), serial.samples());
+    EXPECT_DOUBLE_EQ(a.mean(), serial.mean());
+    EXPECT_EQ(a.buckets(), serial.buckets());
+
+    // Merging an empty histogram (either way) is a no-op.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.buckets(), serial.buckets());
+    empty.merge(a);
+    EXPECT_EQ(empty.buckets(), serial.buckets());
+}
+
+TEST(RunningStat, MergeMatchesSerialAccumulation)
+{
+    RunningStat a, b, serial;
+    for (double x : {2.0, 4.0, 4.0, 4.0}) {
+        a.add(x);
+        serial.add(x);
+    }
+    for (double x : {5.0, 5.0, 7.0, 9.0}) {
+        b.add(x);
+        serial.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), serial.count());
+    EXPECT_DOUBLE_EQ(a.mean(), serial.mean());
+    EXPECT_NEAR(a.variance(), serial.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), serial.min());
+    EXPECT_DOUBLE_EQ(a.max(), serial.max());
+    EXPECT_DOUBLE_EQ(a.sum(), serial.sum());
+
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), serial.count());
+    EXPECT_DOUBLE_EQ(a.mean(), serial.mean());
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), serial.count());
+    EXPECT_DOUBLE_EQ(empty.mean(), serial.mean());
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h;

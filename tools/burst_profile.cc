@@ -12,12 +12,15 @@
  *
  * Usage: ./burst_profile [--workload NAME] [--machine 64C|RAE|INF|som]
  *                        [--insts N] [--warmup N] [--jobs N]
+ *                        [--metrics-out FILE] [--trace-events FILE]
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "metrics/export.hh"
+#include "metrics/registry.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "util/parallel.hh"
@@ -63,13 +66,21 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
-    opts.rejectUnknown({"insts", "warmup", "machine", "workload", "jobs"});
+    opts.rejectUnknown({"insts", "warmup", "machine", "workload", "jobs",
+                        "metrics-out", "trace-events"});
     if (opts.has("workload"))
         workloads::tryMakeWorkload(opts.getString("workload", ""))
             .orFatal();
     const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const std::string machine = opts.getString("machine", "64C");
+
+    const std::string metrics_out = opts.getString("metrics-out", "");
+    const std::string trace_events = opts.getString("trace-events", "");
+    if (!metrics_out.empty() || !trace_events.empty()) {
+        metrics::setEnabled(true);
+        metrics::installSweepIsolation();
+    }
 
     // One job per workload: prepare + annotate + simulate; results are
     // printed in canonical order regardless of completion order.
@@ -84,6 +95,9 @@ main(int argc, char **argv)
         names.push_back(name);
         cells.push_back(runner.defer<core::MlpResult>(
             name, [name, warmup, measure, &machine] {
+                metrics::ScopedLabel wl_label(name);
+                metrics::ScopedLabel cfg_label(
+                    machineByName(machine).metricLabel());
                 auto generator = workloads::makeWorkload(
                     name, workloads::workloadSeed(name));
                 trace::TraceBuffer buffer(name);
@@ -135,5 +149,16 @@ main(int argc, char **argv)
                     (unsigned long long)
                         r.accessesPerEpoch.quantile(0.99));
     }
+
+    if (!metrics_out.empty()) {
+        metrics::JsonValue meta = metrics::JsonValue::object();
+        meta.set("tool", "burst_profile");
+        meta.set("machine", machine);
+        meta.set("warmup_insts", warmup);
+        meta.set("measure_insts", measure);
+        metrics::writeSnapshotFile(metrics_out, std::move(meta)).orFatal();
+    }
+    if (!trace_events.empty())
+        metrics::writeTraceEventsFile(trace_events).orFatal();
     return 0;
 }

@@ -8,6 +8,12 @@
  * mix) next to the paper's published values. Used while tuning the
  * synthetic workload parameters and kept as a tool so downstream users
  * adapting the generators can re-check their own presets.
+ *
+ * The target numbers come from a metrics snapshot — the embedded
+ * paper-targets document by default (see workloads/paper_targets.hh,
+ * committed as data/paper_targets.json), or any snapshot given with
+ * --targets FILE, so a previous run's --metrics-out file can serve as
+ * the baseline for a parameter-tuning diff.
  */
 #include <cstdio>
 #include <map>
@@ -16,29 +22,17 @@
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "metrics/export.hh"
+#include "metrics/registry.hh"
 #include "trace/trace_stats.hh"
 #include "util/options.hh"
 #include "util/parallel.hh"
 #include "workloads/factory.hh"
+#include "workloads/paper_targets.hh"
 
 using namespace mlpsim;
 
 namespace {
-
-struct PaperTargets
-{
-    double missRate, mlp64C, som, sou, rae;
-};
-
-PaperTargets
-targets(const std::string &name)
-{
-    if (name == "database")
-        return {0.84, 1.38, 1.02, 1.06, 2.5};
-    if (name == "specjbb2000")
-        return {0.19, 1.13, 1.00, 1.01, 2.3};
-    return {0.09, 1.28, 1.10, 1.13, 1.9};
-}
 
 /** One materialised workload (buffer heap-allocated so moves are safe). */
 struct Prep
@@ -62,11 +56,25 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
-    opts.rejectUnknown({"insts", "warmup", "workload", "l2mb", "jobs"});
+    opts.rejectUnknown({"insts", "warmup", "workload", "l2mb", "jobs",
+                        "targets", "metrics-out", "trace-events"});
     const uint64_t warmup = opts.scaledInsts("warmup", 1'000'000);
     const uint64_t measure = opts.scaledInsts("insts", 3'000'000);
     const uint64_t total = warmup + measure;
     const uint64_t l2mb = opts.getU64("l2mb", 2);
+
+    const std::string targets_path = opts.getString("targets", "");
+    const metrics::JsonValue targets_doc =
+        targets_path.empty()
+            ? workloads::paperTargetsSnapshot()
+            : metrics::readJsonFile(targets_path).orFatal();
+
+    const std::string metrics_out = opts.getString("metrics-out", "");
+    const std::string trace_events = opts.getString("trace-events", "");
+    if (!metrics_out.empty() || !trace_events.empty()) {
+        metrics::setEnabled(true);
+        metrics::installSweepIsolation();
+    }
 
     std::vector<std::string> names;
     for (const auto &name : workloads::commercialWorkloadNames()) {
@@ -84,6 +92,7 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         prepJobs.push_back(runner.defer<Prep>(
             "prepare " + name, [name, total, warmup, l2mb] {
+                metrics::ScopedLabel wl_label(name);
                 Prep prep;
                 prep.name = name;
                 auto wl = workloads::makeWorkload(
@@ -110,9 +119,13 @@ main(int argc, char **argv)
     auto defer = [&](const Prep &prep, core::MlpConfig cfg) {
         cfg.warmupInsts = warmup;
         const core::AnnotatedTrace *ann = prep.ann.get();
+        const std::string name = prep.name;
         return runner.defer<core::MlpResult>(
-            "mlp " + prep.name,
-            [cfg, ann] { return core::runMlp(cfg, ann->context()); });
+            "mlp " + prep.name, [cfg, ann, name] {
+                metrics::ScopedLabel wl_label(name);
+                metrics::ScopedLabel cfg_label(cfg.metricLabel());
+                return core::runMlp(cfg, ann->context());
+            });
     };
 
     std::vector<Cells> cells(preps.size());
@@ -143,7 +156,8 @@ main(int argc, char **argv)
         const trace::TraceBuffer &buf = *preps[w].buf;
         const core::AnnotatedTrace &ann = *preps[w].ann;
         const auto &m = ann.misses();
-        const auto t = targets(name);
+        const auto t =
+            workloads::targetsFromSnapshot(targets_doc, name).orFatal();
 
         const auto mix = [&] {
             auto cursor = buf.cursor();
@@ -160,7 +174,7 @@ main(int argc, char **argv)
                     100 * mix.fracPrefetches());
         std::printf("miss/100: %.3f (paper %.2f)   [dmiss %.3f  imiss "
                     "%.3f  pmiss %.3f]   mispredict %.1f%%\n",
-                    m.missRatePer100(), t.missRate,
+                    m.missRatePer100(), t.missPer100,
                     100.0 * double(m.loadMisses) / double(measure),
                     100.0 * double(m.fetchMisses) / double(measure),
                     100.0 * double(m.usefulPrefetches) / double(measure),
@@ -189,8 +203,8 @@ main(int argc, char **argv)
         }
 
         std::printf("MLP: som=%.2f(%.2f) sou=%.2f(%.2f)\n",
-                    cells[w].som.get().mlp(), t.som,
-                    cells[w].sou.get().mlp(), t.sou);
+                    cells[w].som.get().mlp(), t.mlpSom,
+                    cells[w].sou.get().mlp(), t.mlpSou);
         size_t cell = 0;
         for (unsigned window : {32u, 64u, 128u, 256u}) {
             std::printf("  w=%-3u", window);
@@ -205,7 +219,7 @@ main(int argc, char **argv)
         std::printf("  64C=%.2f(paper %.2f) RAE=%.2f(paper %.1f) "
                     "INF=%.2f\n",
                     cells[w].c64.get().mlp(), t.mlp64C,
-                    cells[w].rae.get().mlp(), t.rae,
+                    cells[w].rae.get().mlp(), t.mlpRunahead,
                     cells[w].inf.get().mlp());
 
         const auto &r = cells[w].c64.get();
@@ -219,5 +233,15 @@ main(int argc, char **argv)
         }
         std::printf("\n\n");
     }
+
+    if (!metrics_out.empty()) {
+        metrics::JsonValue meta = metrics::JsonValue::object();
+        meta.set("tool", "calibrate");
+        meta.set("warmup_insts", warmup);
+        meta.set("measure_insts", measure);
+        metrics::writeSnapshotFile(metrics_out, std::move(meta)).orFatal();
+    }
+    if (!trace_events.empty())
+        metrics::writeTraceEventsFile(trace_events).orFatal();
     return 0;
 }

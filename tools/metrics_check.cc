@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Validator for the JSON files the benches and tools emit.
+ *
+ * Used by the bench_smoke ctest suite: after a tiny sweep writes its
+ * --metrics-out / --trace-events files, this tool checks that the
+ * document parses with the strict metrics/json.hh reader, carries the
+ * expected schema and required keys, and survives a full
+ * dump-parse-compare round trip (writer and reader agree exactly).
+ *
+ * Usage:
+ *   metrics_check --in FILE [--kind snapshot|trace|bench-perf]
+ *                 [--require path1,path2,...]
+ *   metrics_check --dump-paper-targets   # print the embedded targets
+ *
+ * --require names metric paths (snapshot), event names (trace) or
+ * result keys (bench-perf) that must be present. Exit status is 0 only
+ * if every check passes; failures are fatal() with a description.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/export.hh"
+#include "metrics/json.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "workloads/paper_targets.hh"
+
+using namespace mlpsim;
+using metrics::JsonValue;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    while (begin <= list.size()) {
+        const size_t end = list.find(',', begin);
+        if (end == std::string::npos) {
+            if (begin < list.size())
+                out.push_back(list.substr(begin));
+            break;
+        }
+        if (end > begin)
+            out.push_back(list.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+const JsonValue &
+requireMember(const JsonValue &doc, const std::string &key,
+              const char *what)
+{
+    const JsonValue *member = doc.find(key);
+    if (!member)
+        fatal(what, " lacks required member \"", key, "\"");
+    return *member;
+}
+
+void
+checkSnapshot(const JsonValue &doc,
+              const std::vector<std::string> &required)
+{
+    const JsonValue &schema = requireMember(doc, "schema", "snapshot");
+    if (!schema.isString() || schema.string() != metrics::snapshotSchema)
+        fatal("snapshot schema is not ", metrics::snapshotSchema);
+    if (!requireMember(doc, "meta", "snapshot").isObject())
+        fatal("snapshot \"meta\" is not an object");
+    const JsonValue &paths = requireMember(doc, "metrics", "snapshot");
+    if (!paths.isObject())
+        fatal("snapshot \"metrics\" is not an object");
+    for (const auto &[path, metric] : paths.members()) {
+        if (!metric.isObject() || !metric.find("kind"))
+            fatal("metric '", path, "' has no \"kind\"");
+    }
+    for (const auto &path : required) {
+        if (!paths.find(path))
+            fatal("snapshot lacks required metric '", path, "'");
+    }
+}
+
+void
+checkTrace(const JsonValue &doc, const std::vector<std::string> &required)
+{
+    const JsonValue &events = requireMember(doc, "traceEvents", "trace");
+    if (!events.isArray())
+        fatal("\"traceEvents\" is not an array");
+    for (const JsonValue &event : events.items()) {
+        for (const char *key : {"name", "ph", "ts", "dur", "tid"}) {
+            if (!event.find(key))
+                fatal("trace event lacks \"", key, "\"");
+        }
+    }
+    for (const auto &name : required) {
+        bool found = false;
+        for (const JsonValue &event : events.items())
+            found = found || (event.find("name") &&
+                              event.find("name")->isString() &&
+                              event.find("name")->string() == name);
+        if (!found)
+            fatal("trace has no event named '", name, "'");
+    }
+}
+
+void
+checkBenchPerf(const JsonValue &doc,
+               const std::vector<std::string> &required)
+{
+    const JsonValue &schema = requireMember(doc, "schema", "bench-perf");
+    if (!schema.isString() || schema.string() != "mlpsim-bench-perf-v1")
+        fatal("bench-perf schema is not mlpsim-bench-perf-v1");
+    const JsonValue &results = requireMember(doc, "results", "bench-perf");
+    if (!results.isArray() || results.size() == 0)
+        fatal("bench-perf \"results\" is not a non-empty array");
+    std::vector<std::string> keys = {"bench",  "workload",    "config",
+                                     "wall_s", "instr_per_s", "peak_rss_kb"};
+    keys.insert(keys.end(), required.begin(), required.end());
+    for (const JsonValue &row : results.items()) {
+        for (const auto &key : keys) {
+            if (!row.find(key))
+                fatal("bench-perf result lacks \"", key, "\"");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    opts.rejectUnknown({"in", "kind", "require", "dump-paper-targets",
+                        "check-paper-targets"});
+
+    if (opts.has("dump-paper-targets")) {
+        std::fputs(workloads::paperTargetsJsonText().c_str(), stdout);
+        return 0;
+    }
+
+    if (opts.has("check-paper-targets")) {
+        const std::string targets = opts.getString("check-paper-targets", "");
+        const JsonValue committed = metrics::readJsonFile(targets).orFatal();
+        if (committed != workloads::paperTargetsSnapshot()) {
+            fatal(targets, " differs from the embedded paper targets; "
+                  "regenerate it with metrics_check --dump-paper-targets");
+        }
+        std::printf("%s: matches the embedded paper targets\n",
+                    targets.c_str());
+        return 0;
+    }
+
+    const std::string path = opts.getString("in", "");
+    if (path.empty())
+        fatal("--in FILE is required (or --dump-paper-targets)");
+    const std::string kind = opts.getString("kind", "snapshot");
+    const auto required = splitCommas(opts.getString("require", ""));
+
+    const JsonValue doc = metrics::readJsonFile(path).orFatal();
+
+    // Writer/reader agreement: serialising the parsed document and
+    // parsing it again must reproduce the document exactly.
+    const JsonValue reparsed = JsonValue::parse(doc.dump(2)).orFatal();
+    if (reparsed != doc)
+        fatal(path, ": dump/parse round trip changed the document");
+
+    if (kind == "snapshot")
+        checkSnapshot(doc, required);
+    else if (kind == "trace")
+        checkTrace(doc, required);
+    else if (kind == "bench-perf")
+        checkBenchPerf(doc, required);
+    else
+        fatal("unknown --kind '", kind,
+              "' (expected snapshot|trace|bench-perf)");
+
+    std::printf("%s: ok (%s)\n", path.c_str(), kind.c_str());
+    return 0;
+}
