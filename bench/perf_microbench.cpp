@@ -11,6 +11,12 @@
  * one `{bench, workload, config, wall_s, instr_per_s, peak_rss_kb}`
  * row per benchmark, for tracking simulator throughput across
  * revisions without scraping console output.
+ *
+ * --engine-only restricts the run to the epoch-engine replay
+ * benchmarks (BM_EpochEngine*). Those replay a trace that was
+ * generated and annotated once, outside the timed region, so the
+ * resulting BENCH_perf.json isolates engine-level instr_per_s from
+ * workload-generation and annotation throughput.
  */
 #include <benchmark/benchmark.h>
 
@@ -221,9 +227,11 @@ class PerfJsonReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off --metrics-out before google-benchmark sees (and
-    // rejects) it; everything else passes through to the library.
+    // Peel off --metrics-out and --engine-only before google-benchmark
+    // sees (and rejects) them; everything else passes through to the
+    // library.
     std::string metrics_out = "BENCH_perf.json";
+    bool engine_only = false;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -235,8 +243,17 @@ main(int argc, char **argv)
             metrics_out = std::string(arg.substr(14));
             continue;
         }
+        if (arg == "--engine-only") {
+            engine_only = true;
+            continue;
+        }
         args.push_back(argv[i]);
     }
+    // Must outlive Initialize(); restricts the run to pre-annotated
+    // engine replay (see the file comment).
+    static char engine_filter[] = "--benchmark_filter=^BM_EpochEngine";
+    if (engine_only)
+        args.push_back(engine_filter);
     int pass_argc = int(args.size());
     benchmark::Initialize(&pass_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(pass_argc, args.data()))

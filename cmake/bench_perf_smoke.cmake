@@ -1,0 +1,22 @@
+# Smoke-runs the perf_microbench suite in its tiny configuration (one
+# short repetition of the engine-replay benchmarks only) and validates
+# the emitted perf summary with tools/metrics_check: strict parse, the
+# mlpsim-bench-perf-v1 schema assertion, and the per-result keys —
+# instr_per_s in particular, so throughput reporting can't silently
+# rot out of BENCH_perf.json.
+#
+# Invoked by the bench_perf_smoke ctest entry (see bench/CMakeLists.txt):
+#   cmake -DBENCH=<perf_microbench exe> -DCHECKER=<metrics_check exe>
+#         -DOUT=<summary destination> -P cmake/bench_perf_smoke.cmake
+
+function(run_or_die)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (exit ${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+run_or_die(${BENCH} --engine-only --benchmark_min_time=0.01
+           --metrics-out ${OUT})
+run_or_die(${CHECKER} --in ${OUT} --kind bench-perf
+           --require instr_per_s)

@@ -54,43 +54,43 @@ BranchUnit::predictAndUpdate(const trace::Instruction &inst)
     }
 
     bool mispredict = false;
-    switch (inst.brKind) {
+    switch (inst.brKind()) {
       case BranchKind::Conditional:
       {
         const bool pred_taken = gshare.predict(inst.pc);
-        if (pred_taken != inst.taken) {
+        if (pred_taken != inst.taken()) {
             mispredict = true;
-        } else if (inst.taken) {
+        } else if (inst.taken()) {
             uint64_t target = 0;
-            if (!btb.lookup(inst.pc, target) || target != inst.target)
+            if (!btb.lookup(inst.pc, target) || target != inst.target())
                 mispredict = true;
         }
-        gshare.update(inst.pc, inst.taken);
-        if (inst.taken)
-            btb.update(inst.pc, inst.target);
+        gshare.update(inst.pc, inst.taken());
+        if (inst.taken())
+            btb.update(inst.pc, inst.target());
         break;
       }
       case BranchKind::Call:
       {
         uint64_t target = 0;
-        if (!btb.lookup(inst.pc, target) || target != inst.target)
+        if (!btb.lookup(inst.pc, target) || target != inst.target())
             mispredict = true;
-        btb.update(inst.pc, inst.target);
+        btb.update(inst.pc, inst.target());
         ras.push(inst.pc + 4);
         break;
       }
       case BranchKind::Return:
       {
-        if (ras.pop() != inst.target)
+        if (ras.pop() != inst.target())
             mispredict = true;
         break;
       }
       case BranchKind::Jump:
       {
         uint64_t target = 0;
-        if (!btb.lookup(inst.pc, target) || target != inst.target)
+        if (!btb.lookup(inst.pc, target) || target != inst.target())
             mispredict = true;
-        btb.update(inst.pc, inst.target);
+        btb.update(inst.pc, inst.target());
         break;
       }
       case BranchKind::None:

@@ -19,6 +19,7 @@
 #include "branch/gshare.hh"
 #include "branch/ras.hh"
 #include "trace/trace_buffer.hh"
+#include "util/bitvec.hh"
 #include "util/status.hh"
 
 namespace mlpsim::branch {
@@ -73,14 +74,14 @@ class BranchUnit
 struct BranchAnnotations
 {
     /** One flag per dynamic instruction: mispredicted branch. */
-    std::vector<uint8_t> mispredicted;
+    util::BitVector mispredicted;
     uint64_t branches = 0;
     uint64_t mispredicts = 0;
 
     bool
     isMispredict(size_t i) const
     {
-        return mispredicted[i] != 0;
+        return mispredicted.test(i);
     }
 
     double

@@ -1,5 +1,9 @@
 #include "epoch_engine.hh"
 
+#include <algorithm>
+#include <bit>
+#include <functional>
+
 #include "metrics/registry.hh"
 #include "util/logging.hh"
 
@@ -8,6 +12,121 @@ namespace mlpsim::core {
 using trace::InstClass;
 using trace::Instruction;
 using trace::noReg;
+
+// ---------------------------------------------------------------------
+// SeqFifo
+
+void
+EpochEngine::SeqFifo::reset(size_t min_capacity)
+{
+    buf.assign(std::bit_ceil(std::max<size_t>(min_capacity, 16)), 0);
+    head = tail = 0;
+}
+
+void
+EpochEngine::SeqFifo::push(Seq s)
+{
+    if (tail - head == buf.size()) {
+        std::vector<Seq> next(buf.size() * 2);
+        for (uint32_t i = head; i != tail; ++i)
+            next[i & (next.size() - 1)] = buf[i & (buf.size() - 1)];
+        buf.swap(next);
+    }
+    buf[tail & (buf.size() - 1)] = s;
+    ++tail;
+}
+
+// ---------------------------------------------------------------------
+// StoreMap
+
+void
+EpochEngine::StoreMap::reset(size_t min_capacity)
+{
+    const size_t cap = std::bit_ceil(std::max<size_t>(min_capacity, 64));
+    slots.assign(cap, Slot{});
+    mask = cap - 1;
+    live = 0;
+    gen = 1;
+}
+
+EpochEngine::Seq
+EpochEngine::StoreMap::find(uint64_t key) const
+{
+    for (size_t i = probe(key); occupied(slots[i]); i = (i + 1) & mask) {
+        if (slots[i].key == key)
+            return slots[i].seq;
+    }
+    return 0;
+}
+
+void
+EpochEngine::StoreMap::put(uint64_t key, Seq seq)
+{
+    // Keep the load factor under 1/2 so probe chains stay short and
+    // the scans below always hit an empty slot.
+    if ((live + 1) * 2 > slots.size())
+        grow();
+    size_t i = probe(key);
+    while (occupied(slots[i])) {
+        if (slots[i].key == key) {
+            slots[i].seq = seq;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+    slots[i] = Slot{key, seq, gen};
+    ++live;
+}
+
+void
+EpochEngine::StoreMap::eraseMatching(uint64_t key, Seq seq)
+{
+    size_t i = probe(key);
+    while (occupied(slots[i])) {
+        if (slots[i].key == key) {
+            if (slots[i].seq != seq)
+                return;
+            // Backward-shift deletion: pull every displaced entry of
+            // the probe chain one hole closer to its home slot, so a
+            // later find() never stops early at the hole.
+            size_t hole = i;
+            size_t j = i;
+            while (true) {
+                j = (j + 1) & mask;
+                if (!occupied(slots[j]))
+                    break;
+                const size_t home = probe(slots[j].key);
+                if (((j - home) & mask) >= ((j - hole) & mask)) {
+                    slots[hole] = slots[j];
+                    hole = j;
+                }
+            }
+            slots[hole] = Slot{};
+            --live;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+EpochEngine::StoreMap::grow()
+{
+    std::vector<Slot> old;
+    old.swap(slots);
+    const uint32_t old_gen = gen;
+    slots.assign(std::max<size_t>(old.size() * 2, 64), Slot{});
+    mask = slots.size() - 1;
+    live = 0;
+    gen = 1;
+    for (const Slot &s : old) {
+        if (s.seq != 0 && s.gen == old_gen)
+            put(s.key, s.seq);
+    }
+}
+
+// ---------------------------------------------------------------------
+// EpochEngine
 
 EpochEngine::EpochEngine(const MlpConfig &config,
                          const WorkloadContext &workload)
@@ -28,6 +147,25 @@ EpochEngine::EpochEngine(const MlpConfig &config,
     MLPSIM_ASSERT(cfg.robSize >= 1 && cfg.issueWindowSize >= 1 &&
                       cfg.fetchBufferSize >= 1,
                   "window structures must be non-empty");
+    // Consumer links pack a sequence number into 30 bits (DESIGN.md
+    // section 12); a single epoch-model trace is far smaller in
+    // practice, so this is a hard input limit rather than a mode.
+    MLPSIM_ASSERT(wl.size() < (uint64_t(1) << 30),
+                  "trace too large for packed sequence links");
+    insts = wl.size() != 0 ? &wl.buffer->at(0) : nullptr;
+
+    // The ring only needs to cover the architectural ROB (plus
+    // runahead's overshoot, which growRing() picks up on demand); cap
+    // the up-front allocation so huge configured windows start small.
+    const uint64_t init_cap = std::bit_ceil(
+        std::min<uint64_t>(std::max<uint64_t>(cfg.robSize, 16), 8192));
+    ring.assign(size_t(init_cap), RobEntry{});
+    ringMask = uint32_t(init_cap - 1);
+    storeProducer.reset(size_t(std::min<uint64_t>(2 * cfg.robSize, 16384)));
+    memFifo.reset(256);
+    branchFifo.reset(256);
+    candRun.reserve(256);
+    candHeap.reserve(64);
 }
 
 bool
@@ -47,118 +185,218 @@ EpochEngine::canDispatchMore() const
         const uint64_t next_seq = nextDispatchIdx + 1;
         return next_seq - triggerSeq <= cfg.maxRunaheadDistance;
     }
-    return rob.size() < cfg.robSize && iwOccupancy < cfg.issueWindowSize;
+    return robOccupancy() < cfg.robSize && iwOccupancy < cfg.issueWindowSize;
 }
 
 const EpochEngine::RobEntry *
 EpochEngine::entryBySeq(uint64_t seq) const
 {
-    if (seq < headSeq || seq >= headSeq + rob.size())
+    if (seq < headSeq || seq >= tailSeq)
         return nullptr;
-    return &rob[size_t(seq - headSeq)];
+    return &ring[size_t(seq) & ringMask];
 }
 
-EpochEngine::RobEntry *
-EpochEngine::entryBySeq(uint64_t seq)
+void
+EpochEngine::growRing()
 {
-    return const_cast<RobEntry *>(
-        const_cast<const EpochEngine *>(this)->entryBySeq(seq));
+    std::vector<RobEntry> next(ring.size() * 2);
+    const uint32_t new_mask = uint32_t(next.size() - 1);
+    for (uint64_t s = headSeq; s < tailSeq; ++s)
+        next[size_t(s) & new_mask] = ring[size_t(s) & ringMask];
+    ring.swap(next);
+    ringMask = new_mask;
 }
 
-bool
-EpochEngine::producerReady(uint64_t prod_seq) const
+void
+EpochEngine::linkWaitingTail(RobEntry &entry)
 {
-    if (prod_seq == 0 || prod_seq < headSeq)
-        return true; // no producer, or producer already retired
-    const RobEntry *producer = entryBySeq(prod_seq);
-    MLPSIM_ASSERT(producer, "producer newer than consumer");
-    return producer->executed &&
-           producer->valueReadyEpoch <= currentEpoch;
+    const Seq seq = entry.seq;
+    entry.waitPrev = waitingTail;
+    entry.waitNext = 0;
+    if (waitingTail != 0)
+        entryRef(waitingTail).waitNext = seq;
+    else
+        waitingHead = seq;
+    waitingTail = seq;
+    ++waitingCount;
 }
 
-bool
-EpochEngine::operandsReady(const RobEntry &entry) const
+void
+EpochEngine::unlinkWaiting(RobEntry &entry)
 {
-    for (unsigned p = 0; p < entry.numProds; ++p) {
-        if (!producerReady(entry.prods[p]))
-            return false;
+    if (entry.waitPrev != 0)
+        entryRef(entry.waitPrev).waitNext = entry.waitNext;
+    else
+        waitingHead = entry.waitNext;
+    if (entry.waitNext != 0)
+        entryRef(entry.waitNext).waitPrev = entry.waitPrev;
+    else
+        waitingTail = entry.waitPrev;
+    entry.waitPrev = entry.waitNext = 0;
+    MLPSIM_ASSERT(waitingCount > 0, "waiting list underflow");
+    --waitingCount;
+}
+
+void
+EpochEngine::linkUnresolvedStoreTail(RobEntry &entry)
+{
+    const Seq seq = entry.seq;
+    entry.usPrev = usTail;
+    entry.usNext = 0;
+    if (usTail != 0)
+        entryRef(usTail).usNext = seq;
+    else
+        usHead = seq;
+    usTail = seq;
+}
+
+void
+EpochEngine::pushCandidate(RobEntry &entry)
+{
+    if (entry.is(kInCand) || entry.is(kExecuted))
+        return;
+    entry.flags |= kInCand;
+    const Seq seq = entry.seq;
+    if (candRun.empty() || seq > candRun.back())
+        candRun.push_back(seq);
+    else {
+        candHeap.push_back(seq);
+        std::push_heap(candHeap.begin(), candHeap.end(),
+                       std::greater<>());
     }
-    return true;
 }
 
-bool
-EpochEngine::storeAddrReady(const RobEntry &entry) const
+EpochEngine::Seq
+EpochEngine::popCandidate()
 {
-    for (unsigned p = 0; p < entry.numAddrProds; ++p) {
-        if (!producerReady(entry.prods[p]))
-            return false;
+    // The run past its cursor is ascending and each seq is pooled at
+    // most once (kInCand), so the global minimum is the smaller of the
+    // two lane heads.
+    const bool run_has = candRunCursor != candRun.size();
+    if (!candHeap.empty() &&
+        (!run_has || candHeap.front() < candRun[candRunCursor])) {
+        std::pop_heap(candHeap.begin(), candHeap.end(),
+                      std::greater<>());
+        const Seq seq = candHeap.back();
+        candHeap.pop_back();
+        return seq;
     }
-    return true;
+    const Seq seq = candRun[candRunCursor++];
+    if (candRunCursor == candRun.size()) {
+        candRun.clear();
+        candRunCursor = 0;
+    }
+    return seq;
 }
 
-EpochEngine::RobEntry
+void
 EpochEngine::makeEntry(uint64_t idx)
 {
-    const Instruction &inst = wl.buffer->at(idx);
-    RobEntry entry;
-    entry.seq = idx + 1;
+    const Instruction &inst = insts[idx];
+    const Seq seq = Seq(idx + 1);
+    RobEntry &entry = entryRef(seq);
+    entry = RobEntry{};
+    entry.seq = seq;
 
+    // Class-determined flag bits come from a table; only the atomic
+    // memory case (Serializing with an effective address, an isMem()
+    // instruction per trace/instruction.hh) needs a data-dependent
+    // adjustment.
+    static constexpr uint16_t classFlags[8] = {
+        /* Alu         */ 0,
+        /* Load        */ kMemOp | kLoadLike,
+        /* Store       */ kMemOp | kStore,
+        /* Branch      */ kBranch,
+        /* Prefetch    */ kMemOp | kPrefetch | kLoadLike,
+        /* Serializing */ kSerializing,
+        0, 0,
+    };
+    const InstClass cls = inst.cls();
     const bool atomic_mem =
-        inst.cls == InstClass::Serializing && inst.effAddr != 0;
-    entry.isMemOp = inst.isMem();
-    entry.isPrefetch = inst.isPrefetch();
-    entry.isLoadLike = inst.isLoad() || inst.isPrefetch() || atomic_mem;
-    entry.isStore = inst.isStore();
-    entry.isBranch = inst.isBranch();
-    entry.isSerializing = inst.isSerializing();
-    entry.dMiss = wl.misses->dataMiss(idx);
-    entry.sMiss = cfg.finiteStoreBuffer && wl.misses->storeMiss(idx);
-    entry.usefulPmiss = wl.misses->usefulPrefetch(idx);
-    entry.vpCorrect = cfg.valuePrediction && wl.values &&
-                      wl.values->isCorrect(idx);
+        cls == InstClass::Serializing && inst.effAddr != 0;
+    const bool is_prefetch = cls == InstClass::Prefetch;
+    uint16_t flags = classFlags[size_t(cls) & 7];
+    if (atomic_mem)
+        flags |= kMemOp | kLoadLike;
+    if (wl.misses->dataMiss(idx))
+        flags |= kDMiss;
+    if (cfg.finiteStoreBuffer && wl.misses->storeMiss(idx))
+        flags |= kSMiss;
+    if (wl.misses->usefulPrefetch(idx))
+        flags |= kUsefulPmiss;
+    if (cfg.valuePrediction && wl.values && wl.values->isCorrect(idx))
+        flags |= kVpCorrect;
+    entry.flags = flags;
+    entry.dstReg = inst.hasDst() ? inst.dst : noReg;
 
     // Register renaming: capture the current in-flight producer of each
     // source. For stores, src[0]/src[2] compute the address and src[1]
     // is the data; address producers are recorded first so the
     // config-B "wait for earlier store addresses" check can test them
     // separately.
+    Seq prods[maxProds];
+    unsigned num_prods = 0;
     auto capture = [&](uint8_t reg) {
         if (reg == noReg)
             return;
-        const uint64_t prod = regProducer[reg];
+        const Seq prod = regProducer[reg];
         if (prod != 0)
-            entry.prods[entry.numProds++] = prod;
+            prods[num_prods++] = prod;
     };
-    if (entry.isStore) {
+    if (entry.is(kStore)) {
         capture(inst.src[0]);
         capture(inst.src[2]);
-        entry.numAddrProds = entry.numProds;
+        entry.numAddrProds = uint8_t(num_prods);
         capture(inst.src[1]);
     } else {
         for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
             capture(inst.src[s]);
-        entry.numAddrProds = entry.numProds;
+        entry.numAddrProds = uint8_t(num_prods);
     }
 
     // Memory dependence: a load (or atomic read) whose address was
     // written by an in-flight store forwards from that store, so the
     // store's execution is an additional producer.
     const uint64_t mem_key = inst.effAddr >> 3;
-    if (entry.isLoadLike && !inst.isPrefetch()) {
-        auto it = storeProducer.find(mem_key);
-        if (it != storeProducer.end() &&
-            entry.numProds < maxProds) {
-            entry.prods[entry.numProds++] = it->second;
-        }
+    if (entry.is(kLoadLike) && !is_prefetch) {
+        const Seq forward = storeProducer.find(mem_key);
+        if (forward != 0 && num_prods < maxProds)
+            prods[num_prods++] = forward;
     }
-    if (entry.isStore || atomic_mem) {
-        storeProducer[mem_key] = entry.seq;
+    if (entry.is(kStore) || atomic_mem) {
+        storeProducer.put(mem_key, seq);
         entry.storeKey = mem_key + 1;
     }
 
     if (inst.hasDst())
-        regProducer[inst.dst] = entry.seq;
-    return entry;
+        regProducer[inst.dst] = seq;
+
+    // Producer registration: a producer whose value is already
+    // available contributes nothing; every other producer gets this
+    // entry on its consumer list and bumps the pending counters that
+    // stand in for the old ready-scan.
+    for (unsigned p = 0; p < num_prods; ++p) {
+        RobEntry &producer = entryRef(prods[p]);
+        if (producer.is(kExecuted) &&
+            producer.valueReadyEpoch <= currentEpoch)
+            continue;
+        entry.nextConsumer[p] = producer.consumerHead;
+        producer.consumerHead = (Link(seq) << 2) | Link(p);
+        ++entry.pendingProds;
+        if (p < entry.numAddrProds)
+            ++entry.pendingAddrProds;
+    }
+
+    linkWaitingTail(entry);
+    if (cfg.issue == IssueConfig::A && entry.is(kMemOp) && !is_prefetch)
+        memFifo.push(seq);
+    if (branchesInOrder && entry.is(kBranch))
+        branchFifo.push(seq);
+    if (cfg.issue == IssueConfig::B && entry.is(kStore) &&
+        entry.pendingAddrProds != 0)
+        linkUnresolvedStoreTail(entry);
+    if (entry.pendingProds == 0)
+        pushCandidate(entry);
 }
 
 void
@@ -180,14 +418,14 @@ EpochEngine::openEpochIfNeeded(uint64_t idx, bool imiss_trigger,
 void
 EpochEngine::executeEntry(RobEntry &entry)
 {
-    entry.executed = true;
+    entry.flags |= kExecuted;
     MLPSIM_ASSERT(iwOccupancy > 0, "issue window underflow");
     --iwOccupancy;
     entry.valueReadyEpoch = currentEpoch;
     entry.completeEpoch = currentEpoch;
 
-    const uint64_t idx = entry.seq - 1;
-    if (entry.dMiss) {
+    const uint64_t idx = uint64_t(entry.seq) - 1;
+    if (entry.is(kDMiss)) {
         openEpochIfNeeded(idx, false, true);
         ++epochAccesses;
         ++epochDmiss;
@@ -196,15 +434,15 @@ EpochEngine::executeEntry(RobEntry &entry)
         // when the value was predicted (the prediction must validate).
         entry.completeEpoch = currentEpoch + 1;
         entry.valueReadyEpoch =
-            entry.vpCorrect ? currentEpoch : currentEpoch + 1;
+            entry.is(kVpCorrect) ? currentEpoch : currentEpoch + 1;
     }
-    if (entry.usefulPmiss) {
+    if (entry.is(kUsefulPmiss)) {
         openEpochIfNeeded(idx, false, false);
         ++epochAccesses;
         ++epochPmiss;
         // Prefetches are non-binding: they never block retirement.
     }
-    if (entry.sMiss) {
+    if (entry.is(kSMiss)) {
         // Store-MLP extension: the write-allocate fill is an off-chip
         // access, and with a full store buffer the store cannot leave
         // the ROB until the line arrives.
@@ -215,67 +453,137 @@ EpochEngine::executeEntry(RobEntry &entry)
     }
 }
 
-bool
-EpochEngine::executeOnePass()
+void
+EpochEngine::notifyConsumers(RobEntry &producer)
 {
-    bool any = false;
-    bool seen_unexec_mem = false;
-    bool seen_unresolved_store = false;
-    bool seen_unexec_branch = false;
-    std::vector<uint64_t> still_waiting;
-    still_waiting.reserve(waiting.size());
+    Link link = producer.consumerHead;
+    producer.consumerHead = 0;
+    while (link != 0) {
+        RobEntry &consumer = entryRef(Seq(link >> 2));
+        const unsigned slot = link & 3;
+        link = consumer.nextConsumer[slot];
+        consumer.nextConsumer[slot] = 0;
+        --consumer.pendingProds;
+        if (slot < consumer.numAddrProds &&
+            --consumer.pendingAddrProds == 0 && consumer.is(kStore) &&
+            cfg.issue == IssueConfig::B)
+            resolveStore(consumer);
+        if (consumer.pendingProds == 0)
+            pushCandidate(consumer);
+    }
+}
 
-    for (uint64_t seq : waiting) {
-        RobEntry *entry = entryBySeq(seq);
-        MLPSIM_ASSERT(entry && !entry->executed, "stale waiting entry");
+void
+EpochEngine::resolveStore(RobEntry &store)
+{
+    const bool was_head = (usHead == store.seq);
+    if (store.usPrev != 0)
+        entryRef(store.usPrev).usNext = store.usNext;
+    else
+        usHead = store.usNext;
+    if (store.usNext != 0)
+        entryRef(store.usNext).usPrev = store.usPrev;
+    else
+        usTail = store.usPrev;
+    store.usPrev = store.usNext = 0;
+    // Only the oldest unresolved store gates config-B issue, so only
+    // its resolution can unblock anyone.
+    if (was_head)
+        wakeBlockedOnStore();
+}
 
-        bool eligible = true;
-        // Prefetches are non-binding hints: they neither wait for the
-        // memory-ordering constraints of configs A/B nor block other
-        // memory operations.
-        if (cfg.issue == IssueConfig::A && entry->isMemOp &&
-            !entry->isPrefetch && seen_unexec_mem) {
-            eligible = false;
-        }
-        if (cfg.issue == IssueConfig::B && entry->isLoadLike &&
-            !entry->isPrefetch && seen_unresolved_store) {
-            eligible = false;
-        }
-        if (branchesInOrder && entry->isBranch && seen_unexec_branch)
-            eligible = false;
-        if (entry->isSerializing && serializingBlocks) {
-            // A serializing instruction issues only once everything
-            // older has executed (they then drain/commit with it at the
-            // end of the epoch, cf. Example 2 of the paper).
-            if (!still_waiting.empty())
-                eligible = false;
-        }
+void
+EpochEngine::wakeBlockedOnStore()
+{
+    for (const Seq seq : blockedOnStore) {
+        RobEntry &entry = entryRef(seq);
+        if (entry.seq != seq)
+            continue; // retired, slot since reused
+        entry.flags &= ~kBlockedStore;
+        pushCandidate(entry);
+    }
+    blockedOnStore.clear();
+}
 
-        if (eligible && operandsReady(*entry)) {
-            executeEntry(*entry);
-            any = true;
-            continue;
-        }
+void
+EpochEngine::executeAt(RobEntry &entry)
+{
+    const Seq seq = entry.seq;
+    const bool was_waiting_head = (waitingHead == seq);
+    unlinkWaiting(entry);
 
-        still_waiting.push_back(seq);
-        if (entry->isMemOp && !entry->isPrefetch)
-            seen_unexec_mem = true;
-        if (entry->isStore && !storeAddrReady(*entry))
-            seen_unresolved_store = true;
-        if (entry->isBranch)
-            seen_unexec_branch = true;
+    // Advancing an in-order queue is itself a wake event: the next
+    // queue head may have been dropped from the heap waiting for it.
+    if (cfg.issue == IssueConfig::A && entry.is(kMemOp) &&
+        !entry.is(kPrefetch)) {
+        memFifo.pop();
+        if (!memFifo.empty())
+            pushCandidate(entryRef(memFifo.front()));
+    }
+    if (branchesInOrder && entry.is(kBranch)) {
+        branchFifo.pop();
+        if (!branchFifo.empty())
+            pushCandidate(entryRef(branchFifo.front()));
+    }
+    if (was_waiting_head && serializingBlocks && waitingHead != 0) {
+        RobEntry &head = entryRef(waitingHead);
+        if (head.is(kSerializing))
+            pushCandidate(head);
     }
 
-    waiting.swap(still_waiting);
-    return any;
+    executeEntry(entry);
+
+    if (entry.valueReadyEpoch <= currentEpoch)
+        notifyConsumers(entry);
+    else
+        pendingValueWake.push_back(seq);
 }
 
 bool
 EpochEngine::executePasses()
 {
+    // Drain ready candidates oldest-first. Every eligibility predicate
+    // below depends only on strictly older instructions, and every
+    // wake-up pushed while draining targets a strictly younger seq than
+    // the instruction that caused it, so this min-heap order replays
+    // the old scan-to-closure loop's execution order exactly.
     bool any = false;
-    while (executeOnePass())
+    while (!candidatesEmpty()) {
+        RobEntry &entry = entryRef(popCandidate());
+        entry.flags &= ~kInCand;
+        if (entry.is(kExecuted))
+            continue;
+        // Prefetches are non-binding hints: they neither wait for the
+        // memory-ordering constraints of configs A/B nor block other
+        // memory operations.
+        if (cfg.issue == IssueConfig::A && entry.is(kMemOp) &&
+            !entry.is(kPrefetch) && memFifo.front() != entry.seq) {
+            continue; // re-woken when the memory queue advances
+        }
+        if (cfg.issue == IssueConfig::B && entry.is(kLoadLike) &&
+            !entry.is(kPrefetch) && usHead != 0 && usHead < entry.seq) {
+            if (!entry.is(kBlockedStore)) {
+                entry.flags |= kBlockedStore;
+                blockedOnStore.push_back(entry.seq);
+            }
+            continue; // re-woken when the oldest store address resolves
+        }
+        if (branchesInOrder && entry.is(kBranch) &&
+            branchFifo.front() != entry.seq) {
+            continue; // re-woken when the branch queue advances
+        }
+        if (entry.is(kSerializing) && serializingBlocks &&
+            waitingHead != entry.seq) {
+            // A serializing instruction issues only once everything
+            // older has executed (they then drain/commit with it at the
+            // end of the epoch, cf. Example 2 of the paper).
+            continue; // re-woken when it becomes the oldest unexecuted
+        }
+        if (entry.pendingProds != 0)
+            continue; // re-woken by its last producer
+        executeAt(entry);
         any = true;
+    }
     return any;
 }
 
@@ -283,19 +591,14 @@ bool
 EpochEngine::retire()
 {
     bool any = false;
-    while (!rob.empty()) {
-        const RobEntry &head = rob.front();
-        if (!head.executed || head.completeEpoch > currentEpoch)
+    while (headSeq != tailSeq) {
+        RobEntry &head = entryRef(Seq(headSeq));
+        if (!head.is(kExecuted) || head.completeEpoch > currentEpoch)
             break;
-        const Instruction &inst = wl.buffer->at(head.seq - 1);
-        if (inst.hasDst() && regProducer[inst.dst] == head.seq)
-            regProducer[inst.dst] = 0;
-        if (head.storeKey != 0) {
-            auto it = storeProducer.find(head.storeKey - 1);
-            if (it != storeProducer.end() && it->second == head.seq)
-                storeProducer.erase(it);
-        }
-        rob.pop_front();
+        if (head.dstReg != noReg && regProducer[head.dstReg] == head.seq)
+            regProducer[head.dstReg] = 0;
+        if (head.storeKey != 0)
+            storeProducer.eraseMatching(head.storeKey - 1, head.seq);
         ++headSeq;
         any = true;
     }
@@ -307,8 +610,10 @@ EpochEngine::dispatch()
 {
     bool any = false;
     while (nextDispatchIdx < nextFetchIdx && canDispatchMore()) {
-        rob.push_back(makeEntry(nextDispatchIdx));
-        waiting.push_back(rob.back().seq);
+        if (robOccupancy() == ring.size())
+            growRing();
+        makeEntry(nextDispatchIdx);
+        ++tailSeq;
         ++iwOccupancy;
         ++nextDispatchIdx;
         any = true;
@@ -334,7 +639,7 @@ EpochEngine::fetch()
         const uint64_t idx = nextFetchIdx;
         if (wl.misses->fetchMiss(idx) && !imissHandled) {
             if (!epochOpen &&
-                (nextDispatchIdx < nextFetchIdx || !waiting.empty())) {
+                (nextDispatchIdx < nextFetchIdx || waitingCount != 0)) {
                 // Let the back end catch up before deciding whether
                 // this instruction miss starts an epoch or overlaps an
                 // existing one; a pending data miss in the window must
@@ -354,7 +659,7 @@ EpochEngine::fetch()
         ++nextFetchIdx;
         any = true;
 
-        const Instruction &inst = wl.buffer->at(idx);
+        const Instruction &inst = insts[idx];
         if (inst.isBranch() && wl.branches->isMispredict(idx)) {
             // Tentatively pause fetch at a mispredicted branch; if it
             // executes (resolves) within this epoch, fetch resumes at
@@ -392,7 +697,7 @@ EpochEngine::checkUnblocks()
             return true;
         }
         const RobEntry *branch = entryBySeq(fetchBlockSeq);
-        if (branch && branch->executed) {
+        if (branch && branch->is(kExecuted)) {
             fetchBlock = FetchBlock::None;
             return true;
         }
@@ -416,10 +721,11 @@ EpochEngine::classifyMaxwinFamily() const
         bool seen_unexec_mem = false;
         bool first_unexec_mem_is_store = false;
         bool seen_unresolved_store = false;
-        for (uint64_t seq : waiting) {
-            const RobEntry *entry = entryBySeq(seq);
-            const bool ready = operandsReady(*entry);
-            if (entry->isLoadLike && !entry->isPrefetch && ready) {
+        for (Seq seq = waitingHead; seq != 0;
+             seq = entryRef(seq).waitNext) {
+            const RobEntry &entry = entryRef(seq);
+            const bool ready = entry.pendingProds == 0;
+            if (entry.is(kLoadLike) && !entry.is(kPrefetch) && ready) {
                 if (cfg.issue == IssueConfig::A && seen_unexec_mem) {
                     return first_unexec_mem_is_store
                                ? Inhibitor::DepStore
@@ -428,12 +734,12 @@ EpochEngine::classifyMaxwinFamily() const
                 if (cfg.issue == IssueConfig::B && seen_unresolved_store)
                     return Inhibitor::DepStore;
             }
-            if (entry->isMemOp && !entry->isPrefetch &&
+            if (entry.is(kMemOp) && !entry.is(kPrefetch) &&
                 !seen_unexec_mem) {
                 seen_unexec_mem = true;
-                first_unexec_mem_is_store = entry->isStore;
+                first_unexec_mem_is_store = entry.is(kStore);
             }
-            if (entry->isStore && !storeAddrReady(*entry))
+            if (entry.is(kStore) && entry.pendingAddrProds != 0)
                 seen_unresolved_store = true;
         }
     }
@@ -490,6 +796,14 @@ EpochEngine::closeEpoch()
     epochAccesses = epochDmiss = epochImiss = epochPmiss = 0;
     epochSmiss = 0;
 
+    // The epoch's off-chip data arrives with its close: loads whose
+    // value was stamped ready at the (new) current epoch may now feed
+    // their consumers. None of those consumers can have retired —
+    // retirement needs completeEpoch <= the epoch we just left.
+    for (const Seq seq : pendingValueWake)
+        notifyConsumers(entryRef(seq));
+    pendingValueWake.clear();
+
     if (fetchBlock == FetchBlock::Imiss) {
         // The blocked instruction's line arrives with the epoch's other
         // accesses; fetch resumes (imissHandled stays set so the miss
@@ -529,11 +843,11 @@ EpochEngine::run()
             continue;
         }
         if (nextFetchIdx >= trace_size &&
-            nextDispatchIdx == nextFetchIdx && rob.empty()) {
+            nextDispatchIdx == nextFetchIdx && headSeq == tailSeq) {
             break;
         }
         panic("epoch engine deadlock at trace index ", nextFetchIdx,
-              " (rob=", rob.size(), " waiting=", waiting.size(), ")");
+              " (rob=", robOccupancy(), " waiting=", waitingCount, ")");
     }
 
     if (metrics::enabled()) {

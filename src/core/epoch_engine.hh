@@ -14,13 +14,26 @@
  *
  * Out-of-order and runahead machines are handled here; the in-order
  * models live in inorder_model.hh.
+ *
+ * Implementation notes (DESIGN.md section 12). The per-instruction
+ * machinery is event-driven: in-flight instructions live in a
+ * power-of-two ring buffer indexed by sequence number (entry lookup is
+ * one mask, no deque traversal), every entry carries an intrusive
+ * consumer list so it is re-examined only when one of its at most four
+ * producers delivers a value (O(dependence edges) instead of repeated
+ * O(window) rescans), and the issue-policy constraints of Table 2 are
+ * tracked with intrusive in-order queues (memory ops for config A,
+ * unresolved stores for config B, branches for configs A-C, the
+ * oldest-unexecuted head for serializing instructions) whose head
+ * advances wake exactly the instructions those policies were blocking.
+ * Ready instructions drain through a min-heap ordered by sequence
+ * number, which reproduces the old scan's oldest-first execution
+ * order — and therefore every MlpResult bit — exactly.
  */
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/mlp_config.hh"
@@ -45,32 +58,124 @@ class EpochEngine
     /** Maximum producers per instruction: 3 registers + 1 memory. */
     static constexpr unsigned maxProds = 4;
 
-    /** One in-flight instruction. */
+    /** Sequence number: trace index + 1 (0 = null link). The 30-bit
+     *  budget comes from the packed consumer links below. */
+    using Seq = uint32_t;
+    using Epoch = uint32_t;
+
+    /** Consumer link: (consumer seq << 2) | producer slot; 0 = none. */
+    using Link = uint32_t;
+
+    // --- RobEntry::flags bits ---
+    static constexpr uint16_t kExecuted = 1 << 0;
+    static constexpr uint16_t kMemOp = 1 << 1;    //!< memory ordering
+    static constexpr uint16_t kPrefetch = 1 << 2; //!< non-binding hint
+    static constexpr uint16_t kLoadLike = 1 << 3; //!< load/prefetch/atomic
+    static constexpr uint16_t kStore = 1 << 4;
+    static constexpr uint16_t kBranch = 1 << 5;
+    static constexpr uint16_t kSerializing = 1 << 6;
+    static constexpr uint16_t kDMiss = 1 << 7;    //!< data goes off-chip
+    static constexpr uint16_t kSMiss = 1 << 8;    //!< store fill off-chip
+    static constexpr uint16_t kUsefulPmiss = 1 << 9;
+    static constexpr uint16_t kVpCorrect = 1 << 10;
+    static constexpr uint16_t kInCand = 1 << 11;  //!< in the ready heap
+    static constexpr uint16_t kBlockedStore = 1 << 12; //!< config-B wait
+
+    /**
+     * One in-flight instruction: exactly one cache line. Producer seqs
+     * are not stored — registration converts them into consumer-list
+     * membership and the two pending counters; dstReg is cached so
+     * retirement never touches the trace.
+     */
     struct RobEntry
     {
-        uint64_t seq = 0;              //!< trace index + 1
-        uint64_t prods[maxProds] = {}; //!< producer seqs (0 = ready)
-        uint64_t valueReadyEpoch = 0;  //!< consumers may read from here
-        uint64_t completeEpoch = 0;    //!< retirement allowed from here
-        uint64_t storeKey = 0;         //!< store-map key (stores only)
-        uint8_t numProds = 0;
-        uint8_t numAddrProds = 0;      //!< prods[0..n) compute the address
-        bool executed = false;
-        bool isMemOp = false;          //!< participates in memory ordering
-        bool isPrefetch = false;       //!< non-binding hint
-        bool isLoadLike = false;       //!< load / prefetch / atomic read
-        bool isStore = false;
-        bool isBranch = false;
-        bool isSerializing = false;
-        bool dMiss = false;            //!< data access goes off-chip
-        bool sMiss = false;            //!< store fill goes off-chip
-        bool usefulPmiss = false;      //!< useful off-chip prefetch
-        bool vpCorrect = false;        //!< value predicted correctly
+        Seq seq = 0;
+        Epoch valueReadyEpoch = 0;     //!< consumers may read from here
+        Epoch completeEpoch = 0;       //!< retirement allowed from here
+        Link consumerHead = 0;         //!< newest-first waiter chain
+        Link nextConsumer[maxProds] = {}; //!< chain tail per input slot
+        Seq waitPrev = 0, waitNext = 0;   //!< unexecuted-entry list
+        Seq usPrev = 0, usNext = 0;       //!< unresolved-store list (B)
+        uint64_t storeKey = 0;         //!< store-map key + 1 (stores)
+        uint8_t pendingProds = 0;      //!< producers not yet value-ready
+        uint8_t pendingAddrProds = 0;  //!< ... among the address inputs
+        uint8_t numAddrProds = 0;      //!< inputs 0..n) form the address
+        uint8_t dstReg = 0;            //!< destination (noReg if none)
+        uint16_t flags = 0;
+        uint16_t pad = 0;
+
+        bool is(uint16_t f) const { return (flags & f) != 0; }
+    };
+
+    static_assert(sizeof(RobEntry) == 64,
+                  "RobEntry must stay one cache line; see the "
+                  "packed-layout notes in DESIGN.md section 12");
+
+    /** In-order queue of seqs (config-A memory ops, in-order branches). */
+    class SeqFifo
+    {
+      public:
+        void reset(size_t capacity_pow2);
+        bool empty() const { return head == tail; }
+        Seq front() const { return buf[head & (buf.size() - 1)]; }
+        void pop() { ++head; }
+        void push(Seq s);
+
+      private:
+        std::vector<Seq> buf;
+        uint32_t head = 0;
+        uint32_t tail = 0;
+    };
+
+    /**
+     * Open-addressing map from store line key to the seq of the newest
+     * in-flight store to that line (replaces std::unordered_map on the
+     * dispatch/retire hot path). Linear probing with backward-shift
+     * deletion; clear() is O(1) by bumping the generation stamp, so a
+     * stale slot reads as empty without touching memory.
+     */
+    class StoreMap
+    {
+      public:
+        void reset(size_t min_capacity);
+        void clear() { ++gen; live = 0; }
+
+        /** Seq of the newest in-flight store to @p key (0 if none). */
+        Seq find(uint64_t key) const;
+        /** Insert, or overwrite the previous store to the same key. */
+        void put(uint64_t key, Seq seq);
+        /** Erase @p key only if it still maps to @p seq. */
+        void eraseMatching(uint64_t key, Seq seq);
+
+      private:
+        struct Slot
+        {
+            uint64_t key = 0;
+            Seq seq = 0;   //!< 0 = empty
+            uint32_t gen = 0;
+        };
+
+        bool occupied(const Slot &s) const
+        {
+            return s.seq != 0 && s.gen == gen;
+        }
+
+        size_t probe(uint64_t key) const
+        {
+            // Multiply-shift (Fibonacci) hash; low bits after the mix.
+            return size_t(key * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        }
+
+        void grow();
+
+        std::vector<Slot> slots;
+        size_t mask = 0;
+        size_t live = 0;
+        uint32_t gen = 1;
     };
 
     // --- pipeline phases (each returns whether it made progress) ---
     bool executePasses();
-    bool executeOnePass();
     bool retire();
     bool dispatch();
     bool fetch();
@@ -80,31 +185,71 @@ class EpochEngine
     // --- helpers ---
     bool runaheadActive() const;
     bool canDispatchMore() const;
-    RobEntry makeEntry(uint64_t idx);
-    bool producerReady(uint64_t prod_seq) const;
-    bool operandsReady(const RobEntry &entry) const;
-    bool storeAddrReady(const RobEntry &entry) const;
+    void makeEntry(uint64_t idx);
+    void executeAt(RobEntry &entry);
     void executeEntry(RobEntry &entry);
+    void notifyConsumers(RobEntry &producer);
+    void resolveStore(RobEntry &store);
+    void wakeBlockedOnStore();
     void openEpochIfNeeded(uint64_t idx, bool imiss_trigger,
                            bool load_trigger);
     Inhibitor classifyMaxwinFamily() const;
 
+    uint64_t robOccupancy() const { return tailSeq - headSeq; }
+
+    RobEntry &entryRef(Seq seq) { return ring[seq & ringMask]; }
+    const RobEntry &entryRef(Seq seq) const { return ring[seq & ringMask]; }
+
+    /** Checked lookup for seqs that may already have retired. */
     const RobEntry *entryBySeq(uint64_t seq) const;
-    RobEntry *entryBySeq(uint64_t seq);
+
+    void growRing();
+    void linkWaitingTail(RobEntry &entry);
+    void unlinkWaiting(RobEntry &entry);
+    void linkUnresolvedStoreTail(RobEntry &entry);
+    void pushCandidate(RobEntry &entry);
+    Seq popCandidate();
+
+    bool
+    candidatesEmpty() const
+    {
+        return candRunCursor == candRun.size() && candHeap.empty();
+    }
 
     // --- configuration and inputs ---
     const MlpConfig cfg;
     const WorkloadContext &wl;
+    const trace::Instruction *insts = nullptr; //!< trace base (hot path)
     const bool branchesInOrder;
     const bool serializingBlocks;
 
     // --- machine state ---
-    std::deque<RobEntry> rob;
-    uint64_t headSeq = 1;              //!< seq of rob.front()
-    std::vector<uint64_t> waiting;     //!< unexecuted entries, seq order
+    std::vector<RobEntry> ring;        //!< power-of-two ring, seq & mask
+    uint32_t ringMask = 0;
+    uint64_t headSeq = 1;              //!< oldest in-flight seq
+    uint64_t tailSeq = 1;              //!< next seq to allocate
+    Seq waitingHead = 0;               //!< unexecuted entries, seq order
+    Seq waitingTail = 0;
+    uint32_t waitingCount = 0;
+    Seq usHead = 0;                    //!< unresolved stores (config B)
+    Seq usTail = 0;
     unsigned iwOccupancy = 0;          //!< dispatched, not executed
-    std::array<uint64_t, trace::numArchRegs> regProducer{};
-    std::unordered_map<uint64_t, uint64_t> storeProducer;
+    std::array<Seq, trace::numArchRegs> regProducer{};
+    StoreMap storeProducer;
+    SeqFifo memFifo;                   //!< config-A in-order memory ops
+    SeqFifo branchFifo;                //!< in-order branches (A/B/C)
+
+    // Ready-candidate pool, popped in ascending seq order. Nearly all
+    // pushes arrive already ascending (dispatch allocates seqs in
+    // order, and in-drain wakeups always target younger instructions),
+    // so those append O(1) to candRun; the rare out-of-order push goes
+    // to the candHeap overflow min-heap and pop takes the smaller of
+    // the two lane heads.
+    std::vector<Seq> candRun;          //!< ascending run, cursor-consumed
+    size_t candRunCursor = 0;
+    std::vector<Seq> candHeap;         //!< out-of-order overflow min-heap
+    std::vector<Seq> blockedOnStore;   //!< config-B entries to re-wake
+    std::vector<Seq> pendingValueWake; //!< dMiss values for epoch close
 
     uint64_t nextFetchIdx = 0;         //!< next trace index to fetch
     uint64_t nextDispatchIdx = 0;      //!< next trace index to dispatch
@@ -114,7 +259,7 @@ class EpochEngine
     uint64_t fetchBlockSeq = 0;
 
     // --- epoch state ---
-    uint64_t currentEpoch = 1;
+    Epoch currentEpoch = 1;
     bool epochOpen = false;
     bool triggerIsImiss = false;
     bool epochHasLoadMiss = false;

@@ -161,7 +161,7 @@ InOrderRun::run()
                                            : Inhibitor::MissingLoad);
         }
 
-        switch (inst.cls) {
+        switch (inst.cls()) {
           case InstClass::Load:
             if (wl.misses->dataMiss(i)) {
                 openEpochIfNeeded(i, false);

@@ -87,7 +87,7 @@ CycleSim::makeEntry(uint64_t idx)
     entry.seq = idx + 1;
 
     const bool atomic_mem =
-        inst.cls == InstClass::Serializing && inst.effAddr != 0;
+        inst.cls() == InstClass::Serializing && inst.effAddr != 0;
     entry.isMemOp = inst.isMem();
     entry.isPrefetch = inst.isPrefetch();
     entry.isLoadLike = inst.isLoad() || inst.isPrefetch() || atomic_mem;

@@ -12,7 +12,7 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
     using trace::InstClass;
 
     MissAnnotations ann;
-    ann.flags.assign(buffer.size(), 0);
+    ann.resetVectors(buffer.size());
     ann.measuredInsts = buffer.size() > cfg.warmupInsts
                             ? buffer.size() - cfg.warmupInsts
                             : 0;
@@ -39,9 +39,9 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
             return;
         const size_t prefetch_index = it->second;
         pending_prefetches.erase(it);
-        if (ann.flags[prefetch_index] & MissFlags::usefulPrefetchBit)
+        if (ann.usefulPrefetchV.test(prefetch_index))
             return;
-        ann.flags[prefetch_index] |= MissFlags::usefulPrefetchBit;
+        ann.usefulPrefetchV.set(prefetch_index);
         if (prefetch_index >= cfg.warmupInsts) {
             ++ann.usefulPrefetches;
             --ann.uselessPrefetches;
@@ -72,7 +72,7 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
             on_l2_eviction(r);
             credit_demand_touch(inst.pc, i);
             if (r.offChip()) {
-                ann.flags[i] |= MissFlags::fetchMissBit;
+                ann.fetchMissV.set(i);
                 if (measured)
                     ++ann.fetchMisses;
                 record_useful(i);
@@ -80,19 +80,19 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
         }
 
         // Data side.
-        switch (inst.cls) {
+        switch (inst.cls()) {
           case InstClass::Load:
           {
             const auto r = mem.dataRead(inst.effAddr);
             on_l2_eviction(r);
             credit_demand_touch(inst.effAddr, i);
             if (r.offChip()) {
-                ann.flags[i] |= MissFlags::dataMissBit;
+                ann.dataMissV.set(i);
                 if (measured)
                     ++ann.loadMisses;
                 record_useful(i);
             } else if (r.level == AccessLevel::L2) {
-                ann.flags[i] |= MissFlags::dataL2HitBit;
+                ann.dataL2HitV.set(i);
             }
             break;
           }
@@ -105,7 +105,7 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
             // paper's MLP; the flag below feeds the store-MLP
             // extension.
             if (r.offChip()) {
-                ann.flags[i] |= MissFlags::storeMissBit;
+                ann.storeMissV.set(i);
                 if (measured)
                     ++ann.storeMisses;
             }
@@ -140,7 +140,7 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
                 on_l2_eviction(r);
                 credit_demand_touch(inst.effAddr, i);
                 if (r.offChip()) {
-                    ann.flags[i] |= MissFlags::dataMissBit;
+                    ann.dataMissV.set(i);
                     if (measured)
                         ++ann.loadMisses;
                     record_useful(i);

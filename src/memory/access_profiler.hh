@@ -23,58 +23,40 @@
 
 #include "memory/hierarchy.hh"
 #include "trace/trace_buffer.hh"
+#include "util/bitvec.hh"
 #include "util/stats.hh"
 
 namespace mlpsim::memory {
 
-/** Per-instruction off-chip annotation flags. */
-struct MissFlags
-{
-    static constexpr uint8_t fetchMissBit = 1 << 0;
-    static constexpr uint8_t dataMissBit = 1 << 1;
-    static constexpr uint8_t usefulPrefetchBit = 1 << 2;
-    /** Data access missed the L1 but hit the L2 (an on-chip latency
-     *  distinction only the cycle-accurate simulator cares about). */
-    static constexpr uint8_t dataL2HitBit = 1 << 3;
-    /** A store whose write-allocate fill goes off-chip. Not part of
-     *  the paper's MLP definition; used by the store-MLP extension
-     *  (the paper's stated future work). */
-    static constexpr uint8_t storeMissBit = 1 << 4;
-};
-
-/** Off-chip behaviour of one trace under one hierarchy configuration. */
+/**
+ * Off-chip behaviour of one trace under one hierarchy configuration.
+ *
+ * Stored as one bit-vector per flag (structure-of-arrays) rather than
+ * one flag byte per instruction: simulators consult two or three of
+ * these per replayed instruction, and the bit-vectors keep a
+ * multi-million-instruction trace's annotations within a few hundred
+ * kilobytes of cache-resident state.
+ */
 class MissAnnotations
 {
   public:
-    bool
-    fetchMiss(size_t i) const
-    {
-        return flags[i] & MissFlags::fetchMissBit;
-    }
+    /** Fetching instruction @p i went off-chip. */
+    bool fetchMiss(size_t i) const { return fetchMissV.test(i); }
 
-    bool
-    dataMiss(size_t i) const
-    {
-        return flags[i] & MissFlags::dataMissBit;
-    }
+    /** Instruction @p i's data access went off-chip. */
+    bool dataMiss(size_t i) const { return dataMissV.test(i); }
 
-    bool
-    usefulPrefetch(size_t i) const
-    {
-        return flags[i] & MissFlags::usefulPrefetchBit;
-    }
+    /** Prefetch @p i went off-chip and was later used. */
+    bool usefulPrefetch(size_t i) const { return usefulPrefetchV.test(i); }
 
-    bool
-    dataL2Hit(size_t i) const
-    {
-        return flags[i] & MissFlags::dataL2HitBit;
-    }
+    /** Data access missed the L1 but hit the L2 (an on-chip latency
+     *  distinction only the cycle-accurate simulator cares about). */
+    bool dataL2Hit(size_t i) const { return dataL2HitV.test(i); }
 
-    bool
-    storeMiss(size_t i) const
-    {
-        return flags[i] & MissFlags::storeMissBit;
-    }
+    /** A store whose write-allocate fill goes off-chip. Not part of
+     *  the paper's MLP definition; used by the store-MLP extension
+     *  (the paper's stated future work). */
+    bool storeMiss(size_t i) const { return storeMissV.test(i); }
 
     /** Does instruction @p i perform any useful off-chip access? */
     bool
@@ -91,7 +73,7 @@ class MissAnnotations
                unsigned(usefulPrefetch(i));
     }
 
-    size_t size() const { return flags.size(); }
+    size_t size() const { return fetchMissV.size(); }
 
     // --- direct construction (tests and external trace frontends) ---
 
@@ -100,35 +82,35 @@ class MissAnnotations
     resetForBuild(size_t n)
     {
         *this = MissAnnotations{};
-        flags.assign(n, 0);
+        resetVectors(n);
         measuredInsts = n;
     }
 
     void
     markFetchMiss(size_t i)
     {
-        flags[i] |= MissFlags::fetchMissBit;
+        fetchMissV.set(i);
         ++fetchMisses;
     }
 
     void
     markDataMiss(size_t i)
     {
-        flags[i] |= MissFlags::dataMissBit;
+        dataMissV.set(i);
         ++loadMisses;
     }
 
     void
     markUsefulPrefetch(size_t i)
     {
-        flags[i] |= MissFlags::usefulPrefetchBit;
+        usefulPrefetchV.set(i);
         ++usefulPrefetches;
     }
 
     void
     markStoreMiss(size_t i)
     {
-        flags[i] |= MissFlags::storeMissBit;
+        storeMissV.set(i);
         ++storeMisses;
     }
 
@@ -155,7 +137,22 @@ class MissAnnotations
 
   private:
     friend class AccessProfiler;
-    std::vector<uint8_t> flags;
+
+    void
+    resetVectors(size_t n)
+    {
+        fetchMissV.assign(n, false);
+        dataMissV.assign(n, false);
+        usefulPrefetchV.assign(n, false);
+        dataL2HitV.assign(n, false);
+        storeMissV.assign(n, false);
+    }
+
+    util::BitVector fetchMissV;
+    util::BitVector dataMissV;
+    util::BitVector usefulPrefetchV;
+    util::BitVector dataL2HitV;
+    util::BitVector storeMissV;
 };
 
 /** Configuration of a profiling pass. */

@@ -69,7 +69,7 @@ annotateValues(const trace::TraceBuffer &buffer,
         if (!misses.dataMiss(i))
             continue;
         const ValueOutcome out =
-            predictor.predictAndUpdate(insts[i].pc, insts[i].value);
+            predictor.predictAndUpdate(insts[i].pc, insts[i].value());
         ann.outcome[i] = out;
         if (i < warmup_insts)
             continue;

@@ -18,6 +18,7 @@
 
 #include "memory/access_profiler.hh"
 #include "trace/trace_buffer.hh"
+#include "util/bitvec.hh"
 #include "util/status.hh"
 
 namespace mlpsim::predictor {
@@ -69,7 +70,8 @@ class LastValuePredictor
 /** Per-trace value-prediction annotations and Table 6 statistics. */
 struct ValueAnnotations
 {
-    std::vector<ValueOutcome> outcome;
+    /** Two bits per dynamic instruction (the four ValueOutcomes). */
+    util::PackedEnumVector<ValueOutcome, 2> outcome;
 
     uint64_t missingLoads = 0;
     uint64_t correct = 0;

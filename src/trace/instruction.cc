@@ -21,7 +21,7 @@ makeAlu(uint64_t pc, uint8_t dst, uint8_t src0, uint8_t src1)
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Alu;
+    i.setCls(InstClass::Alu);
     i.dst = dst;
     i.src[0] = src0;
     i.src[1] = src1;
@@ -34,11 +34,11 @@ makeLoad(uint64_t pc, uint8_t dst, uint64_t addr, uint8_t addr_reg,
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Load;
+    i.setCls(InstClass::Load);
     i.dst = dst;
     i.src[0] = addr_reg;
     i.effAddr = addr;
-    i.value = value;
+    i.setValue(value);
     return i;
 }
 
@@ -48,11 +48,11 @@ makeStore(uint64_t pc, uint64_t addr, uint8_t data_reg, uint8_t addr_reg,
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Store;
+    i.setCls(InstClass::Store);
     i.src[0] = addr_reg;
     i.src[1] = data_reg;
     i.effAddr = addr;
-    i.value = value;
+    i.setValue(value);
     return i;
 }
 
@@ -61,7 +61,7 @@ makePrefetch(uint64_t pc, uint64_t addr, uint8_t addr_reg)
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Prefetch;
+    i.setCls(InstClass::Prefetch);
     i.src[0] = addr_reg;
     i.effAddr = addr;
     return i;
@@ -73,11 +73,11 @@ makeBranch(uint64_t pc, uint64_t target, bool taken, uint8_t src0,
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Branch;
+    i.setCls(InstClass::Branch);
     i.src[0] = src0;
-    i.target = target;
-    i.taken = taken;
-    i.brKind = kind;
+    i.setTarget(target);
+    i.setTaken(taken);
+    i.setBrKind(kind);
     return i;
 }
 
@@ -86,7 +86,7 @@ makeSerializing(uint64_t pc, uint64_t addr, uint8_t src0)
 {
     Instruction i;
     i.pc = pc;
-    i.cls = InstClass::Serializing;
+    i.setCls(InstClass::Serializing);
     i.src[0] = src0;
     i.effAddr = addr;
     return i;

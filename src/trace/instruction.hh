@@ -8,6 +8,14 @@
  * stream (for the I-side) and, for value prediction, the value a load
  * returns. This record is therefore ISA-neutral: SPARC specifics such
  * as CASA/LDSTUB/MEMBAR all map onto InstClass::Serializing.
+ *
+ * The in-memory layout is packed to 32 bytes (two records per cache
+ * line) because simulators stream millions of these per run: the
+ * branch target and the loaded/stored value share one word (they are
+ * mutually exclusive by class — only branches have targets, and
+ * branches carry no value), and the class, branch kind and taken flag
+ * share one byte. The 40-byte on-disk record of trace_io keeps its
+ * own layout; v1/v2 trace files are unaffected.
  */
 #pragma once
 
@@ -59,31 +67,67 @@ struct Instruction
 {
     uint64_t pc = 0;        //!< virtual PC of the instruction
     uint64_t effAddr = 0;   //!< effective address (memory classes)
-    uint64_t value = 0;     //!< value loaded / stored (value prediction)
-    uint64_t target = 0;    //!< branch target (Branch only)
 
-    InstClass cls = InstClass::Alu;
-    uint8_t dst = noReg;              //!< destination register
+    uint8_t dst = noReg;    //!< destination register
     uint8_t src[maxSrcRegs] = {noReg, noReg, noReg};
 
-    bool taken = false;     //!< branch outcome (Branch only)
-    BranchKind brKind = BranchKind::None;
+    InstClass cls() const { return static_cast<InstClass>(meta & clsMask); }
+    bool taken() const { return (meta & takenBit) != 0; }
+    BranchKind brKind() const
+    {
+        return static_cast<BranchKind>((meta >> brKindShift) & clsMask);
+    }
+
+    /** Value loaded / stored (value prediction). Zero on branches. */
+    uint64_t value() const { return isBranch() ? 0 : payload; }
+    /** Branch target. Zero on every other class. */
+    uint64_t target() const { return isBranch() ? payload : 0; }
+
+    void setCls(InstClass c)
+    {
+        meta = uint8_t((meta & ~clsMask) | static_cast<uint8_t>(c));
+    }
+    void setTaken(bool t)
+    {
+        meta = uint8_t(t ? meta | takenBit : meta & ~takenBit);
+    }
+    void setBrKind(BranchKind k)
+    {
+        meta = uint8_t((meta & ~(clsMask << brKindShift)) |
+                       (static_cast<uint8_t>(k) << brKindShift));
+    }
+    void setValue(uint64_t v) { payload = v; }
+    void setTarget(uint64_t t) { payload = t; }
 
     bool isMem() const
     {
-        return cls == InstClass::Load || cls == InstClass::Store ||
-               cls == InstClass::Prefetch ||
-               (cls == InstClass::Serializing && effAddr != 0);
+        const InstClass c = cls();
+        return c == InstClass::Load || c == InstClass::Store ||
+               c == InstClass::Prefetch ||
+               (c == InstClass::Serializing && effAddr != 0);
     }
 
-    bool isLoad() const { return cls == InstClass::Load; }
-    bool isStore() const { return cls == InstClass::Store; }
-    bool isBranch() const { return cls == InstClass::Branch; }
-    bool isPrefetch() const { return cls == InstClass::Prefetch; }
-    bool isSerializing() const { return cls == InstClass::Serializing; }
+    bool isLoad() const { return cls() == InstClass::Load; }
+    bool isStore() const { return cls() == InstClass::Store; }
+    bool isBranch() const { return cls() == InstClass::Branch; }
+    bool isPrefetch() const { return cls() == InstClass::Prefetch; }
+    bool isSerializing() const { return cls() == InstClass::Serializing; }
 
     bool hasDst() const { return dst != noReg; }
+
+  private:
+    // Bits 0-2: InstClass; bits 3-5: BranchKind; bit 6: taken.
+    static constexpr uint8_t clsMask = 0x7;
+    static constexpr unsigned brKindShift = 3;
+    static constexpr uint8_t takenBit = 1 << 6;
+
+    uint8_t meta = 0;       //!< InstClass::Alu, BranchKind::None
+    uint64_t payload = 0;   //!< branch target or loaded/stored value
 };
+
+static_assert(sizeof(Instruction) == 32,
+              "Instruction must stay two-per-cache-line; see the "
+              "packed-layout notes in DESIGN.md section 12");
 
 /** Compact factory helpers used by workloads and tests. */
 Instruction makeAlu(uint64_t pc, uint8_t dst, uint8_t src0 = noReg,

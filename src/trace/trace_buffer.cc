@@ -1,11 +1,18 @@
 #include "trace_buffer.hh"
 
+#include <algorithm>
+
 namespace mlpsim::trace {
 
 void
 TraceBuffer::fill(TraceSource &source, uint64_t limit)
 {
-    insts.reserve(insts.size() + limit);
+    // Reserve up front so multi-million-entry fills do not repeatedly
+    // reallocate (and copy) the vector, but cap the reservation: limit
+    // is caller-supplied and may be "all of it" (UINT64_MAX), while
+    // the source may produce far less.
+    constexpr uint64_t maxReserve = uint64_t(1) << 22;
+    insts.reserve(insts.size() + size_t(std::min(limit, maxReserve)));
     Instruction inst;
     for (uint64_t i = 0; i < limit && source.next(inst); ++i)
         insts.push_back(inst);

@@ -70,14 +70,14 @@ packRecord(const Instruction &inst)
     FileRecord rec{};
     rec.pc = inst.pc;
     rec.effAddr = inst.effAddr;
-    rec.value = inst.value;
-    rec.target = inst.target;
-    rec.cls = static_cast<uint8_t>(inst.cls);
+    rec.value = inst.value();
+    rec.target = inst.target();
+    rec.cls = static_cast<uint8_t>(inst.cls());
     rec.dst = inst.dst;
     for (unsigned s = 0; s < maxSrcRegs; ++s)
         rec.src[s] = inst.src[s];
-    rec.taken = inst.taken ? 1 : 0;
-    rec.brKind = static_cast<uint8_t>(inst.brKind);
+    rec.taken = inst.taken() ? 1 : 0;
+    rec.brKind = static_cast<uint8_t>(inst.brKind());
     return rec;
 }
 
@@ -97,14 +97,19 @@ unpackRecord(const FileRecord &rec, uint64_t index, Instruction &inst)
     }
     inst.pc = rec.pc;
     inst.effAddr = rec.effAddr;
-    inst.value = rec.value;
-    inst.target = rec.target;
-    inst.cls = static_cast<InstClass>(rec.cls);
+    inst.setCls(static_cast<InstClass>(rec.cls));
+    // In memory the value and target words share one slot (they are
+    // mutually exclusive by class); a record carrying the word its
+    // class cannot use drops that word here, exactly as every factory-
+    // built trace always left it zero.
+    inst.setValue(rec.cls == static_cast<uint8_t>(InstClass::Branch)
+                      ? rec.target
+                      : rec.value);
     inst.dst = rec.dst;
     for (unsigned s = 0; s < maxSrcRegs; ++s)
         inst.src[s] = rec.src[s];
-    inst.taken = rec.taken != 0;
-    inst.brKind = static_cast<BranchKind>(rec.brKind);
+    inst.setTaken(rec.taken != 0);
+    inst.setBrKind(static_cast<BranchKind>(rec.brKind));
     return Status::okStatus();
 }
 

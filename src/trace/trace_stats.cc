@@ -9,13 +9,13 @@ measureMix(TraceSource &source, uint64_t max_insts)
     Instruction inst;
     while (mix.total < max_insts && source.next(inst)) {
         ++mix.total;
-        switch (inst.cls) {
+        switch (inst.cls()) {
           case InstClass::Alu: ++mix.alu; break;
           case InstClass::Load: ++mix.loads; break;
           case InstClass::Store: ++mix.stores; break;
           case InstClass::Branch:
             ++mix.branches;
-            if (inst.taken)
+            if (inst.taken())
                 ++mix.takenBranches;
             break;
           case InstClass::Prefetch: ++mix.prefetches; break;

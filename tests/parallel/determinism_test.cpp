@@ -92,8 +92,8 @@ TEST(SweepDeterminism, ParallelPreparationYieldsBitIdenticalTraces)
             const auto &x = a.at(i);
             const auto &y = b.at(i);
             const bool same = x.pc == y.pc && x.effAddr == y.effAddr &&
-                              x.value == y.value && x.target == y.target &&
-                              x.cls == y.cls && x.taken == y.taken;
+                              x.value() == y.value() && x.target() == y.target() &&
+                              x.cls() == y.cls() && x.taken() == y.taken();
             ASSERT_TRUE(same) << serial[w].name << " instruction " << i;
         }
     }

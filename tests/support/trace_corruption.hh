@@ -74,14 +74,14 @@ packRawRecord(const trace::Instruction &inst)
     };
     put64(0, inst.pc);
     put64(8, inst.effAddr);
-    put64(16, inst.value);
-    put64(24, inst.target);
-    rec[32] = static_cast<uint8_t>(inst.cls);
+    put64(16, inst.value());
+    put64(24, inst.target());
+    rec[32] = static_cast<uint8_t>(inst.cls());
     rec[33] = inst.dst;
     for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
         rec[34 + s] = inst.src[s];
-    rec[37] = inst.taken ? 1 : 0;
-    rec[38] = static_cast<uint8_t>(inst.brKind);
+    rec[37] = inst.taken() ? 1 : 0;
+    rec[38] = static_cast<uint8_t>(inst.brKind());
     return rec;
 }
 

@@ -10,7 +10,7 @@ using namespace mlpsim::trace;
 TEST(Instruction, AluFactory)
 {
     const auto i = makeAlu(0x100, 3, 1, 2);
-    EXPECT_EQ(i.cls, InstClass::Alu);
+    EXPECT_EQ(i.cls(), InstClass::Alu);
     EXPECT_EQ(i.pc, 0x100u);
     EXPECT_EQ(i.dst, 3);
     EXPECT_EQ(i.src[0], 1);
@@ -24,11 +24,11 @@ TEST(Instruction, AluFactory)
 TEST(Instruction, LoadFactory)
 {
     const auto i = makeLoad(0x104, 5, 0xBEEF, 2, 42);
-    EXPECT_EQ(i.cls, InstClass::Load);
+    EXPECT_EQ(i.cls(), InstClass::Load);
     EXPECT_TRUE(i.isLoad());
     EXPECT_TRUE(i.isMem());
     EXPECT_EQ(i.effAddr, 0xBEEFu);
-    EXPECT_EQ(i.value, 42u);
+    EXPECT_EQ(i.value(), 42u);
     EXPECT_EQ(i.dst, 5);
     EXPECT_EQ(i.src[0], 2);
 }
@@ -55,14 +55,14 @@ TEST(Instruction, BranchFactory)
 {
     const auto i = makeBranch(0x110, 0x200, true, 6);
     EXPECT_TRUE(i.isBranch());
-    EXPECT_TRUE(i.taken);
-    EXPECT_EQ(i.target, 0x200u);
-    EXPECT_EQ(i.brKind, BranchKind::Conditional);
+    EXPECT_TRUE(i.taken());
+    EXPECT_EQ(i.target(), 0x200u);
+    EXPECT_EQ(i.brKind(), BranchKind::Conditional);
     EXPECT_FALSE(i.isMem());
 
     const auto call =
         makeBranch(0x114, 0x300, true, noReg, BranchKind::Call);
-    EXPECT_EQ(call.brKind, BranchKind::Call);
+    EXPECT_EQ(call.brKind(), BranchKind::Call);
 }
 
 TEST(Instruction, SerializingFactory)

@@ -46,12 +46,12 @@ TEST(TraceIo, RoundTripsEveryField)
         const Instruction &b = read.at(i);
         EXPECT_EQ(a.pc, b.pc);
         EXPECT_EQ(a.effAddr, b.effAddr);
-        EXPECT_EQ(a.value, b.value);
-        EXPECT_EQ(a.target, b.target);
-        EXPECT_EQ(a.cls, b.cls);
+        EXPECT_EQ(a.value(), b.value());
+        EXPECT_EQ(a.target(), b.target());
+        EXPECT_EQ(a.cls(), b.cls());
         EXPECT_EQ(a.dst, b.dst);
-        EXPECT_EQ(a.taken, b.taken);
-        EXPECT_EQ(a.brKind, b.brKind);
+        EXPECT_EQ(a.taken(), b.taken());
+        EXPECT_EQ(a.brKind(), b.brKind());
         for (unsigned s = 0; s < maxSrcRegs; ++s)
             EXPECT_EQ(a.src[s], b.src[s]);
     }
@@ -70,7 +70,7 @@ TEST(TraceIo, RoundTripsGeneratedWorkload)
     for (size_t i = 0; i < buf.size(); i += 97) {
         EXPECT_EQ(buf.at(i).pc, read.at(i).pc);
         EXPECT_EQ(buf.at(i).effAddr, read.at(i).effAddr);
-        EXPECT_EQ(buf.at(i).cls, read.at(i).cls);
+        EXPECT_EQ(buf.at(i).cls(), read.at(i).cls());
     }
     std::remove(path.c_str());
 }
@@ -109,8 +109,8 @@ TEST(TraceIo, LoadsV1SeedFormat)
     for (size_t i = 0; i < buf.size(); ++i) {
         EXPECT_EQ(buf.at(i).pc, read->at(i).pc);
         EXPECT_EQ(buf.at(i).effAddr, read->at(i).effAddr);
-        EXPECT_EQ(buf.at(i).cls, read->at(i).cls);
-        EXPECT_EQ(buf.at(i).brKind, read->at(i).brKind);
+        EXPECT_EQ(buf.at(i).cls(), read->at(i).cls());
+        EXPECT_EQ(buf.at(i).brKind(), read->at(i).brKind());
     }
     const TraceBuffer legacy = readTraceFile(path);
     EXPECT_EQ(legacy.size(), buf.size());

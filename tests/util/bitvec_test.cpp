@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hh"
+
+namespace {
+
+using mlpsim::util::BitVector;
+using mlpsim::util::PackedEnumVector;
+
+TEST(BitVector, StartsCleared)
+{
+    BitVector v;
+    v.assign(130, false);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_FALSE(v.empty());
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.test(i)) << i;
+}
+
+TEST(BitVector, AssignTrueSetsEveryBit)
+{
+    BitVector v;
+    v.assign(70, true);
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_TRUE(v[i]) << i;
+}
+
+TEST(BitVector, SetResetAndProxyWrites)
+{
+    BitVector v;
+    v.assign(200, false);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v[199] = 1; // the vector<uint8_t>-style spelling tests use
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(199));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_FALSE(v.test(65));
+
+    v.reset(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_TRUE(v.test(64)); // neighbours untouched
+
+    v[64] = false;
+    EXPECT_FALSE(v.test(64));
+}
+
+TEST(BitVector, ReassignClearsOldContents)
+{
+    BitVector v;
+    v.assign(64, true);
+    v.assign(64, false);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_FALSE(v.test(i)) << i;
+}
+
+enum class Quad : uint8_t { Zero, One, Two, Three };
+
+TEST(PackedEnumVector, AssignFillsEveryElement)
+{
+    PackedEnumVector<Quad, 2> v;
+    v.assign(100, Quad::Two);
+    EXPECT_EQ(v.size(), 100u);
+    const auto &cv = v;
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(cv[i], Quad::Two) << i;
+}
+
+TEST(PackedEnumVector, ProxyWritesDoNotDisturbNeighbours)
+{
+    PackedEnumVector<Quad, 2> v;
+    v.assign(67, Quad::Zero);
+    v[0] = Quad::Three;
+    v[31] = Quad::One;  // last element of the first word
+    v[32] = Quad::Two;  // first element of the second word
+    v[66] = Quad::Three;
+
+    const auto &cv = v;
+    EXPECT_EQ(cv[0], Quad::Three);
+    EXPECT_EQ(cv[1], Quad::Zero);
+    EXPECT_EQ(cv[30], Quad::Zero);
+    EXPECT_EQ(cv[31], Quad::One);
+    EXPECT_EQ(cv[32], Quad::Two);
+    EXPECT_EQ(cv[33], Quad::Zero);
+    EXPECT_EQ(cv[66], Quad::Three);
+
+    v[31] = Quad::Zero;
+    EXPECT_EQ(cv[31], Quad::Zero);
+    EXPECT_EQ(cv[32], Quad::Two);
+}
+
+TEST(PackedEnumVector, ProxyReads)
+{
+    PackedEnumVector<Quad, 2> v;
+    v.assign(4, Quad::One);
+    // Non-const operator[] returns a proxy that converts back.
+    EXPECT_EQ(static_cast<Quad>(v[2]), Quad::One);
+    EXPECT_TRUE(v[3] == Quad::One);
+}
+
+} // namespace

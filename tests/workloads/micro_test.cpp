@@ -130,7 +130,7 @@ TEST(MicroWorkloads, ResetReproducesTheStream)
     ASSERT_EQ(first.size(), second.size());
     for (size_t i = 0; i < first.size(); ++i) {
         ASSERT_EQ(first.at(i).effAddr, second.at(i).effAddr) << i;
-        ASSERT_EQ(first.at(i).cls, second.at(i).cls) << i;
+        ASSERT_EQ(first.at(i).cls(), second.at(i).cls()) << i;
     }
 }
 

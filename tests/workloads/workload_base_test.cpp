@@ -71,11 +71,11 @@ TEST(WorkloadBase, CallEmitsCallBranchToFunctionBase)
     });
     const auto insts = drain(p, 3);
     ASSERT_EQ(insts.size(), 3u);
-    EXPECT_EQ(insts[0].brKind, BranchKind::Call);
-    EXPECT_TRUE(insts[0].taken);
+    EXPECT_EQ(insts[0].brKind(), BranchKind::Call);
+    EXPECT_TRUE(insts[0].taken());
     // The callee body starts at the call target.
-    EXPECT_EQ(insts[1].pc, insts[0].target);
-    EXPECT_EQ(insts[2].brKind, BranchKind::Return);
+    EXPECT_EQ(insts[1].pc, insts[0].target());
+    EXPECT_EQ(insts[2].brKind(), BranchKind::Return);
 }
 
 TEST(WorkloadBase, ReturnTargetsInstructionAfterCall)
@@ -86,7 +86,7 @@ TEST(WorkloadBase, ReturnTargetsInstructionAfterCall)
         w.emitAlu(1); // first caller instruction after the call
     });
     const auto insts = drain(p, 3);
-    EXPECT_EQ(insts[1].target, insts[0].pc + 4);
+    EXPECT_EQ(insts[1].target(), insts[0].pc + 4);
     EXPECT_EQ(insts[2].pc, insts[0].pc + 4);
 }
 
@@ -117,7 +117,7 @@ TEST(WorkloadBase, DistinctCalleesGetDistinctCallSites)
     const auto insts = drain(p, 16);
     std::set<uint64_t> call_pcs;
     for (const auto &inst : insts) {
-        if (inst.brKind == BranchKind::Call)
+        if (inst.brKind() == BranchKind::Call)
             call_pcs.insert(inst.pc);
     }
     EXPECT_GE(call_pcs.size(), 7u);
@@ -140,9 +140,9 @@ TEST(WorkloadBase, LoopBackReusesPcs)
     EXPECT_EQ(insts[1].pc, insts[4].pc);
     EXPECT_EQ(insts[2].pc, insts[5].pc);
     EXPECT_EQ(insts[3].pc, insts[6].pc); // the branch
-    EXPECT_TRUE(insts[3].taken);
-    EXPECT_FALSE(insts[9].taken); // final iteration falls through
-    EXPECT_EQ(insts[3].target, insts[1].pc);
+    EXPECT_TRUE(insts[3].taken());
+    EXPECT_FALSE(insts[9].taken()); // final iteration falls through
+    EXPECT_EQ(insts[3].target(), insts[1].pc);
 }
 
 TEST(WorkloadBase, CondBranchSkipsForward)
@@ -154,9 +154,9 @@ TEST(WorkloadBase, CondBranchSkipsForward)
         w.returnFromFunction();
     });
     const auto insts = drain(p, 3);
-    EXPECT_EQ(insts[0].brKind, BranchKind::Call);
-    EXPECT_EQ(insts[1].cls, InstClass::Branch);
-    EXPECT_EQ(insts[2].pc, insts[1].target);
+    EXPECT_EQ(insts[0].brKind(), BranchKind::Call);
+    EXPECT_EQ(insts[1].cls(), InstClass::Branch);
+    EXPECT_EQ(insts[2].pc, insts[1].target());
 }
 
 TEST(WorkloadBase, HotWorkMixesLoadsIntoCompute)
@@ -169,8 +169,8 @@ TEST(WorkloadBase, HotWorkMixesLoadsIntoCompute)
     const auto insts = drain(p, 42);
     unsigned loads = 0, alus = 0;
     for (const auto &inst : insts) {
-        loads += inst.cls == InstClass::Load;
-        alus += inst.cls == InstClass::Alu;
+        loads += inst.cls() == InstClass::Load;
+        alus += inst.cls() == InstClass::Alu;
     }
     EXPECT_NEAR(loads, 10u, 2u); // ~1 load per 4 instructions
     EXPECT_GT(alus, 25u);
@@ -191,7 +191,7 @@ TEST(WorkloadBase, ResetReproducesExactly)
     for (size_t i = 0; i < first.size(); ++i) {
         EXPECT_EQ(first[i].pc, second[i].pc) << i;
         EXPECT_EQ(first[i].effAddr, second[i].effAddr) << i;
-        EXPECT_EQ(first[i].taken, second[i].taken) << i;
+        EXPECT_EQ(first[i].taken(), second[i].taken()) << i;
     }
 }
 
@@ -203,7 +203,7 @@ TEST(WorkloadBase, PcsStayInsideTheFunctionStride)
         w.returnFromFunction();
     });
     const auto insts = drain(p, 400);
-    const uint64_t base = insts[0].target;
+    const uint64_t base = insts[0].target();
     for (size_t i = 1; i < insts.size(); ++i) {
         EXPECT_GE(insts[i].pc, base);
         EXPECT_LT(insts[i].pc, base + 1024);

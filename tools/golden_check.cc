@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Golden-result regression gate for the epoch-model simulators.
+ *
+ * Runs a small fixed sweep — every commercial workload under issue
+ * configs A..E plus the runahead, value-prediction and store-buffer
+ * variants — and serialises every numeric field of each MlpResult
+ * (epochs, access tallies, inhibitor taxonomy, accesses-per-epoch
+ * histogram) into one canonical JSON document. The committed copy in
+ * data/golden_results.json is the reference; the golden_results ctest
+ * re-runs the sweep and fails on any drift, which is what lets the
+ * engine internals be rewritten while proving results stay
+ * bit-identical.
+ *
+ * Usage:
+ *   golden_check --check FILE   # compare a fresh sweep against FILE
+ *   golden_check --write FILE   # (re)generate FILE
+ *
+ * The sweep is deterministic end to end: workload generators use
+ * their fixed default seeds, annotation substrates are replayed in
+ * program order, and MLP (the only double) is a single IEEE division
+ * of two integers, so the document compares exactly.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mlpsim.hh"
+#include "metrics/json.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "workloads/factory.hh"
+
+using namespace mlpsim;
+using metrics::JsonValue;
+
+namespace {
+
+constexpr uint64_t goldenInsts = 30'000;
+constexpr uint64_t goldenWarmup = 5'000;
+
+/** One simulated machine of the golden sweep. */
+struct GoldenConfig
+{
+    const char *key; //!< stable name used in the JSON document
+    core::MlpConfig config;
+};
+
+std::vector<GoldenConfig>
+goldenConfigs()
+{
+    using core::IssueConfig;
+    using core::MlpConfig;
+
+    std::vector<GoldenConfig> configs;
+    const char *names[] = {"64A", "64B", "64C", "64D", "64E"};
+    const IssueConfig issues[] = {IssueConfig::A, IssueConfig::B,
+                                  IssueConfig::C, IssueConfig::D,
+                                  IssueConfig::E};
+    for (unsigned i = 0; i < 5; ++i)
+        configs.push_back({names[i], MlpConfig::sized(64, issues[i])});
+
+    configs.push_back({"RA", MlpConfig::runahead()});
+
+    MlpConfig vp = MlpConfig::defaultOoO();
+    vp.valuePrediction = true;
+    configs.push_back({"64C+vp", vp});
+
+    MlpConfig sb = MlpConfig::defaultOoO();
+    sb.finiteStoreBuffer = true;
+    configs.push_back({"64C+sb", sb});
+
+    for (GoldenConfig &gc : configs)
+        gc.config.warmupInsts = goldenWarmup;
+    return configs;
+}
+
+JsonValue
+resultToJson(const core::MlpResult &r)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("epochs", r.epochs);
+    doc.set("useful_accesses", r.usefulAccesses);
+    doc.set("dmiss_accesses", r.dmissAccesses);
+    doc.set("imiss_accesses", r.imissAccesses);
+    doc.set("pmiss_accesses", r.pmissAccesses);
+    doc.set("smiss_accesses", r.smissAccesses);
+    doc.set("measured_insts", r.measuredInsts);
+    doc.set("mlp", r.mlp());
+
+    JsonValue inhibitors = JsonValue::object();
+    for (size_t i = 0; i < core::numInhibitors; ++i) {
+        inhibitors.set(
+            core::inhibitorName(static_cast<core::Inhibitor>(i)),
+            r.inhibitors.count[i]);
+    }
+    doc.set("inhibitors", std::move(inhibitors));
+
+    JsonValue histogram = JsonValue::object();
+    for (const auto &[accesses, epochs] : r.accessesPerEpoch.buckets())
+        histogram.set(std::to_string(accesses), epochs);
+    doc.set("accesses_per_epoch", std::move(histogram));
+    return doc;
+}
+
+JsonValue
+runGoldenSweep()
+{
+    core::AnnotationOptions ann;
+    ann.warmupInsts = goldenWarmup;
+
+    JsonValue results = JsonValue::object();
+    for (const std::string &name : workloads::commercialWorkloadNames()) {
+        auto generator = workloads::makeWorkload(name);
+        trace::TraceBuffer buffer(name);
+        buffer.fill(*generator, goldenInsts);
+        const core::AnnotatedTrace annotated(buffer, ann);
+        for (const GoldenConfig &gc : goldenConfigs()) {
+            const core::MlpResult r =
+                core::runMlp(gc.config, annotated.context());
+            results.set(name + "/" + gc.key, resultToJson(r));
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", "mlpsim-golden-results-v1");
+    JsonValue meta = JsonValue::object();
+    meta.set("insts", goldenInsts);
+    meta.set("warmup", goldenWarmup);
+    doc.set("meta", std::move(meta));
+    doc.set("results", std::move(results));
+    return doc;
+}
+
+/** First path at which two documents differ, for an actionable diff. */
+std::string
+firstDifference(const JsonValue &a, const JsonValue &b,
+                const std::string &path)
+{
+    if (a.isObject() && b.isObject()) {
+        for (const auto &[key, value] : a.members()) {
+            const JsonValue *other = b.find(key);
+            if (!other)
+                return path + "/" + key + " (missing from golden file)";
+            if (value != *other) {
+                const std::string hit =
+                    firstDifference(value, *other, path + "/" + key);
+                if (!hit.empty())
+                    return hit;
+            }
+        }
+        for (const auto &[key, value] : b.members()) {
+            if (!a.find(key))
+                return path + "/" + key + " (missing from this run)";
+        }
+        return path;
+    }
+    return path + ": got " + a.dump(0) + ", golden " + b.dump(0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    opts.rejectUnknown({"check", "write"});
+
+    const std::string check = opts.getString("check", "");
+    const std::string write = opts.getString("write", "");
+    if (check.empty() == write.empty())
+        fatal("exactly one of --check FILE / --write FILE is required");
+
+    const JsonValue fresh = runGoldenSweep();
+
+    if (!write.empty()) {
+        metrics::writeJsonFile(write, fresh).orFatal();
+        std::printf("%s: written (%zu cells)\n", write.c_str(),
+                    fresh.find("results")->members().size());
+        return 0;
+    }
+
+    const JsonValue golden = metrics::readJsonFile(check).orFatal();
+    if (fresh != golden) {
+        fatal(check, ": results drifted from golden at ",
+              firstDifference(fresh, golden, ""),
+              "; if the change is intended, regenerate with "
+              "golden_check --write ", check);
+    }
+    std::printf("%s: matches (%zu cells, %llu insts each)\n",
+                check.c_str(),
+                fresh.find("results")->members().size(),
+                static_cast<unsigned long long>(goldenInsts));
+    return 0;
+}
