@@ -1,6 +1,7 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <mutex>
 
 #include "metrics/export.hh"
 #include "metrics/registry.hh"
@@ -26,35 +27,133 @@ reportBatch(const std::string &what, unsigned threads,
     inform(line);
 }
 
+/**
+ * Process-wide record of every sweep batch this bench ran, feeding
+ * the --sweep-report file (and the exit-flush hook's best-effort copy
+ * of it). Mutex-guarded: batches finish on the main thread, but the
+ * flush hook may fire from any thread that called fatal().
+ */
+std::mutex g_sweepRecordMutex;
+std::size_t g_sweepJobs = 0;
+std::size_t g_sweepRetries = 0;
+std::vector<JobFailure> g_sweepFailures;
+
+void
+recordBatch(const SweepRunner::BatchStats &batch,
+            const std::vector<JobFailure> &failures)
+{
+    std::lock_guard<std::mutex> lock(g_sweepRecordMutex);
+    // Re-index each failure by its position in the bench-wide job
+    // sequence so entries from consecutive batches stay unique.
+    for (JobFailure failure : failures) {
+        failure.index += g_sweepJobs;
+        g_sweepFailures.push_back(std::move(failure));
+    }
+    g_sweepJobs += batch.jobs;
+    g_sweepRetries += batch.retries;
+
+    // Degradation is part of the run's story: surface the totals in
+    // the metrics snapshot. Guarded on non-zero so the all-success
+    // snapshot stays byte-identical to the pre-fault-tolerance one.
+    if (metrics::enabled()) {
+        if (batch.failed)
+            metrics::cur().add("sweep/failed_jobs", batch.failed);
+        if (batch.retries)
+            metrics::cur().add("sweep/retries", batch.retries);
+    }
+}
+
+Status
+writeSweepReport(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_sweepRecordMutex);
+    metrics::JsonValue meta = metrics::JsonValue::object();
+    meta.set("source", "bench");
+    return metrics::writeSweepReportFile(path, g_sweepJobs,
+                                         g_sweepRetries, g_sweepFailures,
+                                         std::move(meta));
+}
+
 } // namespace
+
+Expected<BenchSetup>
+BenchSetup::tryFromOptions(const Options &opts,
+                           std::vector<std::string> extra_flags)
+{
+    std::vector<std::string> known{
+        "warmup",       "insts",        "workload",
+        "jobs",         "metrics-out",  "trace-events",
+        "deadline-ms",  "retries",      "collect-failures",
+        "sweep-report"};
+    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+    MLPSIM_RETURN_IF_ERROR(opts.checkKnown(known));
+
+    // A typo'd --workload value would otherwise filter every workload
+    // out and the bench would silently print nothing.
+    if (opts.has("workload")) {
+        auto probe =
+            workloads::tryMakeWorkload(opts.getString("workload", ""));
+        if (!probe.ok())
+            return probe.status();
+    }
+
+    BenchSetup setup;
+    MLPSIM_ASSIGN_OR_RETURN(
+        setup.warmupInsts, opts.tryScaledInsts("warmup", setup.warmupInsts));
+    MLPSIM_ASSIGN_OR_RETURN(
+        setup.measureInsts, opts.tryScaledInsts("insts", setup.measureInsts));
+    MLPSIM_ASSIGN_OR_RETURN(uint64_t jobs, opts.tryGetU64("jobs", 0));
+    setup.jobs = unsigned(jobs);
+    setup.annotation.warmupInsts = setup.warmupInsts;
+    setup.metricsOut = opts.getString("metrics-out", "");
+    setup.traceEventsOut = opts.getString("trace-events", "");
+    setup.sweepReportOut = opts.getString("sweep-report", "");
+
+    MLPSIM_ASSIGN_OR_RETURN(setup.jobLimits.deadlineMillis,
+                            opts.tryGetDouble("deadline-ms", -1.0));
+    MLPSIM_ASSIGN_OR_RETURN(uint64_t retries,
+                            opts.tryGetU64("retries", 1));
+    if (retries == 0)
+        return Status::invalidArgument("--retries must be at least 1 "
+                                       "(it counts total attempts)");
+    setup.jobLimits.retry.maxAttempts = unsigned(retries);
+    setup.collectFailures = opts.has("collect-failures");
+
+    if (!setup.metricsOut.empty() || !setup.traceEventsOut.empty()) {
+        metrics::setEnabled(true);
+        metrics::installSweepIsolation();
+    }
+    if (!setup.metricsOut.empty() || !setup.sweepReportOut.empty()) {
+        // Best-effort flush on fatal()/panic(): a run dying mid-sweep
+        // still leaves its requested output files behind. Failures
+        // here are swallowed — the process is already terminating
+        // with a better diagnostic.
+        const std::string metrics_out = setup.metricsOut;
+        const std::string report_out = setup.sweepReportOut;
+        setExitFlushHook([metrics_out, report_out] {
+            if (!metrics_out.empty()) {
+                metrics::JsonValue meta = metrics::JsonValue::object();
+                meta.set("flushed_on_exit", true);
+                Status st = metrics::writeSnapshotFile(metrics_out,
+                                                       std::move(meta));
+                if (st.ok())
+                    inform("metrics snapshot flushed to ", metrics_out);
+            }
+            if (!report_out.empty()) {
+                Status st = writeSweepReport(report_out);
+                if (st.ok())
+                    inform("sweep report flushed to ", report_out);
+            }
+        });
+    }
+    return setup;
+}
 
 BenchSetup
 BenchSetup::fromOptions(const Options &opts,
                         std::vector<std::string> extra_flags)
 {
-    std::vector<std::string> known{"warmup", "insts", "workload", "jobs",
-                                   "metrics-out", "trace-events"};
-    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
-    opts.rejectUnknown(known);
-
-    // A typo'd --workload value would otherwise filter every workload
-    // out and the bench would silently print nothing.
-    if (opts.has("workload"))
-        workloads::tryMakeWorkload(opts.getString("workload", ""))
-            .orFatal();
-
-    BenchSetup setup;
-    setup.warmupInsts = opts.scaledInsts("warmup", setup.warmupInsts);
-    setup.measureInsts = opts.scaledInsts("insts", setup.measureInsts);
-    setup.jobs = unsigned(opts.getU64("jobs", 0));
-    setup.annotation.warmupInsts = setup.warmupInsts;
-    setup.metricsOut = opts.getString("metrics-out", "");
-    setup.traceEventsOut = opts.getString("trace-events", "");
-    if (!setup.metricsOut.empty() || !setup.traceEventsOut.empty()) {
-        metrics::setEnabled(true);
-        metrics::installSweepIsolation();
-    }
-    return setup;
+    return tryFromOptions(opts, std::move(extra_flags)).orFatal();
 }
 
 PreparedWorkload
@@ -135,6 +234,13 @@ runCycleSim(cyclesim::CycleSimConfig config,
     return cyclesim::CycleSim(config, workload.context()).run();
 }
 
+Sweep::Sweep(const BenchSetup &setup) : runner(setup.jobs)
+{
+    runner.setJobLimits(setup.jobLimits);
+    if (setup.collectFailures)
+        runner.setFailureMode(FailureMode::CollectAll);
+}
+
 Job<core::MlpResult>
 Sweep::mlp(core::MlpConfig config, const PreparedWorkload &workload)
 {
@@ -165,6 +271,7 @@ Sweep::run(const std::string &what)
 {
     runner.runAll();
     reportBatch(what, runner.jobs(), runner.lastBatch());
+    recordBatch(runner.lastBatch(), runner.lastFailures());
 }
 
 void
@@ -196,6 +303,10 @@ writeBenchOutputs(const BenchSetup &setup, const std::string &bench_name)
     if (!setup.traceEventsOut.empty()) {
         metrics::writeTraceEventsFile(setup.traceEventsOut).orFatal();
         inform("trace events written to ", setup.traceEventsOut);
+    }
+    if (!setup.sweepReportOut.empty()) {
+        writeSweepReport(setup.sweepReportOut).orFatal();
+        inform("sweep report written to ", setup.sweepReportOut);
     }
 }
 

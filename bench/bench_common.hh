@@ -77,13 +77,44 @@ struct BenchSetup
     std::string traceEventsOut;
 
     /**
-     * Parse --warmup/--insts/--jobs/--metrics-out/--trace-events (and
-     * MLPSIM_SCALE) from @p opts, after rejecting any flag outside the
-     * standard bench set plus @p extra_flags — a typo'd flag terminates
-     * up front instead of silently leaving a default in force for a
-     * long run. Giving either output flag enables metric collection
-     * and installs the sweep-isolation hooks before any threads start.
+     * Per-job execution limits for every Sweep batch: --deadline-ms
+     * arms a cooperative per-attempt deadline, --retries bounds the
+     * attempts for transient failures (both default off, preserving
+     * the historical all-or-nothing semantics byte for byte).
      */
+    JobLimits jobLimits;
+
+    /**
+     * --collect-failures: run sweeps in FailureMode::CollectAll, so
+     * failed cells degrade into the failure record (and the
+     * --sweep-report file) instead of aborting the bench at the first
+     * error. Benches read results through Job::get(), so a bench whose
+     * table *needs* a failed cell still dies — but only after the
+     * whole batch ran, with every failure recorded.
+     */
+    bool collectFailures = false;
+
+    /** Destination for the sweep failure report ("" = off); written
+     *  even when everything succeeded (0 failures documents a clean
+     *  run). Wall-clock data; *not* deterministic. */
+    std::string sweepReportOut;
+
+    /**
+     * Parse --warmup/--insts/--jobs/--metrics-out/--trace-events/
+     * --deadline-ms/--retries/--collect-failures/--sweep-report (and
+     * MLPSIM_SCALE) from @p opts, after rejecting any flag outside the
+     * standard bench set plus @p extra_flags — a typo'd flag fails up
+     * front instead of silently leaving a default in force for a
+     * long run. Giving any output flag enables metric collection
+     * and installs the sweep-isolation hooks before any threads start,
+     * plus a fatal()/panic() exit-flush hook so a dying run still
+     * leaves its --metrics-out / --sweep-report files on disk.
+     */
+    static Expected<BenchSetup>
+    tryFromOptions(const Options &opts,
+                   std::vector<std::string> extra_flags = {});
+
+    /** fatal()-on-error wrapper around tryFromOptions(). */
     static BenchSetup fromOptions(const Options &opts,
                                   std::vector<std::string> extra_flags = {});
 };
@@ -123,7 +154,9 @@ cyclesim::CycleSimResult runCycleSim(cyclesim::CycleSimConfig config,
 class Sweep
 {
   public:
-    explicit Sweep(const BenchSetup &setup) : runner(setup.jobs) {}
+    /** Applies setup.jobLimits and setup.collectFailures to every
+     *  batch this sweep runs. */
+    explicit Sweep(const BenchSetup &setup);
 
     /** Defer one epoch-model cell. @p workload must outlive run(). */
     Job<core::MlpResult> mlp(core::MlpConfig config,

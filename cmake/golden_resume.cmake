@@ -1,0 +1,53 @@
+# Kill-and-resume proof for the sweep checkpoint journal.
+#
+# Invoked by the golden_resume ctest entry (see tools/CMakeLists.txt):
+#   cmake -DCHECKER=<golden_check exe> -DGOLDEN=<data/golden_results.json>
+#         -DWORKDIR=<scratch dir> -P cmake/golden_resume.cmake
+#
+# Scenario:
+#   1. an uninterrupted run writes the reference document;
+#   2. a journalled run is killed (simulated crash, exit 42) after
+#      3 computed cells — the journal keeps exactly those cells;
+#   3. the resumed run against the same journal replays the finished
+#      cells and computes the rest;
+#   4. the resumed document must be byte-identical to the
+#      uninterrupted one, and must still match the committed golden
+#      results.
+
+function(run_or_die)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (exit ${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+file(REMOVE ${WORKDIR}/journal.bin ${WORKDIR}/uninterrupted.json
+     ${WORKDIR}/resumed.json)
+
+# 1. Uninterrupted reference run (no journal).
+run_or_die(${CHECKER} --write ${WORKDIR}/uninterrupted.json)
+
+# 2. Journalled run, killed after 3 computed cells. The simulated
+#    crash exits 42 and must NOT have produced an output document.
+execute_process(
+    COMMAND ${CHECKER} --write ${WORKDIR}/resumed.json
+            --journal ${WORKDIR}/journal.bin --kill-after 3
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 42)
+    message(FATAL_ERROR
+            "expected the killed run to exit 42, got ${rc}")
+endif()
+if(EXISTS ${WORKDIR}/resumed.json)
+    message(FATAL_ERROR "killed run wrote an output document")
+endif()
+
+# 3. Resume against the same journal.
+run_or_die(${CHECKER} --write ${WORKDIR}/resumed.json
+           --journal ${WORKDIR}/journal.bin)
+
+# 4. Byte-identical to the uninterrupted run, and still golden.
+run_or_die(${CMAKE_COMMAND} -E compare_files
+           ${WORKDIR}/uninterrupted.json ${WORKDIR}/resumed.json)
+run_or_die(${CHECKER} --check ${GOLDEN}
+           --journal ${WORKDIR}/journal.bin)

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "metrics/registry.hh"
+#include "util/cancellation.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::core {
@@ -839,6 +840,10 @@ EpochEngine::run()
             continue;
 
         if (epochOpen) {
+            // Epoch boundaries are the engine's cancellation poll
+            // points: frequent enough for prompt deadline response,
+            // rare enough to stay out of the per-instruction path.
+            pollCancellation();
             closeEpoch();
             continue;
         }

@@ -1,0 +1,181 @@
+#include "result_journal.hh"
+
+#include "metrics/json.hh"
+
+namespace mlpsim::core {
+
+using metrics::JsonValue;
+
+namespace {
+
+std::string
+journalMeta(uint64_t warmup_insts, uint64_t measured_insts)
+{
+    // The budget is part of the journal's identity: a result measured
+    // over a different instruction window is not the same result, so
+    // changing --warmup/--insts must invalidate the journal wholesale.
+    return "mlpsim-result-journal-v1;warmup=" +
+           std::to_string(warmup_insts) +
+           ";insts=" + std::to_string(measured_insts);
+}
+
+JsonValue
+resultToJson(const std::string &cell_key, const MlpResult &result)
+{
+    JsonValue entry = JsonValue::object();
+    entry.set("key", cell_key);
+    entry.set("epochs", result.epochs);
+    entry.set("useful_accesses", result.usefulAccesses);
+    entry.set("dmiss_accesses", result.dmissAccesses);
+    entry.set("imiss_accesses", result.imissAccesses);
+    entry.set("pmiss_accesses", result.pmissAccesses);
+    entry.set("smiss_accesses", result.smissAccesses);
+    entry.set("measured_insts", result.measuredInsts);
+
+    JsonValue inhibitors = JsonValue::array();
+    for (const uint64_t count : result.inhibitors.count)
+        inhibitors.push(count);
+    entry.set("inhibitors", std::move(inhibitors));
+
+    JsonValue histogram = JsonValue::array();
+    for (const auto &[bucket_key, weight] :
+         result.accessesPerEpoch.buckets()) {
+        JsonValue pair = JsonValue::array();
+        pair.push(bucket_key);
+        pair.push(weight);
+        histogram.push(std::move(pair));
+    }
+    entry.set("accesses_per_epoch", std::move(histogram));
+    return entry;
+}
+
+Status
+resultFromJson(const JsonValue &entry, std::string *cell_key,
+               MlpResult *result)
+{
+    const auto getCount = [&entry](const char *name,
+                                   uint64_t *out) -> Status {
+        const JsonValue *field = entry.find(name);
+        if (!field || !field->isNumber())
+            return Status::dataLoss("missing journal field '", name, "'");
+        *out = field->uinteger();
+        return Status::okStatus();
+    };
+
+    const JsonValue *key_field = entry.find("key");
+    if (!key_field || !key_field->isString())
+        return Status::dataLoss("missing journal field 'key'");
+    *cell_key = key_field->string();
+
+    *result = MlpResult{};
+    MLPSIM_RETURN_IF_ERROR(getCount("epochs", &result->epochs));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("useful_accesses", &result->usefulAccesses));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("dmiss_accesses", &result->dmissAccesses));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("imiss_accesses", &result->imissAccesses));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("pmiss_accesses", &result->pmissAccesses));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("smiss_accesses", &result->smissAccesses));
+    MLPSIM_RETURN_IF_ERROR(
+        getCount("measured_insts", &result->measuredInsts));
+
+    const JsonValue *inhibitors = entry.find("inhibitors");
+    if (!inhibitors || !inhibitors->isArray() ||
+        inhibitors->size() != numInhibitors) {
+        return Status::dataLoss("bad journal field 'inhibitors'");
+    }
+    for (std::size_t i = 0; i < numInhibitors; ++i) {
+        const JsonValue &count = inhibitors->items()[i];
+        if (!count.isNumber())
+            return Status::dataLoss("bad journal field 'inhibitors'");
+        result->inhibitors.count[i] = count.uinteger();
+    }
+
+    const JsonValue *histogram = entry.find("accesses_per_epoch");
+    if (!histogram || !histogram->isArray())
+        return Status::dataLoss("bad journal field 'accesses_per_epoch'");
+    for (const JsonValue &pair : histogram->items()) {
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.items()[0].isNumber() || !pair.items()[1].isNumber()) {
+            return Status::dataLoss(
+                "bad journal field 'accesses_per_epoch'");
+        }
+        result->accessesPerEpoch.add(pair.items()[0].uinteger(),
+                                     pair.items()[1].uinteger());
+    }
+    return Status::okStatus();
+}
+
+} // namespace
+
+std::string
+ResultJournal::key(std::string_view workload,
+                   std::string_view config_label, uint64_t seed)
+{
+    std::string out;
+    out.reserve(workload.size() + config_label.size() + 24);
+    out.append(workload);
+    out.push_back('|');
+    out.append(config_label);
+    out.push_back('|');
+    out += std::to_string(seed);
+    return out;
+}
+
+Expected<ResultJournal>
+ResultJournal::open(const std::string &path, uint64_t warmup_insts,
+                    uint64_t measured_insts)
+{
+    MLPSIM_ASSIGN_OR_RETURN(
+        RecordLog log,
+        RecordLog::open(path, journalMeta(warmup_insts, measured_insts))
+            .withContext("opening result journal"));
+
+    ResultJournal journal(std::move(log));
+    for (const std::string &payload : journal.log.recovered()) {
+        auto parsed = JsonValue::parse(payload);
+        if (!parsed.ok()) {
+            // A CRC-valid but unparseable record means a writer bug,
+            // not bit rot; skipping it only costs recomputing the cell.
+            warn("result journal '", path, "': skipping entry: ",
+                 parsed.status().message());
+            continue;
+        }
+        std::string cell_key;
+        MlpResult result;
+        const Status st = resultFromJson(*parsed, &cell_key, &result);
+        if (!st.ok()) {
+            warn("result journal '", path, "': skipping entry: ",
+                 st.message());
+            continue;
+        }
+        journal.entries[cell_key] = std::move(result);
+    }
+    return journal;
+}
+
+bool
+ResultJournal::lookup(const std::string &cell_key, MlpResult *out) const
+{
+    const auto it = entries.find(cell_key);
+    if (it == entries.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+Status
+ResultJournal::record(const std::string &cell_key,
+                      const MlpResult &result)
+{
+    MLPSIM_RETURN_IF_ERROR(
+        log.append(resultToJson(cell_key, result).dump(0))
+            .withContext("recording '", cell_key, "'"));
+    entries[cell_key] = result;
+    return Status::okStatus();
+}
+
+} // namespace mlpsim::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Checkpoint/resume journal for epoch-model sweeps.
+ *
+ * A sweep is a pure function of (workload, config, seed, measurement
+ * budget) per cell, so its partial progress is worth persisting: if
+ * the process is killed — deadline, OOM, ctrl-C — a rerun pointed at
+ * the same journal skips every cell that already completed and
+ * recomputes only the rest. Results come out identical either way
+ * because replayed cells are the exact MlpResult the original run
+ * produced (every field round-trips, not just the headline numbers).
+ *
+ * Storage is a CRC32-framed append-only record log (util/recordio.hh):
+ * one JSON payload per completed cell, appended and flushed as the
+ * cell finishes. The journal's meta string encodes the measurement
+ * budget (warmup/measured instructions), so a journal written under a
+ * different budget is discarded rather than half-trusted; corrupt
+ * tails from a mid-append kill are salvaged automatically.
+ *
+ * Per ROADMAP.md this file format is the seed of the mlpsimd
+ * content-addressed result cache.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/mlp_result.hh"
+#include "util/recordio.hh"
+#include "util/status.hh"
+
+namespace mlpsim::core {
+
+/** Durable map from sweep-cell key to its completed MlpResult. */
+class ResultJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for a sweep measuring
+     * @p measured_insts instructions after @p warmup_insts of warm-up.
+     * Recovers every intact entry a previous run recorded under the
+     * same budget.
+     */
+    static Expected<ResultJournal> open(const std::string &path,
+                                        uint64_t warmup_insts,
+                                        uint64_t measured_insts);
+
+    /** The canonical cell key: "workload|config-label|seed". */
+    static std::string key(std::string_view workload,
+                           std::string_view config_label, uint64_t seed);
+
+    /** Number of completed cells on record. */
+    std::size_t size() const { return entries.size(); }
+
+    /** True if a corrupt tail was dropped while opening. */
+    bool salvaged() const { return log.salvaged(); }
+
+    /** Look up a completed cell; false if it has not finished yet. */
+    bool lookup(const std::string &cell_key, MlpResult *out) const;
+
+    /**
+     * Persist a completed cell (append + flush). Re-recording a key
+     * overwrites the in-memory entry; on disk both records remain and
+     * the later one wins on replay.
+     */
+    Status record(const std::string &cell_key, const MlpResult &result);
+
+  private:
+    explicit ResultJournal(RecordLog record_log)
+        : log(std::move(record_log))
+    {
+    }
+
+    RecordLog log;
+    std::map<std::string, MlpResult> entries;
+};
+
+} // namespace mlpsim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "metrics/registry.hh"
+#include "util/cancellation.hh"
 #include "util/logging.hh"
 
 namespace mlpsim::cyclesim {
@@ -359,7 +360,16 @@ CycleSim::run()
     uint64_t guard =
         uint64_t(cfg.offChipLatency + 64) * trace_size + 10'000'000;
 
+    // Cancellation poll cadence: every ~64K simulated cycles. Cheap
+    // against the per-cycle work in between, frequent enough that a
+    // deadline lands within a fraction of a second of wall time.
+    uint64_t next_poll = now + 65536;
+
     while (committed < trace_size) {
+        if (now >= next_poll) {
+            pollCancellation();
+            next_poll = now + 65536;
+        }
         bool work = false;
         work |= commitStage();
         work |= issueStage();

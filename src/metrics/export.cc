@@ -136,6 +136,46 @@ writeSnapshotFile(const std::string &path, JsonValue meta,
 }
 
 JsonValue
+sweepReportToJson(std::size_t total_jobs, std::size_t retries,
+                  const std::vector<JobFailure> &failures,
+                  JsonValue meta)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", sweepReportSchema);
+    doc.set("meta", std::move(meta));
+    doc.set("jobs", uint64_t(total_jobs));
+    doc.set("succeeded", uint64_t(total_jobs - failures.size()));
+    doc.set("failed", uint64_t(failures.size()));
+    doc.set("retries", uint64_t(retries));
+
+    JsonValue list = JsonValue::array();
+    for (const JobFailure &failure : failures) {
+        JsonValue entry = JsonValue::object();
+        entry.set("index", uint64_t(failure.index));
+        entry.set("label", failure.label);
+        entry.set("code", errorCodeName(failure.status.code()));
+        entry.set("class", failureClassName(failure.failureClass()));
+        entry.set("message", failure.status.message());
+        entry.set("attempts", uint64_t(failure.attempts));
+        entry.set("wall_ms", failure.wallMillis);
+        list.push(std::move(entry));
+    }
+    doc.set("failures", std::move(list));
+    return doc;
+}
+
+Status
+writeSweepReportFile(const std::string &path, std::size_t total_jobs,
+                     std::size_t retries,
+                     const std::vector<JobFailure> &failures,
+                     JsonValue meta)
+{
+    return writeJsonFile(path,
+                         sweepReportToJson(total_jobs, retries, failures,
+                                           std::move(meta)));
+}
+
+JsonValue
 spansToTraceEvents(const std::vector<JobSpan> &spans)
 {
     JsonValue events = JsonValue::array();

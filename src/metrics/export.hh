@@ -60,6 +60,27 @@ Status writeSnapshotFile(const std::string &path,
                          JsonValue meta = JsonValue::object(),
                          const SnapshotOptions &options = {});
 
+/** The sweep-report document identifier. */
+inline constexpr const char *sweepReportSchema = "mlpsim-sweep-report-v1";
+
+/**
+ * Serialise a collect-all sweep's failure record (DESIGN.md section
+ * 13): batch totals plus one structured entry per JobFailure, in
+ * submission order. Unlike the metrics snapshot this document carries
+ * wall-clock times and attempt counts — it describes *this run's*
+ * degradation, not the simulated machine, so it is diagnostic output
+ * like the trace-event export, not a determinism surface.
+ */
+JsonValue sweepReportToJson(std::size_t total_jobs, std::size_t retries,
+                            const std::vector<JobFailure> &failures,
+                            JsonValue meta = JsonValue::object());
+
+/** Write a sweep report to @p path atomically. */
+Status writeSweepReportFile(const std::string &path,
+                            std::size_t total_jobs, std::size_t retries,
+                            const std::vector<JobFailure> &failures,
+                            JsonValue meta = JsonValue::object());
+
 /**
  * Serialise job spans in the Chrome trace_event format ("X" complete
  * events, microsecond timestamps, one tid per sweep worker).

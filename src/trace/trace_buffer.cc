@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/cancellation.hh"
+
 namespace mlpsim::trace {
 
 void
@@ -14,8 +16,13 @@ TraceBuffer::fill(TraceSource &source, uint64_t limit)
     constexpr uint64_t maxReserve = uint64_t(1) << 22;
     insts.reserve(insts.size() + size_t(std::min(limit, maxReserve)));
     Instruction inst;
-    for (uint64_t i = 0; i < limit && source.next(inst); ++i)
+    for (uint64_t i = 0; i < limit && source.next(inst); ++i) {
+        // Trace generation is the other long phase of a sweep job, so
+        // it polls for cancellation too (every 64K instructions).
+        if ((i & 0xFFFF) == 0)
+            pollCancellation();
         insts.push_back(inst);
+    }
 }
 
 } // namespace mlpsim::trace

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <mutex>
 
 namespace mlpsim {
@@ -20,6 +21,14 @@ sinkMutex()
     return mutex;
 }
 
+/** The exit-flush hook; guarded by sinkMutex() for install/read. */
+std::function<void()> &
+exitFlushHook()
+{
+    static std::function<void()> hook;
+    return hook;
+}
+
 } // namespace
 
 void
@@ -32,6 +41,19 @@ logLine(const char *kind, const std::string &msg)
 void
 exitWith(const char *kind, const std::string &msg, bool abort_process)
 {
+    // Run the flush hook at most once process-wide: a fatal() raised
+    // *by* the hook itself (or by a second thread racing this one)
+    // must not recurse into it.
+    static std::atomic<bool> flushed{false};
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        if (!flushed.exchange(true))
+            hook = exitFlushHook();
+    }
+    if (hook)
+        hook();
+
     {
         std::lock_guard<std::mutex> lock(sinkMutex());
         std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
@@ -48,4 +70,12 @@ exitWith(const char *kind, const std::string &msg, bool abort_process)
 }
 
 } // namespace detail
+
+void
+setExitFlushHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(detail::sinkMutex());
+    detail::exitFlushHook() = std::move(hook);
+}
+
 } // namespace mlpsim

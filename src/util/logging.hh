@@ -16,11 +16,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <utility>
 
 namespace mlpsim {
+
+/**
+ * Install a hook fatal()/panic() invoke (once, re-entrancy-guarded)
+ * before terminating the process. The bench layer registers a
+ * best-effort metrics flush here so a run that dies mid-sweep still
+ * leaves its --metrics-out snapshot on disk. Pass nullptr to
+ * uninstall. The hook runs outside the log-sink lock and must not
+ * terminate the process itself.
+ */
+void setExitFlushHook(std::function<void()> hook);
 
 namespace detail {
 

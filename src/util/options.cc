@@ -165,12 +165,18 @@ Options::getDouble(const std::string &name, double def) const
     return tryGetDouble(name, def).orFatal();
 }
 
+Expected<uint64_t>
+Options::tryScaledInsts(const std::string &name, uint64_t def) const
+{
+    if (has(name))
+        return tryGetU64(name, def);
+    return static_cast<uint64_t>(double(def) * scale);
+}
+
 uint64_t
 Options::scaledInsts(const std::string &name, uint64_t def) const
 {
-    if (has(name))
-        return getU64(name, def);
-    return static_cast<uint64_t>(double(def) * scale);
+    return tryScaledInsts(name, def).orFatal();
 }
 
 } // namespace mlpsim

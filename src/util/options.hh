@@ -67,6 +67,10 @@ class Options
      * Instruction budget helper: the default scaled by MLPSIM_SCALE
      * (if set) and overridable with --<name>=N.
      */
+    Expected<uint64_t> tryScaledInsts(const std::string &name,
+                                      uint64_t def) const;
+
+    /** fatal()-on-error wrapper around tryScaledInsts(). */
     uint64_t scaledInsts(const std::string &name, uint64_t def) const;
 
   private:

@@ -113,7 +113,23 @@ SweepRunner::SweepRunner(unsigned job_count)
     processEpoch();
 }
 
-SweepRunner::~SweepRunner() = default;
+SweepRunner::~SweepRunner()
+{
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchMutex);
+            watchdogStop = true;
+        }
+        watchCv.notify_all();
+        watchdog.join();
+    }
+}
+
+void
+SweepRunner::requestCancel(std::string reason)
+{
+    runnerToken->cancel(std::move(reason));
+}
 
 void
 SweepRunner::enqueue(std::shared_ptr<detail::JobSlot> slot,
@@ -123,26 +139,165 @@ SweepRunner::enqueue(std::shared_ptr<detail::JobSlot> slot,
     pending.push_back(Pending{std::move(slot), std::move(body)});
 }
 
+// ----- watchdog ----------------------------------------------------
+
+void
+SweepRunner::watchToken(const std::shared_ptr<CancelToken> &token,
+                        const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(watchMutex);
+    watched.emplace_back(token, label);
+    if (!watchdog.joinable())
+        watchdog = std::thread([this] { watchdogLoop(); });
+    watchCv.notify_all();
+}
+
+void
+SweepRunner::unwatchToken(const std::shared_ptr<CancelToken> &token)
+{
+    std::lock_guard<std::mutex> lock(watchMutex);
+    for (auto it = watched.begin(); it != watched.end(); ++it) {
+        if (it->first == token) {
+            watched.erase(it);
+            return;
+        }
+    }
+}
+
+void
+SweepRunner::watchdogLoop()
+{
+    // The watchdog cannot preempt a job — cancellation is cooperative
+    // — but it guarantees an overdue job is *flagged* even while stuck
+    // between polls, records the fact on stderr exactly once, and
+    // makes the deadline fire promptly for jobs that poll rarely
+    // relative to their deadline.
+    std::unique_lock<std::mutex> lock(watchMutex);
+    for (;;) {
+        if (watched.empty()) {
+            watchCv.wait(lock, [this] {
+                return watchdogStop || !watched.empty();
+            });
+        } else {
+            watchCv.wait_for(lock, std::chrono::milliseconds(2));
+        }
+        if (watchdogStop)
+            return;
+        for (const auto &[token, label] : watched) {
+            if (token->expireIfPastDeadline()) {
+                warn("sweep watchdog: job '", label,
+                     "' exceeded its deadline; flagged for ",
+                     "cooperative cancellation");
+            }
+        }
+    }
+}
+
+// ----- job execution -----------------------------------------------
+
+/**
+ * Run one attempt of @p job under @p tok. Returns true on success;
+ * otherwise fills @p failure with the classified Status and @p raw
+ * with the exception for Propagate-mode rethrow fidelity.
+ */
+bool
+SweepRunner::runAttempt(Pending &job,
+                        const std::shared_ptr<CancelToken> &tok,
+                        Status *failure, std::exception_ptr *raw)
+{
+    CancelScope scope(tok.get());
+    try {
+        // Cancel-before-start: a cancelled runner (or a zero
+        // deadline) fails the job without running a single
+        // instruction of its body.
+        pollCancellation();
+        job.body();
+        return true;
+    } catch (const CancelledError &e) {
+        *failure = e.status();
+        *raw = std::current_exception();
+    } catch (const StatusError &e) {
+        *failure = e.status();
+        *raw = std::current_exception();
+    } catch (const std::exception &e) {
+        *failure = Status::internal(e.what());
+        *raw = std::current_exception();
+    } catch (...) {
+        *failure = Status::internal("job threw a non-exception value");
+        *raw = std::current_exception();
+    }
+    return false;
+}
+
 void
 SweepRunner::execute(Pending &job)
 {
     const JobHooks hooks = currentJobHooks();
-    if (hooks.begin)
-        job.slot->hookToken = hooks.begin();
-    const auto start = std::chrono::steady_clock::now();
-    try {
-        job.body();
-    } catch (...) {
-        job.slot->error = std::current_exception();
+    const JobLimits &lim = job.slot->limits;
+
+    const auto first_start = std::chrono::steady_clock::now();
+    double total_millis = 0.0;
+    unsigned attempt = 1;
+
+    for (;; ++attempt) {
+        // Fresh token per attempt: a blown deadline on attempt N must
+        // not instantly kill attempt N+1. The runner token is the
+        // parent, so requestCancel() reaches every attempt.
+        auto token = std::make_shared<CancelToken>(runnerToken);
+        const bool deadline = lim.deadlineMillis >= 0.0;
+        if (deadline) {
+            token->setDeadlineAfterMillis(lim.deadlineMillis);
+            watchToken(token, job.slot->label);
+        }
+
+        // Per-attempt hook pair; a failed attempt's token is dropped
+        // below so partial metrics never reach the snapshot merge.
+        if (hooks.begin)
+            job.slot->hookToken = hooks.begin();
+
+        Status failure;
+        std::exception_ptr raw;
+        const auto start = std::chrono::steady_clock::now();
+        const bool ok = runAttempt(job, token, &failure, &raw);
+        const auto end = std::chrono::steady_clock::now();
+
+        if (hooks.end)
+            hooks.end(job.slot->hookToken);
+        if (deadline)
+            unwatchToken(token);
+
+        total_millis +=
+            std::chrono::duration<double, std::milli>(end - start).count();
+
+        if (ok) {
+            job.slot->failStatus = Status::okStatus();
+            job.slot->error = nullptr;
+            break;
+        }
+
+        job.slot->hookToken.reset();
+        if (lim.retry.shouldRetry(failure, attempt) &&
+            !runnerToken->stopRequested()) {
+            const double backoff =
+                lim.retry.backoffMillis(job.slot->label, attempt + 1);
+            if (backoff > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoff));
+            }
+            continue;
+        }
+
+        job.slot->failStatus = std::move(failure);
+        job.slot->error = raw;
+        break;
     }
-    const auto end = std::chrono::steady_clock::now();
-    if (hooks.end)
-        hooks.end(job.slot->hookToken);
+
+    job.slot->attempts = attempt;
     job.slot->startMillis =
-        std::chrono::duration<double, std::milli>(start - processEpoch())
+        std::chrono::duration<double, std::milli>(first_start -
+                                                  processEpoch())
             .count();
-    job.slot->wallMillis =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    job.slot->wallMillis = total_millis;
     job.slot->worker = t_workerId;
     job.slot->done = true;
 }
@@ -163,7 +318,7 @@ SweepRunner::runAll()
         if (!pool)
             pool = std::make_unique<ThreadPool>(jobCount);
         for (auto &job : jobs)
-            pool->post([&job] { execute(job); });
+            pool->post([this, &job] { execute(job); });
         pool->waitIdle();
     }
     const auto end = std::chrono::steady_clock::now();
@@ -172,10 +327,18 @@ SweepRunner::runAll()
     batch.jobs = jobs.size();
     batch.wallMillis =
         std::chrono::duration<double, std::milli>(end - start).count();
-    for (const auto &job : jobs) {
-        batch.busyMillis += job.slot->wallMillis;
-        batch.maxJobMillis =
-            std::max(batch.maxJobMillis, job.slot->wallMillis);
+    failures.clear();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto &slot = *jobs[i].slot;
+        batch.busyMillis += slot.wallMillis;
+        batch.maxJobMillis = std::max(batch.maxJobMillis, slot.wallMillis);
+        batch.retries += slot.attempts - 1;
+        if (!slot.failStatus.ok()) {
+            ++batch.failed;
+            failures.push_back(JobFailure{i, slot.label, slot.failStatus,
+                                          slot.attempts,
+                                          slot.wallMillis});
+        }
     }
 
     {
@@ -191,7 +354,9 @@ SweepRunner::runAll()
     // Commit per-job hook tokens in submission order — the ordering
     // the metrics layer's deterministic-merge contract depends on —
     // and drop the tokens so job-private state is released with the
-    // batch, not with the Job<T> handles.
+    // batch, not with the Job<T> handles. Failed jobs have no token
+    // left (dropped in execute()), so only complete, successful
+    // attempts are merged.
     const JobHooks hooks = currentJobHooks();
     for (const auto &job : jobs) {
         if (hooks.commit && job.slot->hookToken)
@@ -199,11 +364,36 @@ SweepRunner::runAll()
         job.slot->hookToken.reset();
     }
 
+    if (failures.empty())
+        return;
+
+    if (failMode == FailureMode::CollectAll) {
+        // Graceful degradation: the sweep outlives its failed cells.
+        // The record is on lastFailures(); callers surface it via the
+        // sweep report. One summary line so a quiet terminal still
+        // shows that something went wrong.
+        warn("sweep: ", failures.size(), " of ", jobs.size(),
+             " jobs failed (collect-all mode); first: '",
+             failures.front().label, "': ",
+             failures.front().status.toString());
+        return;
+    }
+
     // Deterministic failure propagation: completion order varies run
-    // to run, submission order does not.
+    // to run, submission order does not, so the *first-submitted*
+    // failure is the one a Propagate-mode sweep dies with. Report the
+    // full count first — the other failures must not vanish into the
+    // single rethrown exception.
+    if (failures.size() > 1) {
+        warn("sweep: ", failures.size(), " of ", jobs.size(),
+             " jobs failed; propagating the first in submission order "
+             "('", failures.front().label, "')");
+    }
     for (const auto &job : jobs) {
         if (job.slot->error)
             std::rethrow_exception(job.slot->error);
+        if (!job.slot->failStatus.ok())
+            throw StatusError(job.slot->failStatus);
     }
 }
 

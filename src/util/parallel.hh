@@ -1,6 +1,7 @@
 /**
  * @file
- * Fixed thread pool and deterministic job-grid execution.
+ * Fixed thread pool and deterministic job-grid execution, with a
+ * fault-tolerant execution layer (deadlines, retry, collect-all).
  *
  * MLPsim's sweeps — (machine configuration x workload) grids over the
  * same annotated traces — are embarrassingly parallel: every job only
@@ -17,10 +18,35 @@
  *    stable slot, so consumers read the grid back in exactly the order
  *    they built it no matter which worker finished first. Stdout
  *    formatting therefore stays deterministic.
- *  - Exceptions propagate deterministically too: a throwing job parks
- *    its std::exception_ptr in its slot, the batch still runs to
- *    completion, and runAll() rethrows the *first* failure in
- *    submission order (not completion order).
+ *
+ * Failure semantics (DESIGN.md section 13):
+ *
+ *  - Every job failure — thrown exception, cancellation, blown
+ *    deadline — is recorded as a JobFailure (submission index, label,
+ *    classified Status, attempt count); nothing is silently dropped.
+ *    The batch always runs to completion and lastFailures() exposes
+ *    the full record either way.
+ *  - In the default FailureMode::Propagate, runAll() then rethrows
+ *    the *first* failure in submission order. Submission order — not
+ *    completion order — is deliberate: completion order varies with
+ *    thread scheduling run to run, so "which failure a sweep dies
+ *    with" would be nondeterministic and unbisectable. When several
+ *    jobs failed, the count is reported on stderr before the rethrow
+ *    so the non-first failures are never invisible.
+ *  - In FailureMode::CollectAll, runAll() does not throw: failed jobs
+ *    degrade into their JobFailure records, successful slots stay
+ *    readable, and the caller turns the record into a sweep report
+ *    (metrics/export.hh). This is how a thousand-point sweep survives
+ *    one poisoned cell.
+ *  - JobLimits (setJobLimits) arm a per-job cooperative deadline
+ *    (polled by the simulation kernels via util/cancellation.hh, and
+ *    enforced in the background by a watchdog thread that flags
+ *    overdue jobs) and a deterministic RetryPolicy for transient
+ *    failures (util/retry.hh).
+ *
+ * On the all-success path none of this machinery observably runs:
+ * results, stdout and --metrics-out files stay byte-identical to the
+ * pre-fault-tolerance behaviour for every --jobs value.
  *
  * Per-job wall time is recorded on every slot and aggregated per
  * runAll() batch so callers can report observed speedup.
@@ -40,7 +66,10 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancellation.hh"
 #include "util/logging.hh"
+#include "util/retry.hh"
+#include "util/status.hh"
 
 namespace mlpsim {
 
@@ -93,6 +122,8 @@ class ThreadPool
  * recorded for every job of every runner into one process-wide log so
  * the metrics layer can export a Chrome trace_event timeline of a
  * whole binary's schedule (prepare batches and sweep batches alike).
+ * Failed and cancelled jobs appear too — a stuck job is exactly what
+ * the timeline exists to show.
  */
 struct JobSpan
 {
@@ -109,12 +140,57 @@ struct JobSpan
  * the same thread right after the body; `commit` runs on the runAll()
  * caller once the batch finished, once per job in *submission order* —
  * the ordering the metrics layer relies on for deterministic merges.
+ *
+ * Retried jobs get a fresh begin/end pair per attempt and only the
+ * final attempt's token survives; failed jobs' tokens are dropped
+ * without commit, so a half-executed attempt can never leak partial
+ * metrics into the deterministic snapshot.
  */
 struct JobHooks
 {
     std::function<std::shared_ptr<void>()> begin;
     std::function<void(const std::shared_ptr<void> &)> end;
     std::function<void(const std::shared_ptr<void> &)> commit;
+};
+
+/** One recorded job failure (see the file comment's failure model). */
+struct JobFailure
+{
+    std::size_t index = 0;   //!< submission index within the batch
+    std::string label;
+    Status status;           //!< classified error (never OK)
+    unsigned attempts = 1;   //!< attempts actually executed
+    double wallMillis = 0.0; //!< execution time across all attempts
+
+    /** The retry taxonomy bucket of `status`. */
+    FailureClass failureClass() const
+    {
+        return ::mlpsim::failureClass(status.code());
+    }
+};
+
+/** What runAll() does once failures have been recorded. */
+enum class FailureMode : uint8_t {
+    Propagate, //!< rethrow the first failure in submission order
+    CollectAll //!< never throw; degrade failures into JobFailure records
+};
+
+/**
+ * Per-job execution limits, applied to jobs deferred after
+ * SweepRunner::setJobLimits(). The defaults (no deadline, one
+ * attempt) are exactly the historical semantics.
+ */
+struct JobLimits
+{
+    /**
+     * Cooperative deadline per *attempt*, in milliseconds. Negative =
+     * none; 0 = already expired (the job fails at its first
+     * cancellation poll — the cheap way to express "skip this cell").
+     */
+    double deadlineMillis = -1.0;
+
+    /** Retry policy for transient failures (default: never retry). */
+    RetryPolicy retry;
 };
 
 namespace detail {
@@ -125,11 +201,14 @@ struct JobSlot
     virtual ~JobSlot() = default;
 
     std::string label;                //!< for diagnostics/progress
-    std::exception_ptr error;         //!< set if the closure threw
+    std::exception_ptr error;         //!< set if the final attempt threw
+    Status failStatus;                //!< classified final failure
+    JobLimits limits;                 //!< limits in force at defer()
     std::shared_ptr<void> hookToken;  //!< JobHooks begin() result
     double startMillis = 0.0;         //!< since processEpoch()
     double wallMillis = 0.0;          //!< execution time of this job
     unsigned worker = 0;              //!< executing worker (0 = caller)
+    unsigned attempts = 1;            //!< attempts actually executed
     bool done = false;                //!< ran (successfully or not)
 };
 
@@ -143,8 +222,10 @@ struct TypedJobSlot final : JobSlot
 
 /**
  * Handle to one deferred job's future result. Valid to read after the
- * owning SweepRunner::runAll() returned (which implies the job ran and
- * did not throw — a throw would have propagated out of runAll()).
+ * owning SweepRunner::runAll() returned. In the default Propagate
+ * mode that implies the job succeeded (a failure would have
+ * propagated out of runAll()); in CollectAll mode check succeeded()
+ * before get().
  */
 template <typename T>
 class Job
@@ -152,14 +233,16 @@ class Job
   public:
     Job() = default;
 
-    /** The job's result. @pre the owning runAll() has returned. */
+    /** The job's result. @pre the owning runAll() has returned and
+     *  the job succeeded. */
     const T &
     get() const
     {
         MLPSIM_ASSERT(slot && slot->done,
                       "Job::get() before SweepRunner::runAll()");
         MLPSIM_ASSERT(slot->value.has_value(),
-                      "Job::get() on a failed job");
+                      "Job::get() on a failed job: ",
+                      slot->failStatus.toString());
         return *slot->value;
     }
 
@@ -170,11 +253,30 @@ class Job
         MLPSIM_ASSERT(slot && slot->done,
                       "Job::take() before SweepRunner::runAll()");
         MLPSIM_ASSERT(slot->value.has_value(),
-                      "Job::take() on a failed or already-taken job");
+                      "Job::take() on a failed or already-taken job: ",
+                      slot->failStatus.toString());
         T out = std::move(*slot->value);
         slot->value.reset();
         return out;
     }
+
+    /** True once the job ran to completion without failing. */
+    bool
+    succeeded() const
+    {
+        return slot && slot->done && slot->failStatus.ok();
+    }
+
+    /** OK while/after a successful run; the final failure otherwise. */
+    const Status &
+    status() const
+    {
+        static const Status ok_status;
+        return slot ? slot->failStatus : ok_status;
+    }
+
+    /** Attempts actually executed (1 unless retries happened). */
+    unsigned attempts() const { return slot ? slot->attempts : 0; }
 
     /** Wall-clock execution time of this job, in milliseconds. */
     double millis() const { return slot ? slot->wallMillis : 0.0; }
@@ -215,6 +317,8 @@ class SweepRunner
     struct BatchStats
     {
         std::size_t jobs = 0;
+        std::size_t failed = 0;     //!< jobs whose final attempt failed
+        std::size_t retries = 0;    //!< extra attempts across all jobs
         double wallMillis = 0.0;    //!< batch wall-clock time
         double busyMillis = 0.0;    //!< sum of per-job wall times
         double maxJobMillis = 0.0;  //!< slowest single job
@@ -250,6 +354,7 @@ class SweepRunner
     {
         auto slot = std::make_shared<detail::TypedJobSlot<T>>();
         slot->label = std::move(label);
+        slot->limits = limits;
         enqueue(slot, [slot, fn = std::move(fn)] { slot->value = fn(); });
         return Job<T>(slot);
     }
@@ -260,16 +365,41 @@ class SweepRunner
     {
         auto slot = std::make_shared<detail::TypedJobSlot<bool>>();
         slot->label = std::move(label);
+        slot->limits = limits;
         enqueue(slot, [fn = std::move(fn)] { fn(); });
     }
 
     /**
      * Execute all jobs deferred since the last runAll(). Blocks until
-     * every one of them finished, then rethrows the first exception in
-     * submission order (if any). Successful slots remain readable
-     * through their Job<T> handles either way.
+     * every one of them finished, recording every failure (see
+     * lastFailures()). In Propagate mode the first failure in
+     * submission order is then rethrown; in CollectAll mode runAll()
+     * returns normally and failed jobs are readable as JobFailure
+     * records. Successful slots remain readable through their Job<T>
+     * handles either way.
      */
     void runAll();
+
+    /** Failure handling for subsequent runAll() calls. */
+    void setFailureMode(FailureMode mode) { failMode = mode; }
+    FailureMode failureMode() const { return failMode; }
+
+    /** Limits applied to jobs deferred after this call. */
+    void setJobLimits(JobLimits job_limits) { limits = job_limits; }
+    const JobLimits &jobLimits() const { return limits; }
+
+    /**
+     * Cooperatively cancel this runner: jobs currently executing stop
+     * at their next cancellation poll, and jobs not yet started fail
+     * as Cancelled without running. Affects this and future batches.
+     */
+    void requestCancel(std::string reason = "sweep cancelled");
+
+    /** Every failure of the most recent batch, in submission order. */
+    const std::vector<JobFailure> &lastFailures() const
+    {
+        return failures;
+    }
 
     /** Total jobs deferred over the runner's lifetime. */
     std::size_t totalDeferred() const { return deferredCount; }
@@ -302,13 +432,34 @@ class SweepRunner
 
     void enqueue(std::shared_ptr<detail::JobSlot> slot,
                  std::function<void()> body);
-    static void execute(Pending &job);
+    void execute(Pending &job);
+    bool runAttempt(Pending &job, const std::shared_ptr<CancelToken> &tok,
+                    Status *failure, std::exception_ptr *raw);
+
+    // --- watchdog (deadline enforcement from outside the job) ---
+    void watchToken(const std::shared_ptr<CancelToken> &token,
+                    const std::string &label);
+    void unwatchToken(const std::shared_ptr<CancelToken> &token);
+    void watchdogLoop();
 
     unsigned jobCount;
     std::vector<Pending> pending;
     std::size_t deferredCount = 0;
     std::unique_ptr<ThreadPool> pool;  //!< lazily created, reused
     BatchStats batch;
+
+    FailureMode failMode = FailureMode::Propagate;
+    JobLimits limits;
+    std::vector<JobFailure> failures;  //!< last batch, submission order
+    std::shared_ptr<CancelToken> runnerToken =
+        std::make_shared<CancelToken>();
+
+    std::mutex watchMutex;
+    std::condition_variable watchCv;
+    std::vector<std::pair<std::shared_ptr<CancelToken>, std::string>>
+        watched;
+    std::thread watchdog;              //!< started on first deadline
+    bool watchdogStop = false;
 };
 
 } // namespace mlpsim

@@ -1,0 +1,56 @@
+#include "retry.hh"
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace mlpsim {
+
+uint64_t
+fnv1a64(std::string_view text)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+double
+RetryPolicy::backoffMillis(std::string_view label,
+                           unsigned next_attempt) const
+{
+    if (next_attempt < 2)
+        return 0.0;
+    double delay = baseBackoffMillis;
+    for (unsigned a = 2; a < next_attempt; ++a) {
+        delay *= backoffMultiplier;
+        if (delay >= maxBackoffMillis)
+            break;
+    }
+    delay = std::min(delay, maxBackoffMillis);
+
+    // Seed-derived jitter: one splitMix64 draw per (seed, label,
+    // attempt) mapped to [1 - j, 1 + j). Reruns of the same sweep
+    // therefore back off on the identical schedule.
+    const double j = std::clamp(jitterFraction, 0.0, 1.0);
+    if (j > 0.0) {
+        const uint64_t draw =
+            splitMix64(seed ^ fnv1a64(label) ^
+                       (0x9E3779B97F4A7C15ULL * next_attempt));
+        const double unit = double(draw >> 11) * 0x1.0p-53; // [0, 1)
+        delay *= 1.0 - j + 2.0 * j * unit;
+    }
+    return delay;
+}
+
+bool
+RetryPolicy::shouldRetry(const Status &failure, unsigned attempt) const
+{
+    if (failure.ok() || attempt >= maxAttempts)
+        return false;
+    return isRetryable(failure.code());
+}
+
+} // namespace mlpsim

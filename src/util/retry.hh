@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic, bounded retry with exponential backoff and
+ * seed-derived jitter.
+ *
+ * A resilient sweep retries *transient* failures (see
+ * status.hh FailureClass) a bounded number of times, backing off
+ * exponentially so a struggling resource (disk, filesystem, a future
+ * network backend) is not hammered. Jitter de-synchronises the retries
+ * of many concurrently failing jobs — but random jitter would make
+ * sweep reruns unreproducible, so here it is a pure function of
+ * (policy seed, job label, attempt number): two runs of the same sweep
+ * back off on exactly the same schedule, which keeps failure-path
+ * timelines diffable and lets tests assert the exact sequence.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.hh"
+
+namespace mlpsim {
+
+/** 64-bit FNV-1a, the stable label hash the jitter derives from. */
+uint64_t fnv1a64(std::string_view text);
+
+/**
+ * When and how often to re-run a failed job. The default policy (one
+ * attempt) disables retry entirely, so existing callers keep their
+ * exact behaviour.
+ */
+struct RetryPolicy
+{
+    /** Total attempts including the first; 1 = never retry. */
+    unsigned maxAttempts = 1;
+
+    double baseBackoffMillis = 1.0;  //!< delay before attempt 2
+    double backoffMultiplier = 2.0;  //!< growth per further attempt
+    double maxBackoffMillis = 2000.0; //!< cap on the un-jittered delay
+
+    /** Jitter amplitude: the delay is scaled by a deterministic factor
+     *  in [1 - jitterFraction, 1 + jitterFraction). */
+    double jitterFraction = 0.25;
+
+    /** Run-level seed the per-(label, attempt) jitter derives from. */
+    uint64_t seed = 0;
+
+    /**
+     * The delay before attempt @p next_attempt (attempts are 1-based,
+     * so the smallest meaningful value is 2). Deterministic: equal
+     * (seed, label, next_attempt) always yields the same millis.
+     */
+    double backoffMillis(std::string_view label,
+                         unsigned next_attempt) const;
+
+    /**
+     * Whether attempt @p attempt's failure @p failure should be
+     * retried: only transient failures, and only while attempts
+     * remain. Cancellation and permanent errors never retry.
+     */
+    bool shouldRetry(const Status &failure, unsigned attempt) const;
+};
+
+} // namespace mlpsim

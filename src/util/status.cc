@@ -14,8 +14,52 @@ errorCodeName(ErrorCode code)
       case ErrorCode::IoError: return "i/o error";
       case ErrorCode::FailedPrecondition: return "failed precondition";
       case ErrorCode::Internal: return "internal error";
+      case ErrorCode::Unavailable: return "unavailable";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::DeadlineExceeded: return "deadline exceeded";
     }
     return "?";
+}
+
+FailureClass
+failureClass(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return FailureClass::None;
+      case ErrorCode::Unavailable:
+      case ErrorCode::IoError:
+        return FailureClass::Transient;
+      case ErrorCode::Cancelled:
+      case ErrorCode::DeadlineExceeded:
+        return FailureClass::Cancelled;
+      case ErrorCode::InvalidArgument:
+      case ErrorCode::NotFound:
+      case ErrorCode::DataLoss:
+      case ErrorCode::OutOfRange:
+      case ErrorCode::FailedPrecondition:
+      case ErrorCode::Internal:
+        return FailureClass::Permanent;
+    }
+    return FailureClass::Permanent;
+}
+
+const char *
+failureClassName(FailureClass fc)
+{
+    switch (fc) {
+      case FailureClass::None: return "none";
+      case FailureClass::Transient: return "transient";
+      case FailureClass::Permanent: return "permanent";
+      case FailureClass::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+bool
+isRetryable(ErrorCode code)
+{
+    return failureClass(code) == FailureClass::Transient;
 }
 
 std::string

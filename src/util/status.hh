@@ -23,6 +23,7 @@
  */
 #pragma once
 
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -41,10 +42,32 @@ enum class ErrorCode : uint8_t {
     IoError,            //!< OS-level read/write/rename failure
     FailedPrecondition, //!< operation invalid in the current state
     Internal,           //!< invariant violation surfaced recoverably
+    Unavailable,        //!< transient resource failure; retrying may work
+    Cancelled,          //!< the operation was cooperatively cancelled
+    DeadlineExceeded,   //!< the operation outlived its deadline
 };
 
 /** Printable name, e.g. "data loss". */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * The sweep layer's failure taxonomy: what a failed job's error code
+ * says about whether running the job again could succeed.
+ *
+ *  - Transient: the input was fine but the environment misbehaved
+ *    (Unavailable, IoError). A bounded, backed-off retry is sound.
+ *  - Cancelled: the job was stopped on purpose (Cancelled,
+ *    DeadlineExceeded). Retrying would defeat the cancellation.
+ *  - Permanent: everything else — the same inputs will fail the same
+ *    way, so a retry only wastes the sweep's time.
+ */
+enum class FailureClass : uint8_t { None, Transient, Permanent, Cancelled };
+
+FailureClass failureClass(ErrorCode code);
+const char *failureClassName(FailureClass fc);
+
+/** Shorthand for failureClass(code) == FailureClass::Transient. */
+bool isRetryable(ErrorCode code);
 
 /**
  * An error code plus a human-readable message with a context chain.
@@ -118,6 +141,30 @@ class [[nodiscard]] Status
     internal(Args &&...args)
     {
         return Status(ErrorCode::Internal,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    unavailable(Args &&...args)
+    {
+        return Status(ErrorCode::Unavailable,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    cancelled(Args &&...args)
+    {
+        return Status(ErrorCode::Cancelled,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    deadlineExceeded(Args &&...args)
+    {
+        return Status(ErrorCode::DeadlineExceeded,
                       detail::concat(std::forward<Args>(args)...));
     }
 
@@ -235,6 +282,31 @@ class [[nodiscard]] Expected
   private:
     std::optional<T> val;
     Status st;
+};
+
+/**
+ * A Status carried across an exception boundary. Sweep job bodies run
+ * under layers (bench helpers, fatal()-on-error wrappers) that do not
+ * thread Status returns through; throwing StatusError lets a job fail
+ * with a *classified* error — SweepRunner catches it, keeps the Status
+ * for its failure records, and applies the retry taxonomy above —
+ * where a plain std::exception would be recorded as Permanent/Internal.
+ */
+class StatusError : public std::exception
+{
+  public:
+    explicit StatusError(Status status)
+        : st(std::move(status)), text(st.toString())
+    {
+        MLPSIM_ASSERT(!st.ok(), "StatusError constructed from OK status");
+    }
+
+    const Status &status() const { return st; }
+    const char *what() const noexcept override { return text.c_str(); }
+
+  private:
+    Status st;
+    std::string text;
 };
 
 /** Propagate a failed Status out of a Status-returning function. */

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Fault injection against the resilient sweep layer itself: stuck jobs
+ * versus deadlines, throwing jobs versus collect-all degradation,
+ * transiently failing jobs versus deterministic retry, and the
+ * cancel-before-start / cancel-mid-run / zero-deadline edges. Pure
+ * synthetic jobs only (no simulator dependencies), so the suite also
+ * compiles stand-alone under ASan/UBSan (faultinject_parallel_san) and
+ * rides the TSan target (parallel_tests_tsan).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cancellation.hh"
+#include "util/parallel.hh"
+#include "util/status.hh"
+
+namespace mlpsim {
+namespace {
+
+/** Poll-loop "stuck" body: spins until cooperatively cancelled. */
+void
+spinUntilCancelled()
+{
+    for (;;) {
+        pollCancellation();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+JobLimits
+withDeadline(double millis)
+{
+    JobLimits limits;
+    limits.deadlineMillis = millis;
+    return limits;
+}
+
+TEST(SweepFaultTest, StuckJobIsReapedByItsDeadline)
+{
+    SweepRunner runner(4);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.setJobLimits(withDeadline(50.0));
+    auto good = runner.defer<int>("good", [] { return 7; });
+    runner.deferVoid("stuck", spinUntilCancelled);
+    runner.runAll();
+
+    EXPECT_TRUE(good.succeeded());
+    EXPECT_EQ(good.get(), 7);
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+    const JobFailure &failure = runner.lastFailures()[0];
+    EXPECT_EQ(failure.label, "stuck");
+    EXPECT_EQ(failure.index, 1u);
+    EXPECT_EQ(failure.status.code(), ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(failure.failureClass(), FailureClass::Cancelled);
+    EXPECT_EQ(runner.lastBatch().failed, 1u);
+}
+
+TEST(SweepFaultTest, ZeroDeadlineFailsBeforeTheBodyRuns)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.setJobLimits(withDeadline(0.0));
+    auto body_ran = std::make_shared<std::atomic<bool>>(false);
+    auto job = runner.defer<int>("skipped", [body_ran] {
+        body_ran->store(true);
+        return 1;
+    });
+    runner.runAll();
+
+    EXPECT_FALSE(body_ran->load());
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.status().code(), ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(job.attempts(), 1u);
+}
+
+TEST(SweepFaultTest, DeadlineIsPerAttemptNotPerJob)
+{
+    // A blown deadline is classified Cancelled, so it must never be
+    // retried even under a generous retry policy.
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    JobLimits limits = withDeadline(0.0);
+    limits.retry.maxAttempts = 5;
+    runner.setJobLimits(limits);
+    auto job = runner.defer<int>("expired", [] { return 1; });
+    runner.runAll();
+
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.attempts(), 1u);
+    EXPECT_EQ(runner.lastBatch().retries, 0u);
+}
+
+TEST(SweepFaultTest, CancelBeforeStartFailsEveryJobWithoutRunningIt)
+{
+    SweepRunner runner(4);
+    runner.setFailureMode(FailureMode::CollectAll);
+    auto ran = std::make_shared<std::atomic<int>>(0);
+    std::vector<Job<int>> jobs;
+    for (int i = 0; i < 8; ++i) {
+        jobs.push_back(runner.defer<int>(
+            "cell " + std::to_string(i), [ran, i] {
+                ran->fetch_add(1);
+                return i;
+            }));
+    }
+    runner.requestCancel("user aborted before start");
+    runner.runAll();
+
+    EXPECT_EQ(ran->load(), 0);
+    ASSERT_EQ(runner.lastFailures().size(), 8u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_FALSE(jobs[i].succeeded());
+        EXPECT_EQ(jobs[i].status().code(), ErrorCode::Cancelled);
+        EXPECT_EQ(runner.lastFailures()[i].index, i);
+    }
+}
+
+TEST(SweepFaultTest, CancelMidRunStopsPollingJobsAndPendingJobs)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    // One job cancels the whole batch; the poll-loop jobs unwind at
+    // their next poll and jobs not yet started never run.
+    runner.deferVoid("canceller", [&runner] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        runner.requestCancel("canceller job pulled the plug");
+    });
+    for (int i = 0; i < 6; ++i)
+        runner.deferVoid("victim " + std::to_string(i),
+                         spinUntilCancelled);
+    runner.runAll();
+
+    // The canceller itself succeeded; every victim was cancelled.
+    ASSERT_EQ(runner.lastFailures().size(), 6u);
+    for (const JobFailure &failure : runner.lastFailures()) {
+        EXPECT_EQ(failure.status.code(), ErrorCode::Cancelled);
+        EXPECT_EQ(failure.failureClass(), FailureClass::Cancelled);
+    }
+    EXPECT_EQ(runner.lastBatch().failed, 6u);
+}
+
+TEST(SweepFaultTest, TransientFailureRetriesUntilSuccess)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    JobLimits limits;
+    limits.retry.maxAttempts = 4;
+    limits.retry.baseBackoffMillis = 0.1; // keep the test fast
+    runner.setJobLimits(limits);
+
+    auto attempts_seen = std::make_shared<std::atomic<unsigned>>(0);
+    auto job = runner.defer<int>("flaky", [attempts_seen] {
+        if (attempts_seen->fetch_add(1) + 1 <= 2)
+            throw StatusError(Status::unavailable("transient blip"));
+        return 99;
+    });
+    runner.runAll();
+
+    EXPECT_TRUE(job.succeeded());
+    EXPECT_EQ(job.get(), 99);
+    EXPECT_EQ(job.attempts(), 3u);
+    EXPECT_TRUE(runner.lastFailures().empty());
+    EXPECT_EQ(runner.lastBatch().failed, 0u);
+    EXPECT_EQ(runner.lastBatch().retries, 2u);
+}
+
+TEST(SweepFaultTest, TransientFailureExhaustsItsAttemptBudget)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    JobLimits limits;
+    limits.retry.maxAttempts = 3;
+    limits.retry.baseBackoffMillis = 0.1;
+    runner.setJobLimits(limits);
+
+    auto job = runner.defer<int>("always-down", []() -> int {
+        throw StatusError(Status::unavailable("still down"));
+    });
+    runner.runAll();
+
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.status().code(), ErrorCode::Unavailable);
+    EXPECT_EQ(job.attempts(), 3u);
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+    EXPECT_EQ(runner.lastFailures()[0].attempts, 3u);
+    EXPECT_EQ(runner.lastFailures()[0].failureClass(),
+              FailureClass::Transient);
+    EXPECT_EQ(runner.lastBatch().retries, 2u);
+}
+
+TEST(SweepFaultTest, PermanentFailureIsNeverRetried)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    JobLimits limits;
+    limits.retry.maxAttempts = 5;
+    runner.setJobLimits(limits);
+
+    auto calls = std::make_shared<std::atomic<unsigned>>(0);
+    auto job = runner.defer<int>("poisoned", [calls]() -> int {
+        calls->fetch_add(1);
+        throw StatusError(Status::dataLoss("corrupt cell"));
+    });
+    runner.runAll();
+
+    EXPECT_EQ(calls->load(), 1u);
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.status().code(), ErrorCode::DataLoss);
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+    EXPECT_EQ(runner.lastFailures()[0].failureClass(),
+              FailureClass::Permanent);
+    EXPECT_EQ(runner.lastBatch().retries, 0u);
+}
+
+TEST(SweepFaultTest, PlainExceptionsClassifyAsPermanentInternal)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.deferVoid("legacy-throw",
+                     [] { throw std::runtime_error("unclassified"); });
+    runner.runAll();
+
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+    const JobFailure &failure = runner.lastFailures()[0];
+    EXPECT_EQ(failure.status.code(), ErrorCode::Internal);
+    EXPECT_EQ(failure.failureClass(), FailureClass::Permanent);
+    EXPECT_NE(failure.status.message().find("unclassified"),
+              std::string::npos);
+}
+
+TEST(SweepFaultTest, CollectAllKeepsEveryFailureInSubmissionOrder)
+{
+    SweepRunner runner(8);
+    runner.setFailureMode(FailureMode::CollectAll);
+    std::vector<Job<int>> jobs;
+    for (int i = 0; i < 20; ++i) {
+        jobs.push_back(runner.defer<int>(
+            "cell " + std::to_string(i), [i]() -> int {
+                if (i % 3 == 0)
+                    throw StatusError(Status::dataLoss("bad cell ", i));
+                return i * 10;
+            }));
+    }
+    runner.runAll();
+
+    const auto &failures = runner.lastFailures();
+    ASSERT_EQ(failures.size(), 7u); // i = 0, 3, 6, 9, 12, 15, 18
+    for (std::size_t k = 0; k < failures.size(); ++k) {
+        EXPECT_EQ(failures[k].index, k * 3);
+        EXPECT_EQ(failures[k].label,
+                  "cell " + std::to_string(k * 3));
+    }
+    for (int i = 0; i < 20; ++i) {
+        if (i % 3 == 0)
+            EXPECT_FALSE(jobs[i].succeeded()) << i;
+        else
+            EXPECT_EQ(jobs[i].get(), i * 10) << i;
+    }
+    EXPECT_EQ(runner.lastBatch().failed, 7u);
+}
+
+TEST(SweepFaultTest, PropagateModeStillRecordsEveryFailure)
+{
+    SweepRunner runner(4);
+    for (int i = 0; i < 8; ++i) {
+        runner.deferVoid("cell " + std::to_string(i), [i] {
+            if (i == 2 || i == 5)
+                throw StatusError(
+                    Status::dataLoss("cell ", i, " failed"));
+        });
+    }
+    try {
+        runner.runAll();
+        FAIL() << "runAll() should have thrown";
+    } catch (const StatusError &e) {
+        // First in submission order, regardless of completion order.
+        EXPECT_NE(std::string(e.what()).find("cell 2"),
+                  std::string::npos);
+    }
+    ASSERT_EQ(runner.lastFailures().size(), 2u);
+    EXPECT_EQ(runner.lastFailures()[0].index, 2u);
+    EXPECT_EQ(runner.lastFailures()[1].index, 5u);
+}
+
+TEST(SweepFaultTest, SerialRunnerHandlesFaultsIdentically)
+{
+    // jobs == 1 executes inline on the calling thread; the failure
+    // model must not depend on which path ran the job.
+    SweepRunner runner(1);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.setJobLimits(withDeadline(0.0));
+    auto job = runner.defer<int>("inline-expired", [] { return 1; });
+    runner.runAll();
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.status().code(), ErrorCode::DeadlineExceeded);
+
+    // The calling thread's ambient token must be restored: work on
+    // this thread after runAll() is not cancelled.
+    EXPECT_EQ(activeCancelToken(), nullptr);
+    EXPECT_NO_THROW(pollCancellation());
+}
+
+TEST(SweepFaultTest, RunnerRecoversAcrossBatchesAfterFailures)
+{
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.setJobLimits(withDeadline(0.0));
+    runner.deferVoid("doomed", [] {});
+    runner.runAll();
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+
+    // Next batch with sane limits: clean slate, no leftover failures.
+    runner.setJobLimits(JobLimits{});
+    auto ok = runner.defer<int>("fine", [] { return 5; });
+    runner.runAll();
+    EXPECT_TRUE(runner.lastFailures().empty());
+    EXPECT_EQ(runner.lastBatch().failed, 0u);
+    EXPECT_EQ(ok.get(), 5);
+}
+
+TEST(SweepFaultTest, RetriedJobGetsAFreshDeadlinePerAttempt)
+{
+    // Each attempt of a transient failure gets its own token and its
+    // own full deadline; earlier attempts' expiry must not leak in.
+    SweepRunner runner(2);
+    runner.setFailureMode(FailureMode::CollectAll);
+    JobLimits limits = withDeadline(200.0);
+    limits.retry.maxAttempts = 3;
+    limits.retry.baseBackoffMillis = 0.1;
+    runner.setJobLimits(limits);
+
+    auto attempts_seen = std::make_shared<std::atomic<unsigned>>(0);
+    auto job = runner.defer<int>("flaky-with-deadline", [attempts_seen] {
+        pollCancellation(); // a live token must be installed
+        if (attempts_seen->fetch_add(1) + 1 < 3)
+            throw StatusError(Status::unavailable("blip"));
+        return 1;
+    });
+    runner.runAll();
+    EXPECT_TRUE(job.succeeded());
+    EXPECT_EQ(job.attempts(), 3u);
+}
+
+} // namespace
+} // namespace mlpsim

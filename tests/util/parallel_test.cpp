@@ -155,6 +155,34 @@ TEST(SweepRunnerTest, MoveOnlyResultsAreTakeable)
     EXPECT_EQ(*out, 7);
 }
 
+TEST(SweepRunnerTest, SuccessfulJobsReportStatusAndAttempts)
+{
+    SweepRunner runner(2);
+    auto job = runner.defer<int>("ok", [] { return 3; });
+    runner.runAll();
+    EXPECT_TRUE(job.succeeded());
+    EXPECT_TRUE(job.status().ok());
+    EXPECT_EQ(job.attempts(), 1u);
+    EXPECT_TRUE(runner.lastFailures().empty());
+    EXPECT_EQ(runner.lastBatch().failed, 0u);
+    EXPECT_EQ(runner.lastBatch().retries, 0u);
+}
+
+TEST(SweepRunnerTest, FailedBatchStillRecordsEveryFailure)
+{
+    // Even in the default Propagate mode nothing is silently dropped:
+    // the full failure record is available after the rethrow.
+    SweepRunner runner(4);
+    runner.deferVoid("a", [] {});
+    runner.deferVoid("b", [] { throw std::runtime_error("b died"); });
+    runner.deferVoid("c", [] { throw std::runtime_error("c died"); });
+    EXPECT_THROW(runner.runAll(), std::runtime_error);
+    ASSERT_EQ(runner.lastFailures().size(), 2u);
+    EXPECT_EQ(runner.lastFailures()[0].label, "b");
+    EXPECT_EQ(runner.lastFailures()[1].label, "c");
+    EXPECT_EQ(runner.lastBatch().failed, 2u);
+}
+
 TEST(SweepRunnerTest, RecordsPerJobAndBatchTiming)
 {
     SweepRunner runner(2);

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * RetryPolicy unit tests: failure-class driven retry decisions and the
+ * deterministic exponential-backoff-with-jitter schedule. Determinism
+ * is the point — two runs of the same sweep must back off identically,
+ * so these tests assert exact reproducibility, not just bounds.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/retry.hh"
+#include "util/status.hh"
+
+namespace mlpsim {
+namespace {
+
+TEST(Fnv1a64Test, MatchesKnownVectors)
+{
+    // Standard FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, DistinctLabelsHashDifferently)
+{
+    EXPECT_NE(fnv1a64("mlp cpmail/64C"), fnv1a64("mlp cpmail/64E"));
+    EXPECT_NE(fnv1a64("job"), fnv1a64("job2"));
+}
+
+TEST(FailureClassTest, TaxonomyBucketsAreCorrect)
+{
+    EXPECT_EQ(failureClass(ErrorCode::Ok), FailureClass::None);
+    EXPECT_EQ(failureClass(ErrorCode::Unavailable),
+              FailureClass::Transient);
+    EXPECT_EQ(failureClass(ErrorCode::IoError), FailureClass::Transient);
+    EXPECT_EQ(failureClass(ErrorCode::Cancelled), FailureClass::Cancelled);
+    EXPECT_EQ(failureClass(ErrorCode::DeadlineExceeded),
+              FailureClass::Cancelled);
+    EXPECT_EQ(failureClass(ErrorCode::InvalidArgument),
+              FailureClass::Permanent);
+    EXPECT_EQ(failureClass(ErrorCode::DataLoss), FailureClass::Permanent);
+    EXPECT_EQ(failureClass(ErrorCode::Internal), FailureClass::Permanent);
+
+    EXPECT_TRUE(isRetryable(ErrorCode::Unavailable));
+    EXPECT_TRUE(isRetryable(ErrorCode::IoError));
+    EXPECT_FALSE(isRetryable(ErrorCode::Cancelled));
+    EXPECT_FALSE(isRetryable(ErrorCode::DataLoss));
+    EXPECT_FALSE(isRetryable(ErrorCode::Ok));
+}
+
+TEST(RetryPolicyTest, DefaultPolicyNeverRetries)
+{
+    RetryPolicy policy;
+    EXPECT_FALSE(policy.shouldRetry(Status::unavailable("down"), 1));
+}
+
+TEST(RetryPolicyTest, OnlyTransientFailuresRetry)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    EXPECT_TRUE(policy.shouldRetry(Status::unavailable("down"), 1));
+    EXPECT_TRUE(policy.shouldRetry(Status::ioError("flaky disk"), 2));
+    EXPECT_FALSE(policy.shouldRetry(Status::dataLoss("corrupt"), 1));
+    EXPECT_FALSE(policy.shouldRetry(Status::cancelled("stop"), 1));
+    EXPECT_FALSE(
+        policy.shouldRetry(Status::deadlineExceeded("too slow"), 1));
+    EXPECT_FALSE(policy.shouldRetry(Status(), 1)); // OK never "retries"
+}
+
+TEST(RetryPolicyTest, AttemptBudgetIsRespected)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    const Status transient = Status::unavailable("down");
+    EXPECT_TRUE(policy.shouldRetry(transient, 1));
+    EXPECT_TRUE(policy.shouldRetry(transient, 2));
+    EXPECT_FALSE(policy.shouldRetry(transient, 3));
+    EXPECT_FALSE(policy.shouldRetry(transient, 4));
+}
+
+TEST(RetryPolicyTest, NoDelayBeforeTheFirstAttempt)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    EXPECT_EQ(policy.backoffMillis("job", 0), 0.0);
+    EXPECT_EQ(policy.backoffMillis("job", 1), 0.0);
+    EXPECT_GT(policy.backoffMillis("job", 2), 0.0);
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerSeedLabelAttempt)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.seed = 42;
+    for (unsigned attempt = 2; attempt <= 5; ++attempt) {
+        EXPECT_EQ(policy.backoffMillis("mlp cpmail/64C", attempt),
+                  policy.backoffMillis("mlp cpmail/64C", attempt))
+            << "attempt " << attempt;
+    }
+}
+
+TEST(RetryPolicyTest, JitterVariesAcrossLabelsSeedsAndAttempts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    const double a = policy.backoffMillis("job-a", 2);
+    const double b = policy.backoffMillis("job-b", 2);
+    EXPECT_NE(a, b) << "labels should de-synchronise retries";
+
+    RetryPolicy reseeded = policy;
+    reseeded.seed = 1;
+    EXPECT_NE(policy.backoffMillis("job-a", 2),
+              reseeded.backoffMillis("job-a", 2));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 6;
+    policy.baseBackoffMillis = 10.0;
+    policy.backoffMultiplier = 2.0;
+    policy.maxBackoffMillis = 1'000'000.0; // out of the way
+    policy.jitterFraction = 0.25;
+    for (unsigned attempt = 2; attempt <= 6; ++attempt) {
+        // Un-jittered delay: base * multiplier^(attempt - 2).
+        const double nominal = 10.0 * double(1u << (attempt - 2));
+        const double delay = policy.backoffMillis("job", attempt);
+        EXPECT_GE(delay, nominal * 0.75) << "attempt " << attempt;
+        EXPECT_LT(delay, nominal * 1.25) << "attempt " << attempt;
+    }
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedBeforeJitter)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 20;
+    policy.baseBackoffMillis = 100.0;
+    policy.backoffMultiplier = 10.0;
+    policy.maxBackoffMillis = 500.0;
+    policy.jitterFraction = 0.25;
+    // By attempt 10 the un-jittered delay is astronomically past the
+    // cap; the jittered value must stay within the cap's jitter band.
+    const double delay = policy.backoffMillis("job", 10);
+    EXPECT_GE(delay, 500.0 * 0.75);
+    EXPECT_LT(delay, 500.0 * 1.25);
+}
+
+TEST(RetryPolicyTest, ZeroJitterYieldsTheExactNominalSchedule)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.baseBackoffMillis = 8.0;
+    policy.backoffMultiplier = 2.0;
+    policy.jitterFraction = 0.0;
+    EXPECT_DOUBLE_EQ(policy.backoffMillis("anything", 2), 8.0);
+    EXPECT_DOUBLE_EQ(policy.backoffMillis("anything", 3), 16.0);
+    EXPECT_DOUBLE_EQ(policy.backoffMillis("anything", 4), 32.0);
+}
+
+} // namespace
+} // namespace mlpsim

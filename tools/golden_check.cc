@@ -16,16 +16,29 @@
  *   golden_check --check FILE   # compare a fresh sweep against FILE
  *   golden_check --write FILE   # (re)generate FILE
  *
+ * Checkpoint/resume (the golden_resume ctest):
+ *   --journal FILE      persist each completed cell to FILE and skip
+ *                       cells FILE already has (core/result_journal.hh)
+ *   --kill-after N      simulate a crash: _Exit(42) after N cells have
+ *                       been *computed* this run (replays don't count)
+ *
+ * A killed run resumed against the same journal produces a document
+ * byte-identical to an uninterrupted run — replayed cells are the
+ * exact MlpResult records the first run journalled.
+ *
  * The sweep is deterministic end to end: workload generators use
  * their fixed default seeds, annotation substrates are replayed in
  * program order, and MLP (the only double) is a single IEEE division
  * of two integers, so the document compares exactly.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "core/result_journal.hh"
 #include "metrics/json.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
@@ -104,11 +117,12 @@ resultToJson(const core::MlpResult &r)
 }
 
 JsonValue
-runGoldenSweep()
+runGoldenSweep(core::ResultJournal *journal, uint64_t kill_after)
 {
     core::AnnotationOptions ann;
     ann.warmupInsts = goldenWarmup;
 
+    uint64_t computed = 0;
     JsonValue results = JsonValue::object();
     for (const std::string &name : workloads::commercialWorkloadNames()) {
         auto generator = workloads::makeWorkload(name);
@@ -116,9 +130,29 @@ runGoldenSweep()
         buffer.fill(*generator, goldenInsts);
         const core::AnnotatedTrace annotated(buffer, ann);
         for (const GoldenConfig &gc : goldenConfigs()) {
-            const core::MlpResult r =
-                core::runMlp(gc.config, annotated.context());
+            const std::string cell_key = core::ResultJournal::key(
+                name, gc.key, workloads::workloadSeed(name));
+            core::MlpResult r;
+            if (journal && journal->lookup(cell_key, &r)) {
+                // Completed by a previous (possibly killed) run;
+                // replay the journalled result instead of recomputing.
+                results.set(name + "/" + gc.key, resultToJson(r));
+                continue;
+            }
+            r = core::runMlp(gc.config, annotated.context());
+            if (journal)
+                journal->record(cell_key, r).orFatal();
             results.set(name + "/" + gc.key, resultToJson(r));
+            if (kill_after != 0 && ++computed >= kill_after) {
+                // Simulated crash for the golden_resume ctest: the
+                // journalled cells survive, nothing else does. _Exit
+                // skips destructors on purpose — a real kill would too.
+                std::fprintf(stderr,
+                             "golden_check: simulated crash after %llu "
+                             "computed cells\n",
+                             static_cast<unsigned long long>(computed));
+                std::_Exit(42);
+            }
         }
     }
 
@@ -164,14 +198,34 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
-    opts.rejectUnknown({"check", "write"});
+    opts.rejectUnknown({"check", "write", "journal", "kill-after"});
 
     const std::string check = opts.getString("check", "");
     const std::string write = opts.getString("write", "");
     if (check.empty() == write.empty())
         fatal("exactly one of --check FILE / --write FILE is required");
 
-    const JsonValue fresh = runGoldenSweep();
+    const std::string journal_path = opts.getString("journal", "");
+    const uint64_t kill_after = opts.getU64("kill-after", 0);
+    if (kill_after != 0 && journal_path.empty())
+        fatal("--kill-after requires --journal (nothing would survive)");
+
+    std::optional<core::ResultJournal> journal;
+    if (!journal_path.empty()) {
+        journal = core::ResultJournal::open(journal_path, goldenWarmup,
+                                            goldenInsts)
+                      .orFatal();
+        if (journal->size() != 0) {
+            std::fprintf(stderr,
+                         "golden_check: resuming, %zu cells on record%s\n",
+                         journal->size(),
+                         journal->salvaged() ? " (salvaged corrupt tail)"
+                                             : "");
+        }
+    }
+
+    const JsonValue fresh =
+        runGoldenSweep(journal ? &*journal : nullptr, kill_after);
 
     if (!write.empty()) {
         metrics::writeJsonFile(write, fresh).orFatal();

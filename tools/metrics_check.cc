@@ -9,12 +9,14 @@
  * dump-parse-compare round trip (writer and reader agree exactly).
  *
  * Usage:
- *   metrics_check --in FILE [--kind snapshot|trace|bench-perf]
+ *   metrics_check --in FILE
+ *                 [--kind snapshot|trace|bench-perf|sweep-report]
  *                 [--require path1,path2,...]
  *   metrics_check --dump-paper-targets   # print the embedded targets
  *
- * --require names metric paths (snapshot), event names (trace) or
- * result keys (bench-perf) that must be present. Exit status is 0 only
+ * --require names metric paths (snapshot), event names (trace),
+ * result keys (bench-perf) or failed-job labels (sweep-report) that
+ * must be present. Exit status is 0 only
  * if every check passes; failures are fatal() with a description.
  */
 #include <cstdio>
@@ -127,6 +129,65 @@ checkBenchPerf(const JsonValue &doc,
     }
 }
 
+void
+checkSweepReport(const JsonValue &doc,
+                 const std::vector<std::string> &required)
+{
+    const JsonValue &schema = requireMember(doc, "schema", "sweep-report");
+    if (!schema.isString() ||
+        schema.string() != metrics::sweepReportSchema) {
+        fatal("sweep-report schema is not ", metrics::sweepReportSchema);
+    }
+    if (!requireMember(doc, "meta", "sweep-report").isObject())
+        fatal("sweep-report \"meta\" is not an object");
+
+    uint64_t totals[4]; // jobs, succeeded, failed, retries
+    const char *names[4] = {"jobs", "succeeded", "failed", "retries"};
+    for (unsigned i = 0; i < 4; ++i) {
+        const JsonValue &count =
+            requireMember(doc, names[i], "sweep-report");
+        if (!count.isNumber())
+            fatal("sweep-report \"", names[i], "\" is not a number");
+        totals[i] = count.uinteger();
+    }
+    if (totals[1] + totals[2] != totals[0]) {
+        fatal("sweep-report totals are inconsistent: succeeded (",
+              totals[1], ") + failed (", totals[2], ") != jobs (",
+              totals[0], ")");
+    }
+
+    const JsonValue &failures =
+        requireMember(doc, "failures", "sweep-report");
+    if (!failures.isArray())
+        fatal("sweep-report \"failures\" is not an array");
+    if (failures.size() != totals[2]) {
+        fatal("sweep-report lists ", failures.size(),
+              " failure entries but \"failed\" says ", totals[2]);
+    }
+    for (const JsonValue &entry : failures.items()) {
+        for (const char *key : {"index", "label", "code", "class",
+                                "message", "attempts", "wall_ms"}) {
+            if (!entry.find(key))
+                fatal("sweep-report failure entry lacks \"", key, "\"");
+        }
+        const std::string &klass = entry.find("class")->string();
+        if (klass != "transient" && klass != "permanent" &&
+            klass != "cancelled") {
+            fatal("sweep-report failure class '", klass,
+                  "' is not a known failure class");
+        }
+    }
+    for (const auto &label : required) {
+        bool found = false;
+        for (const JsonValue &entry : failures.items())
+            found = found || (entry.find("label") &&
+                              entry.find("label")->isString() &&
+                              entry.find("label")->string() == label);
+        if (!found)
+            fatal("sweep-report has no failure labelled '", label, "'");
+    }
+}
+
 } // namespace
 
 int
@@ -173,9 +234,11 @@ main(int argc, char **argv)
         checkTrace(doc, required);
     else if (kind == "bench-perf")
         checkBenchPerf(doc, required);
+    else if (kind == "sweep-report")
+        checkSweepReport(doc, required);
     else
         fatal("unknown --kind '", kind,
-              "' (expected snapshot|trace|bench-perf)");
+              "' (expected snapshot|trace|bench-perf|sweep-report)");
 
     std::printf("%s: ok (%s)\n", path.c_str(), kind.c_str());
     return 0;
