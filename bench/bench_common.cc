@@ -231,6 +231,9 @@ runCycleSim(cyclesim::CycleSimConfig config,
             const PreparedWorkload &workload)
 {
     config.warmupInsts = workload.warmupInsts;
+    // Surface a malformed grid cell as a Status diagnostic up front
+    // instead of an assertion from inside the simulator.
+    config.validate().orFatal();
     return cyclesim::CycleSim(config, workload.context()).run();
 }
 

@@ -16,7 +16,8 @@
  * benchmarks (BM_EpochEngine*). Those replay a trace that was
  * generated and annotated once, outside the timed region, so the
  * resulting BENCH_perf.json isolates engine-level instr_per_s from
- * workload-generation and annotation throughput.
+ * workload-generation and annotation throughput. --cyclesim-only does
+ * the same for the cycle-accurate reference pipeline (BM_CycleSim*).
  */
 #include <benchmark/benchmark.h>
 
@@ -227,11 +228,12 @@ class PerfJsonReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off --metrics-out and --engine-only before google-benchmark
-    // sees (and rejects) them; everything else passes through to the
-    // library.
+    // Peel off --metrics-out, --engine-only and --cyclesim-only before
+    // google-benchmark sees (and rejects) them; everything else passes
+    // through to the library.
     std::string metrics_out = "BENCH_perf.json";
     bool engine_only = false;
+    bool cyclesim_only = false;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -247,13 +249,20 @@ main(int argc, char **argv)
             engine_only = true;
             continue;
         }
+        if (arg == "--cyclesim-only") {
+            cyclesim_only = true;
+            continue;
+        }
         args.push_back(argv[i]);
     }
     // Must outlive Initialize(); restricts the run to pre-annotated
-    // engine replay (see the file comment).
+    // replay of one simulator (see the file comment).
     static char engine_filter[] = "--benchmark_filter=^BM_EpochEngine";
+    static char cyclesim_filter[] = "--benchmark_filter=^BM_CycleSim";
     if (engine_only)
         args.push_back(engine_filter);
+    if (cyclesim_only)
+        args.push_back(cyclesim_filter);
     int pass_argc = int(args.size());
     benchmark::Initialize(&pass_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(pass_argc, args.data()))

@@ -1,9 +1,11 @@
 # Smoke-runs the perf_microbench suite in its tiny configuration (one
-# short repetition of the engine-replay benchmarks only) and validates
-# the emitted perf summary with tools/metrics_check: strict parse, the
-# mlpsim-bench-perf-v1 schema assertion, and the per-result keys —
+# short repetition of the engine-replay benchmarks, then one of the
+# cycle-accurate pipeline benchmarks) and validates each emitted perf
+# summary with tools/metrics_check: strict parse, the
+# mlpsim-bench-perf-v1 schema assertion, the per-result keys —
 # instr_per_s in particular, so throughput reporting can't silently
-# rot out of BENCH_perf.json.
+# rot out of BENCH_perf.json — and, for the cyclesim pass, the
+# presence of the CycleSim rows themselves (bench:CycleSim).
 #
 # Invoked by the bench_perf_smoke ctest entry (see bench/CMakeLists.txt):
 #   cmake -DBENCH=<perf_microbench exe> -DCHECKER=<metrics_check exe>
@@ -20,3 +22,8 @@ run_or_die(${BENCH} --engine-only --benchmark_min_time=0.01
            --metrics-out ${OUT})
 run_or_die(${CHECKER} --in ${OUT} --kind bench-perf
            --require instr_per_s)
+
+run_or_die(${BENCH} --cyclesim-only --benchmark_min_time=0.01
+           --metrics-out ${OUT}.cyclesim)
+run_or_die(${CHECKER} --in ${OUT}.cyclesim --kind bench-perf
+           --require instr_per_s,bench:CycleSim)

@@ -15,119 +15,11 @@ using trace::Instruction;
 using trace::noReg;
 
 // ---------------------------------------------------------------------
-// SeqFifo
-
-void
-EpochEngine::SeqFifo::reset(size_t min_capacity)
-{
-    buf.assign(std::bit_ceil(std::max<size_t>(min_capacity, 16)), 0);
-    head = tail = 0;
-}
-
-void
-EpochEngine::SeqFifo::push(Seq s)
-{
-    if (tail - head == buf.size()) {
-        std::vector<Seq> next(buf.size() * 2);
-        for (uint32_t i = head; i != tail; ++i)
-            next[i & (next.size() - 1)] = buf[i & (buf.size() - 1)];
-        buf.swap(next);
-    }
-    buf[tail & (buf.size() - 1)] = s;
-    ++tail;
-}
-
-// ---------------------------------------------------------------------
-// StoreMap
-
-void
-EpochEngine::StoreMap::reset(size_t min_capacity)
-{
-    const size_t cap = std::bit_ceil(std::max<size_t>(min_capacity, 64));
-    slots.assign(cap, Slot{});
-    mask = cap - 1;
-    live = 0;
-    gen = 1;
-}
-
-EpochEngine::Seq
-EpochEngine::StoreMap::find(uint64_t key) const
-{
-    for (size_t i = probe(key); occupied(slots[i]); i = (i + 1) & mask) {
-        if (slots[i].key == key)
-            return slots[i].seq;
-    }
-    return 0;
-}
-
-void
-EpochEngine::StoreMap::put(uint64_t key, Seq seq)
-{
-    // Keep the load factor under 1/2 so probe chains stay short and
-    // the scans below always hit an empty slot.
-    if ((live + 1) * 2 > slots.size())
-        grow();
-    size_t i = probe(key);
-    while (occupied(slots[i])) {
-        if (slots[i].key == key) {
-            slots[i].seq = seq;
-            return;
-        }
-        i = (i + 1) & mask;
-    }
-    slots[i] = Slot{key, seq, gen};
-    ++live;
-}
-
-void
-EpochEngine::StoreMap::eraseMatching(uint64_t key, Seq seq)
-{
-    size_t i = probe(key);
-    while (occupied(slots[i])) {
-        if (slots[i].key == key) {
-            if (slots[i].seq != seq)
-                return;
-            // Backward-shift deletion: pull every displaced entry of
-            // the probe chain one hole closer to its home slot, so a
-            // later find() never stops early at the hole.
-            size_t hole = i;
-            size_t j = i;
-            while (true) {
-                j = (j + 1) & mask;
-                if (!occupied(slots[j]))
-                    break;
-                const size_t home = probe(slots[j].key);
-                if (((j - home) & mask) >= ((j - hole) & mask)) {
-                    slots[hole] = slots[j];
-                    hole = j;
-                }
-            }
-            slots[hole] = Slot{};
-            --live;
-            return;
-        }
-        i = (i + 1) & mask;
-    }
-}
-
-void
-EpochEngine::StoreMap::grow()
-{
-    std::vector<Slot> old;
-    old.swap(slots);
-    const uint32_t old_gen = gen;
-    slots.assign(std::max<size_t>(old.size() * 2, 64), Slot{});
-    mask = slots.size() - 1;
-    live = 0;
-    gen = 1;
-    for (const Slot &s : old) {
-        if (s.seq != 0 && s.gen == old_gen)
-            put(s.key, s.seq);
-    }
-}
-
-// ---------------------------------------------------------------------
 // EpochEngine
+//
+// SeqFifo and StoreMap moved to util/seq_containers.hh so the
+// cycle-accurate pipeline's scheduler can share them (DESIGN.md
+// sections 12 and 14).
 
 EpochEngine::EpochEngine(const MlpConfig &config,
                          const WorkloadContext &workload)

@@ -39,6 +39,7 @@
 #include "core/mlp_config.hh"
 #include "core/mlp_result.hh"
 #include "core/workload_context.hh"
+#include "util/seq_containers.hh"
 
 namespace mlpsim::core {
 
@@ -60,7 +61,7 @@ class EpochEngine
 
     /** Sequence number: trace index + 1 (0 = null link). The 30-bit
      *  budget comes from the packed consumer links below. */
-    using Seq = uint32_t;
+    using Seq = util::Seq;
     using Epoch = uint32_t;
 
     /** Consumer link: (consumer seq << 2) | producer slot; 0 = none. */
@@ -110,69 +111,6 @@ class EpochEngine
     static_assert(sizeof(RobEntry) == 64,
                   "RobEntry must stay one cache line; see the "
                   "packed-layout notes in DESIGN.md section 12");
-
-    /** In-order queue of seqs (config-A memory ops, in-order branches). */
-    class SeqFifo
-    {
-      public:
-        void reset(size_t capacity_pow2);
-        bool empty() const { return head == tail; }
-        Seq front() const { return buf[head & (buf.size() - 1)]; }
-        void pop() { ++head; }
-        void push(Seq s);
-
-      private:
-        std::vector<Seq> buf;
-        uint32_t head = 0;
-        uint32_t tail = 0;
-    };
-
-    /**
-     * Open-addressing map from store line key to the seq of the newest
-     * in-flight store to that line (replaces std::unordered_map on the
-     * dispatch/retire hot path). Linear probing with backward-shift
-     * deletion; clear() is O(1) by bumping the generation stamp, so a
-     * stale slot reads as empty without touching memory.
-     */
-    class StoreMap
-    {
-      public:
-        void reset(size_t min_capacity);
-        void clear() { ++gen; live = 0; }
-
-        /** Seq of the newest in-flight store to @p key (0 if none). */
-        Seq find(uint64_t key) const;
-        /** Insert, or overwrite the previous store to the same key. */
-        void put(uint64_t key, Seq seq);
-        /** Erase @p key only if it still maps to @p seq. */
-        void eraseMatching(uint64_t key, Seq seq);
-
-      private:
-        struct Slot
-        {
-            uint64_t key = 0;
-            Seq seq = 0;   //!< 0 = empty
-            uint32_t gen = 0;
-        };
-
-        bool occupied(const Slot &s) const
-        {
-            return s.seq != 0 && s.gen == gen;
-        }
-
-        size_t probe(uint64_t key) const
-        {
-            // Multiply-shift (Fibonacci) hash; low bits after the mix.
-            return size_t(key * 0x9E3779B97F4A7C15ull >> 32) & mask;
-        }
-
-        void grow();
-
-        std::vector<Slot> slots;
-        size_t mask = 0;
-        size_t live = 0;
-        uint32_t gen = 1;
-    };
 
     // --- pipeline phases (each returns whether it made progress) ---
     bool executePasses();
@@ -235,9 +173,9 @@ class EpochEngine
     Seq usTail = 0;
     unsigned iwOccupancy = 0;          //!< dispatched, not executed
     std::array<Seq, trace::numArchRegs> regProducer{};
-    StoreMap storeProducer;
-    SeqFifo memFifo;                   //!< config-A in-order memory ops
-    SeqFifo branchFifo;                //!< in-order branches (A/B/C)
+    util::StoreMap storeProducer;      //!< see util/seq_containers.hh
+    util::SeqFifo memFifo;             //!< config-A in-order memory ops
+    util::SeqFifo branchFifo;          //!< in-order branches (A/B/C)
 
     // Ready-candidate pool, popped in ascending seq order. Nearly all
     // pushes arrive already ascending (dispatch allocates seqs in

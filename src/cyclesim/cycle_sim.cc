@@ -1,6 +1,8 @@
 #include "cycle_sim.hh"
 
 #include <algorithm>
+#include <bit>
+#include <functional>
 
 #include "metrics/registry.hh"
 #include "util/cancellation.hh"
@@ -12,6 +14,39 @@ using core::IssueConfig;
 using trace::InstClass;
 using trace::Instruction;
 using trace::noReg;
+
+Status
+CycleSimConfig::validate() const
+{
+    if (issue != IssueConfig::A && issue != IssueConfig::B &&
+        issue != IssueConfig::C) {
+        return Status::invalidArgument(
+            "the cycle simulator supports issue configs A-C only "
+            "(like the paper's reference simulator)");
+    }
+    if (fetchWidth == 0 || dispatchWidth == 0 || issueWidth == 0 ||
+        commitWidth == 0) {
+        return Status::invalidArgument(
+            "pipeline widths must be >= 1 (fetch ", fetchWidth,
+            ", dispatch ", dispatchWidth, ", issue ", issueWidth,
+            ", commit ", commitWidth, ")");
+    }
+    if (fetchBufferSize == 0 || issueWindowSize == 0 || robSize == 0) {
+        return Status::invalidArgument(
+            "window structures must be non-empty (fetch buffer ",
+            fetchBufferSize, ", issue window ", issueWindowSize,
+            ", ROB ", robSize, ")");
+    }
+    if (aluLatency == 0 || l1Latency == 0 || l2Latency == 0 ||
+        offChipLatency == 0) {
+        return Status::invalidArgument(
+            "execution latencies must be >= 1 so a value is never "
+            "consumed in the cycle that produces it (alu ", aluLatency,
+            ", l1 ", l1Latency, ", l2 ", l2Latency, ", off-chip ",
+            offChipLatency, ")");
+    }
+    return Status::okStatus();
+}
 
 std::string
 CycleSimConfig::metricLabel() const
@@ -32,103 +67,232 @@ CycleSim::CycleSim(const CycleSimConfig &config,
 {
     MLPSIM_ASSERT(wl.buffer && wl.misses && wl.branches,
                   "workload context incomplete");
-    MLPSIM_ASSERT(cfg.issue == IssueConfig::A ||
-                      cfg.issue == IssueConfig::B ||
-                      cfg.issue == IssueConfig::C,
-                  "the cycle simulator supports issue configs A-C only "
-                  "(like the paper's reference simulator)");
+    const Status valid = cfg.validate();
+    MLPSIM_ASSERT(valid.ok(), valid.message());
+    // Consumer links pack a sequence number into 30 bits (DESIGN.md
+    // section 14); same hard input limit as the epoch engine.
+    MLPSIM_ASSERT(wl.size() < (uint64_t(1) << 30),
+                  "trace too large for packed sequence links");
+    insts = wl.size() != 0 ? &wl.buffer->at(0) : nullptr;
+
+    // The ring only needs to cover the architectural ROB; cap the
+    // up-front allocation so huge configured windows start small and
+    // growRing() picks the rest up on demand.
+    const uint64_t init_cap = std::bit_ceil(
+        std::min<uint64_t>(std::max<uint64_t>(cfg.robSize, 16), 8192));
+    ring.assign(size_t(init_cap), RobEntry{});
+    ringMask = uint32_t(init_cap - 1);
+    storeProducer.reset(size_t(std::min<uint64_t>(2 * cfg.robSize, 16384)));
+    memFifo.reset(256);
+    branchFifo.reset(256);
+    candRun.reserve(256);
+    candHeap.reserve(64);
 }
 
-bool
-CycleSim::producerComplete(uint64_t prod_seq) const
+void
+CycleSim::growRing()
 {
-    if (prod_seq == 0 || prod_seq < headSeq)
-        return true;
-    if (prod_seq >= headSeq + rob.size())
-        return false;
-    const RobEntry &producer = rob[size_t(prod_seq - headSeq)];
-    return producer.issued && producer.completeCycle <= now;
+    std::vector<RobEntry> next(ring.size() * 2);
+    const uint32_t new_mask = uint32_t(next.size() - 1);
+    for (uint64_t s = headSeq; s < tailSeq; ++s)
+        next[size_t(s) & new_mask] = ring[size_t(s) & ringMask];
+    ring.swap(next);
+    ringMask = new_mask;
 }
 
-bool
-CycleSim::operandsComplete(const RobEntry &entry) const
+void
+CycleSim::linkUnresolvedStoreTail(RobEntry &entry)
 {
-    for (unsigned p = 0; p < entry.numProds; ++p) {
-        if (!producerComplete(entry.prods[p]))
-            return false;
+    const Seq seq = entry.seq;
+    entry.usPrev = usTail;
+    entry.usNext = 0;
+    if (usTail != 0)
+        entryRef(usTail).usNext = seq;
+    else
+        usHead = seq;
+    usTail = seq;
+}
+
+void
+CycleSim::pushCandidate(RobEntry &entry)
+{
+    if (entry.is(kInCand) || entry.is(kIssued))
+        return;
+    entry.flags |= kInCand;
+    const Seq seq = entry.seq;
+    if (candRun.empty() || seq > candRun.back())
+        candRun.push_back(seq);
+    else {
+        candHeap.push_back(seq);
+        std::push_heap(candHeap.begin(), candHeap.end(),
+                       std::greater<>());
     }
-    return true;
 }
 
-bool
-CycleSim::storeAddrComplete(const RobEntry &entry) const
+CycleSim::Seq
+CycleSim::popCandidate()
 {
-    for (unsigned p = 0; p < entry.numAddrProds; ++p) {
-        if (!producerComplete(entry.prods[p]))
-            return false;
+    // The run past its cursor is ascending and each seq is pooled at
+    // most once (kInCand), so the global minimum is the smaller of the
+    // two lane heads.
+    const bool run_has = candRunCursor != candRun.size();
+    if (!candHeap.empty() &&
+        (!run_has || candHeap.front() < candRun[candRunCursor])) {
+        std::pop_heap(candHeap.begin(), candHeap.end(),
+                      std::greater<>());
+        const Seq seq = candHeap.back();
+        candHeap.pop_back();
+        return seq;
     }
-    return true;
+    const Seq seq = candRun[candRunCursor++];
+    if (candRunCursor == candRun.size()) {
+        candRun.clear();
+        candRunCursor = 0;
+    }
+    return seq;
 }
 
 unsigned
 CycleSim::dataLatency(const RobEntry &entry) const
 {
-    if (entry.dMiss)
+    if (entry.is(kDMiss))
         return cfg.perfectL2 ? cfg.l2Latency : cfg.offChipLatency;
-    if (entry.dL2)
+    if (entry.is(kDL2))
         return cfg.l2Latency;
     return cfg.l1Latency;
 }
 
-CycleSim::RobEntry
+void
 CycleSim::makeEntry(uint64_t idx)
 {
-    const Instruction &inst = wl.buffer->at(idx);
-    RobEntry entry;
-    entry.seq = idx + 1;
+    const Instruction &inst = insts[idx];
+    const Seq seq = Seq(idx + 1);
+    RobEntry &entry = entryRef(seq);
+    entry = RobEntry{};
+    entry.seq = seq;
 
+    // Class-determined flag bits come from a table; only the atomic
+    // memory case (Serializing with an effective address, an isMem()
+    // instruction per trace/instruction.hh) needs a data-dependent
+    // adjustment.
+    static constexpr uint16_t classFlags[8] = {
+        /* Alu         */ 0,
+        /* Load        */ kMemOp | kLoadLike,
+        /* Store       */ kMemOp | kStore,
+        /* Branch      */ kBranch,
+        /* Prefetch    */ kMemOp | kPrefetch | kLoadLike,
+        /* Serializing */ kSerializing,
+        0, 0,
+    };
+    const InstClass cls = inst.cls();
     const bool atomic_mem =
-        inst.cls() == InstClass::Serializing && inst.effAddr != 0;
-    entry.isMemOp = inst.isMem();
-    entry.isPrefetch = inst.isPrefetch();
-    entry.isLoadLike = inst.isLoad() || inst.isPrefetch() || atomic_mem;
-    entry.isStore = inst.isStore();
-    entry.isBranch = inst.isBranch();
-    entry.isSerializing = inst.isSerializing();
-    entry.dMiss = wl.misses->dataMiss(idx);
-    entry.usefulPmiss = wl.misses->usefulPrefetch(idx);
-    entry.dL2 = wl.misses->dataL2Hit(idx);
+        cls == InstClass::Serializing && inst.effAddr != 0;
+    const bool is_prefetch = cls == InstClass::Prefetch;
+    uint16_t flags = classFlags[size_t(cls) & 7];
+    if (atomic_mem)
+        flags |= kMemOp | kLoadLike;
+    if (wl.misses->dataMiss(idx))
+        flags |= kDMiss;
+    if (wl.misses->usefulPrefetch(idx))
+        flags |= kUsefulPmiss;
+    if (wl.misses->dataL2Hit(idx))
+        flags |= kDL2;
+    entry.flags = flags;
+    entry.dstReg = inst.hasDst() ? inst.dst : noReg;
 
+    // Register renaming: capture the current in-flight producer of each
+    // source, deduplicated (a producer feeding two sources still
+    // completes once). For stores, src[0]/src[2] compute the address
+    // and src[1] is the data; address producers are recorded first so
+    // the config-B "wait for earlier store addresses" check can test
+    // them separately. Loads and atomic reads keep one slot in reserve
+    // for the memory dependence below, so a tracked store-to-load
+    // forwarding edge is never discarded.
+    const bool wants_forward = (flags & kLoadLike) != 0 && !is_prefetch;
+    const unsigned reg_limit = wants_forward ? maxProds - 1 : maxProds;
+    Seq prods[maxProds];
+    unsigned num_prods = 0;
     auto capture = [&](uint8_t reg) {
         if (reg == noReg)
             return;
-        const uint64_t prod = regProducer[reg];
-        if (prod != 0)
-            entry.prods[entry.numProds++] = prod;
+        const Seq prod = regProducer[reg];
+        if (prod == 0)
+            return;
+        for (unsigned p = 0; p < num_prods; ++p) {
+            if (prods[p] == prod)
+                return;
+        }
+        MLPSIM_ASSERT(num_prods < reg_limit,
+                      "register producer capture overflow");
+        prods[num_prods++] = prod;
     };
-    if (entry.isStore) {
+    if (entry.is(kStore)) {
         capture(inst.src[0]);
         capture(inst.src[2]);
-        entry.numAddrProds = entry.numProds;
+        entry.numAddrProds = uint8_t(num_prods);
         capture(inst.src[1]);
     } else {
         for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
             capture(inst.src[s]);
-        entry.numAddrProds = entry.numProds;
+        entry.numAddrProds = uint8_t(num_prods);
     }
 
+    // Memory dependence: a load (or atomic read) whose address was
+    // written by an in-flight store forwards from that store, so the
+    // store's execution is an additional producer.
     const uint64_t mem_key = inst.effAddr >> 3;
-    if (entry.isLoadLike && !inst.isPrefetch()) {
-        auto it = storeProducer.find(mem_key);
-        if (it != storeProducer.end() && entry.numProds < 4)
-            entry.prods[entry.numProds++] = it->second;
+    if (wants_forward) {
+        const Seq forward = storeProducer.find(mem_key);
+        if (forward != 0) {
+            bool dup = false;
+            for (unsigned p = 0; p < num_prods; ++p)
+                dup |= prods[p] == forward;
+            if (!dup) {
+                MLPSIM_ASSERT(num_prods < maxProds,
+                              "no producer slot left for the memory "
+                              "dependence");
+                prods[num_prods++] = forward;
+            }
+        }
     }
-    if (entry.isStore || atomic_mem)
-        storeProducer[mem_key] = entry.seq;
+    if (entry.is(kStore) || atomic_mem) {
+        storeProducer.put(mem_key, seq);
+        entry.storeKey = mem_key + 1;
+    }
 
     if (inst.hasDst())
-        regProducer[inst.dst] = entry.seq;
-    return entry;
+        regProducer[inst.dst] = seq;
+
+    // Producer registration: a producer whose value is already
+    // available contributes nothing; every other producer gets this
+    // entry on its consumer list and bumps the pending counters that
+    // stand in for the old per-cycle ready-scan.
+    for (unsigned p = 0; p < num_prods; ++p) {
+        if (uint64_t(prods[p]) < headSeq)
+            continue; // retired, value long since available
+        RobEntry &producer = entryRef(prods[p]);
+        if (producer.is(kIssued) && producer.completeCycle <= now)
+            continue;
+        entry.nextConsumer[p] = producer.consumerHead;
+        producer.consumerHead = (Link(seq) << 2) | Link(p);
+        ++entry.pendingProds;
+        if (p < entry.numAddrProds)
+            ++entry.pendingAddrProds;
+    }
+
+    // Issue-constraint bookkeeping (Table 2): config A keeps *all*
+    // memory operations in order — prefetches included, unlike the
+    // epoch engine's idealised treatment — and branches issue in order
+    // for every supported config.
+    if (cfg.issue == IssueConfig::A && entry.is(kMemOp))
+        memFifo.push(seq);
+    if (entry.is(kBranch))
+        branchFifo.push(seq);
+    if (cfg.issue == IssueConfig::B && entry.is(kStore) &&
+        entry.pendingAddrProds != 0)
+        linkUnresolvedStoreTail(entry);
+    if (entry.pendingProds == 0)
+        pushCandidate(entry);
 }
 
 void
@@ -140,25 +304,86 @@ CycleSim::recordOffChip(uint64_t idx, uint64_t complete_cycle)
         ++result.offChipAccesses;
 }
 
+void
+CycleSim::drainCompletions()
+{
+    while (!completions.empty() && completions.top().first <= now) {
+        const Seq seq = completions.top().second;
+        completions.pop();
+        RobEntry &entry = entryRef(seq);
+        // A completion always fires no later than the cycle its entry
+        // could first retire, so the slot cannot have been recycled.
+        MLPSIM_ASSERT(entry.seq == seq, "completion for a recycled slot");
+        notifyConsumers(entry);
+    }
+}
+
+void
+CycleSim::notifyConsumers(RobEntry &producer)
+{
+    Link link = producer.consumerHead;
+    producer.consumerHead = 0;
+    while (link != 0) {
+        RobEntry &consumer = entryRef(Seq(link >> 2));
+        const unsigned slot = link & 3;
+        link = consumer.nextConsumer[slot];
+        consumer.nextConsumer[slot] = 0;
+        --consumer.pendingProds;
+        if (slot < consumer.numAddrProds &&
+            --consumer.pendingAddrProds == 0 && consumer.is(kStore) &&
+            cfg.issue == IssueConfig::B)
+            resolveStore(consumer);
+        if (consumer.pendingProds == 0)
+            pushCandidate(consumer);
+    }
+}
+
+void
+CycleSim::resolveStore(RobEntry &store)
+{
+    const bool was_head = (usHead == store.seq);
+    if (store.usPrev != 0)
+        entryRef(store.usPrev).usNext = store.usNext;
+    else
+        usHead = store.usNext;
+    if (store.usNext != 0)
+        entryRef(store.usNext).usPrev = store.usPrev;
+    else
+        usTail = store.usPrev;
+    store.usPrev = store.usNext = 0;
+    // Only the oldest unresolved store gates config-B issue, so only
+    // its resolution can unblock anyone.
+    if (was_head)
+        wakeBlockedOnStore();
+}
+
+void
+CycleSim::wakeBlockedOnStore()
+{
+    for (const Seq seq : blockedOnStore) {
+        RobEntry &entry = entryRef(seq);
+        if (entry.seq != seq)
+            continue; // retired, slot since reused
+        entry.flags &= ~kBlockedStore;
+        pushCandidate(entry);
+    }
+    blockedOnStore.clear();
+}
+
 bool
 CycleSim::commitStage()
 {
     bool any = false;
-    for (unsigned n = 0; n < cfg.commitWidth && !rob.empty(); ++n) {
-        const RobEntry &head = rob.front();
-        if (!head.issued || head.completeCycle > now)
+    for (unsigned n = 0; n < cfg.commitWidth && headSeq != tailSeq; ++n) {
+        RobEntry &head = entryRef(Seq(headSeq));
+        if (!head.is(kIssued) || head.completeCycle > now)
             break;
-        const Instruction &inst = wl.buffer->at(head.seq - 1);
-        if (inst.hasDst() && regProducer[inst.dst] == head.seq)
-            regProducer[inst.dst] = 0;
-        if (head.isStore || (head.isSerializing && inst.effAddr != 0)) {
-            auto it = storeProducer.find(inst.effAddr >> 3);
-            if (it != storeProducer.end() && it->second == head.seq)
-                storeProducer.erase(it);
-        }
+        if (head.dstReg != noReg && regProducer[head.dstReg] == head.seq)
+            regProducer[head.dstReg] = 0;
+        if (head.storeKey != 0)
+            storeProducer.eraseMatching(head.storeKey - 1, head.seq);
         if (serializeBlockSeq == head.seq)
             serializeBlockSeq = 0;
-        rob.pop_front();
         ++headSeq;
         ++committed;
         any = true;
@@ -170,75 +395,87 @@ CycleSim::commitStage()
     return any;
 }
 
+void
+CycleSim::issueEntry(RobEntry &entry)
+{
+    entry.flags |= kIssued;
+    MLPSIM_ASSERT(iwOccupancy > 0, "issue window underflow");
+    --iwOccupancy;
+
+    unsigned latency = cfg.aluLatency;
+    if (entry.is(kPrefetch)) {
+        latency = 1; // prefetches are fire-and-forget
+    } else if (entry.is(kLoadLike)) {
+        latency = dataLatency(entry);
+    }
+    entry.completeCycle = now + latency;
+    events.push(entry.completeCycle);
+    completions.push({entry.completeCycle, entry.seq});
+
+    const uint64_t idx = uint64_t(entry.seq) - 1;
+    if (!cfg.perfectL2 && (entry.is(kDMiss) || entry.is(kUsefulPmiss)))
+        recordOffChip(idx, now + cfg.offChipLatency);
+
+    if (mispredBlockSeq == entry.seq) {
+        // The blocking mispredicted branch now has a known resolution
+        // time; convert the stall into a timed redirect.
+        fetchResumeCycle =
+            std::max(fetchResumeCycle,
+                     entry.completeCycle + cfg.branchRedirectPenalty);
+        events.push(fetchResumeCycle);
+        mispredBlockSeq = 0;
+    }
+
+    // Advancing an in-order queue is itself a wake event: the next
+    // queue head may have been dropped from the pool waiting for it.
+    if (cfg.issue == IssueConfig::A && entry.is(kMemOp)) {
+        memFifo.pop();
+        if (!memFifo.empty())
+            pushCandidate(entryRef(memFifo.front()));
+    }
+    if (entry.is(kBranch)) {
+        branchFifo.pop();
+        if (!branchFifo.empty())
+            pushCandidate(entryRef(branchFifo.front()));
+    }
+}
+
 bool
 CycleSim::issueStage()
 {
+    // Drain ready candidates oldest-first. Each pop either issues
+    // (counted against the issue width) or parks the entry on the wake
+    // event that can next change its eligibility: operand completion,
+    // an in-order FIFO advance, or the oldest unresolved store
+    // resolving. Width exhaustion leaves the rest pooled for the next
+    // cycle, which the old scan expressed by re-walking them. The
+    // constraint predicates below reproduce the scan's "seen earlier
+    // unissued/unresolved" flags: a flag was raised exactly when an
+    // older entry of the guarded class had not issued by this cycle.
     bool any = false;
     unsigned issued_now = 0;
-    bool seen_unissued_mem = false;
-    bool seen_unresolved_store = false;
-    bool seen_unissued_branch = false;
-
-    std::vector<uint64_t> still;
-    still.reserve(unissued.size());
-
-    for (uint64_t seq : unissued) {
-        RobEntry &entry = rob[size_t(seq - headSeq)];
-
-        bool eligible = issued_now < cfg.issueWidth;
-        if (cfg.issue == IssueConfig::A && entry.isMemOp &&
-            seen_unissued_mem) {
-            eligible = false;
-        }
-        if (cfg.issue == IssueConfig::B && entry.isLoadLike &&
-            seen_unresolved_store) {
-            eligible = false;
-        }
-        if (entry.isBranch && seen_unissued_branch)
-            eligible = false; // branches in order for configs A-C
-
-        if (eligible && operandsComplete(entry)) {
-            entry.issued = true;
-            ++issued_now;
-            any = true;
-
-            unsigned latency = cfg.aluLatency;
-            if (entry.isPrefetch) {
-                latency = 1; // prefetches are fire-and-forget
-            } else if (entry.isLoadLike) {
-                latency = dataLatency(entry);
-            }
-            entry.completeCycle = now + latency;
-            events.push(entry.completeCycle);
-
-            const uint64_t idx = entry.seq - 1;
-            if (!cfg.perfectL2 && (entry.dMiss || entry.usefulPmiss))
-                recordOffChip(idx, now + cfg.offChipLatency);
-
-            if (mispredBlockSeq == entry.seq) {
-                // The blocking mispredicted branch now has a known
-                // resolution time; convert the stall into a timed
-                // redirect.
-                fetchResumeCycle =
-                    std::max(fetchResumeCycle,
-                             entry.completeCycle +
-                                 cfg.branchRedirectPenalty);
-                events.push(fetchResumeCycle);
-                mispredBlockSeq = 0;
-            }
+    while (issued_now < cfg.issueWidth && !candidatesEmpty()) {
+        RobEntry &entry = entryRef(popCandidate());
+        entry.flags &= ~kInCand;
+        if (entry.is(kIssued))
             continue;
+        if (entry.pendingProds != 0)
+            continue; // woken by a queue advance ahead of its operands
+        if (cfg.issue == IssueConfig::A && entry.is(kMemOp) &&
+            memFifo.front() != entry.seq)
+            continue; // an older memory op has not issued
+        if (entry.is(kBranch) && branchFifo.front() != entry.seq)
+            continue; // an older branch has not issued
+        if (cfg.issue == IssueConfig::B && entry.is(kLoadLike) &&
+            usHead != 0 && uint64_t(usHead) < entry.seq) {
+            entry.flags |= kBlockedStore;
+            blockedOnStore.push_back(entry.seq);
+            continue; // an older store's address is unresolved
         }
-
-        still.push_back(seq);
-        if (entry.isMemOp)
-            seen_unissued_mem = true;
-        if (entry.isStore && !storeAddrComplete(entry))
-            seen_unresolved_store = true;
-        if (entry.isBranch)
-            seen_unissued_branch = true;
+        issueEntry(entry);
+        ++issued_now;
+        any = true;
     }
-
-    unissued.swap(still);
     return any;
 }
 
@@ -251,25 +488,31 @@ CycleSim::dispatchStage()
             break;
         if (serializeBlockSeq != 0)
             break; // draining behind a serializing instruction
-        if (rob.size() >= cfg.robSize ||
-            unissued.size() >= cfg.issueWindowSize) {
+        if (robOccupancy() >= cfg.robSize ||
+            iwOccupancy >= cfg.issueWindowSize) {
             break;
         }
-        const Instruction &inst = wl.buffer->at(nextDispatchIdx);
+        const Instruction &inst = insts[nextDispatchIdx];
         if (inst.isSerializing()) {
             // Straightforward drain: dispatch only into an empty ROB
             // and block younger dispatch until it commits.
-            if (!rob.empty())
+            if (robOccupancy() != 0)
                 break;
-            rob.push_back(makeEntry(nextDispatchIdx));
-            unissued.push_back(rob.back().seq);
-            serializeBlockSeq = rob.back().seq;
+            if (robOccupancy() == ring.size())
+                growRing();
+            makeEntry(nextDispatchIdx);
+            serializeBlockSeq = tailSeq;
+            ++tailSeq;
+            ++iwOccupancy;
             ++nextDispatchIdx;
             any = true;
             break;
         }
-        rob.push_back(makeEntry(nextDispatchIdx));
-        unissued.push_back(rob.back().seq);
+        if (robOccupancy() == ring.size())
+            growRing();
+        makeEntry(nextDispatchIdx);
+        ++tailSeq;
+        ++iwOccupancy;
         ++nextDispatchIdx;
         any = true;
     }
@@ -305,7 +548,7 @@ CycleSim::fetchStage()
         ++nextFetchIdx;
         any = true;
 
-        const Instruction &inst = wl.buffer->at(idx);
+        const Instruction &inst = insts[idx];
         if (inst.isBranch() && wl.branches->isMispredict(idx)) {
             // Trace-driven wrong path: fetch stalls until the branch
             // resolves (wrong-path work would be useless anyway and
@@ -357,8 +600,13 @@ CycleSim::run()
         measureStartCycle = 0;
     }
 
-    uint64_t guard =
-        uint64_t(cfg.offChipLatency + 64) * trace_size + 10'000'000;
+    // Livelock guard: generous upper bound on total simulated cycles,
+    // computed with saturating arithmetic so a large --insts x large
+    // --mp sweep cannot overflow it into a spurious (or absent) trip.
+    uint64_t guard = uint64_t(cfg.offChipLatency) + 64;
+    if (__builtin_mul_overflow(guard, trace_size, &guard) ||
+        __builtin_add_overflow(guard, uint64_t(10'000'000), &guard))
+        guard = ~uint64_t(0);
 
     // Cancellation poll cadence: every ~64K simulated cycles. Cheap
     // against the per-cycle work in between, frequent enough that a
@@ -370,6 +618,12 @@ CycleSim::run()
             pollCancellation();
             next_poll = now + 65536;
         }
+        // Deliver every value due by this cycle before any stage looks
+        // at readiness: a completion always lands no later than the
+        // first cycle its entry could retire, so consumer links are
+        // walked strictly before their slots can be recycled.
+        drainCompletions();
+
         bool work = false;
         work |= commitStage();
         work |= issueStage();
@@ -394,8 +648,12 @@ CycleSim::run()
         now = next;
     }
 
-    result.cycles = now - measureStartCycle;
-    result.instructions = committed - cfg.warmupInsts;
+    result.cycles = measuring ? now - measureStartCycle : 0;
+    // Guarded like epoch_engine.cc / inorder_model.cc: a warm-up at or
+    // past the end of the trace measures nothing (instead of wrapping
+    // to ~2^64 and poisoning CPI).
+    result.instructions =
+        committed > cfg.warmupInsts ? committed - cfg.warmupInsts : 0;
 
     if (metrics::enabled()) {
         auto &m = metrics::cur();

@@ -18,18 +18,33 @@
  * instructions drain the pipeline. MLP(t) is sampled every cycle as
  * the number of useful off-chip accesses outstanding; average MLP is
  * its mean over the cycles where it is non-zero (paper Section 2.1).
+ *
+ * Implementation notes (DESIGN.md section 14). The scheduler is
+ * event-driven, mirroring the epoch engine's PR 4 overhaul: in-flight
+ * instructions live in a power-of-two ring buffer indexed by sequence
+ * number, each entry carries an intrusive consumer list so it is
+ * re-examined only when one of its at most four producers completes
+ * (O(dependence edges) instead of an O(window) rescan every cycle),
+ * completions drain from a min-heap keyed by cycle, and the Table 2
+ * issue constraints are tracked incrementally — in-order FIFOs for
+ * config-A memory ops and for branches, an intrusive unresolved-store
+ * list for config B — whose head advances wake exactly the
+ * instructions those policies were blocking. Ready instructions drain
+ * in ascending sequence order, which reproduces the old oldest-first
+ * scan's issue order, and therefore every CycleSimResult bit, exactly.
  */
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/mlp_config.hh"
 #include "core/workload_context.hh"
+#include "util/seq_containers.hh"
+#include "util/status.hh"
 
 namespace mlpsim::cyclesim {
 
@@ -58,6 +73,16 @@ struct CycleSimConfig
     bool perfectL2 = false;
 
     uint64_t warmupInsts = 0;
+
+    /**
+     * Width/size/latency sanity, mirroring MlpConfig::validate().
+     * Execution latencies must be >= 1: the event-driven scheduler
+     * delivers a value no earlier than the cycle after issue, so a
+     * zero-latency producer would be consumable a cycle late. The
+     * CycleSim constructor asserts this; bench setup surfaces it as a
+     * Status before any sweep starts.
+     */
+    Status validate() const;
 
     /** Metric-path segment, e.g. "cyc64C-mp200" or "...+perfL2". */
     std::string metricLabel() const;
@@ -104,50 +129,118 @@ class CycleSim
     CycleSimResult run();
 
   private:
-    struct RobEntry
+    /** Maximum producers per instruction: 3 registers + 1 memory. */
+    static constexpr unsigned maxProds = 4;
+
+    /** Sequence number: trace index + 1 (0 = null link). The 30-bit
+     *  budget comes from the packed consumer links below. */
+    using Seq = util::Seq;
+
+    /** Consumer link: (consumer seq << 2) | producer slot; 0 = none. */
+    using Link = uint32_t;
+
+    // --- RobEntry::flags bits ---
+    static constexpr uint16_t kIssued = 1 << 0;
+    static constexpr uint16_t kMemOp = 1 << 1;    //!< memory ordering
+    static constexpr uint16_t kPrefetch = 1 << 2; //!< non-binding hint
+    static constexpr uint16_t kLoadLike = 1 << 3; //!< load/prefetch/atomic
+    static constexpr uint16_t kStore = 1 << 4;
+    static constexpr uint16_t kBranch = 1 << 5;
+    static constexpr uint16_t kSerializing = 1 << 6;
+    static constexpr uint16_t kDMiss = 1 << 7;    //!< data goes off-chip
+    static constexpr uint16_t kDL2 = 1 << 8;      //!< data hits in L2
+    static constexpr uint16_t kUsefulPmiss = 1 << 9;
+    static constexpr uint16_t kInCand = 1 << 10;  //!< in the ready pool
+    static constexpr uint16_t kBlockedStore = 1 << 11; //!< config-B wait
+
+    /**
+     * One in-flight instruction: exactly one cache line. Producer seqs
+     * are not stored — registration converts them into consumer-list
+     * membership and the two pending counters; dstReg is cached so
+     * commit never touches the trace.
+     */
+    struct alignas(64) RobEntry
     {
-        uint64_t seq = 0;
-        uint64_t prods[4] = {};
-        uint64_t readyCycle = 0;    //!< unused until issued
-        uint64_t completeCycle = 0; //!< valid once issued
-        uint8_t numProds = 0;
-        uint8_t numAddrProds = 0;
-        bool issued = false;
-        bool isPrefetch = false;
-        bool isMemOp = false;
-        bool isLoadLike = false;
-        bool isStore = false;
-        bool isBranch = false;
-        bool isSerializing = false;
-        bool dMiss = false;
-        bool usefulPmiss = false;
-        bool dL2 = false;
+        Seq seq = 0;
+        Link consumerHead = 0;         //!< newest-first waiter chain
+        uint64_t completeCycle = 0;    //!< valid once issued
+        Link nextConsumer[maxProds] = {}; //!< chain tail per input slot
+        Seq usPrev = 0, usNext = 0;    //!< unresolved-store list (B)
+        uint64_t storeKey = 0;         //!< store-map key + 1 (stores)
+        uint8_t pendingProds = 0;      //!< producers not yet complete
+        uint8_t pendingAddrProds = 0;  //!< ... among the address inputs
+        uint8_t numAddrProds = 0;      //!< inputs 0..n) form the address
+        uint8_t dstReg = 0;            //!< destination (noReg if none)
+        uint16_t flags = 0;
+
+        bool is(uint16_t f) const { return (flags & f) != 0; }
     };
 
+    static_assert(sizeof(RobEntry) == 64,
+                  "RobEntry must stay one cache line; see the "
+                  "packed-layout notes in DESIGN.md section 14");
+
+    // --- pipeline stages (each returns whether it made progress) ---
     bool commitStage();
     bool issueStage();
     bool dispatchStage();
     bool fetchStage();
     uint64_t nextEventCycle() const;
 
-    RobEntry makeEntry(uint64_t idx);
-    bool producerComplete(uint64_t prod_seq) const;
-    bool operandsComplete(const RobEntry &entry) const;
-    bool storeAddrComplete(const RobEntry &entry) const;
+    // --- event-driven scheduler helpers ---
+    void makeEntry(uint64_t idx);
+    void issueEntry(RobEntry &entry);
+    void drainCompletions();
+    void notifyConsumers(RobEntry &producer);
+    void resolveStore(RobEntry &store);
+    void wakeBlockedOnStore();
+    void growRing();
+    void linkUnresolvedStoreTail(RobEntry &entry);
+    void pushCandidate(RobEntry &entry);
+    Seq popCandidate();
+
+    bool
+    candidatesEmpty() const
+    {
+        return candRunCursor == candRun.size() && candHeap.empty();
+    }
+
+    uint64_t robOccupancy() const { return tailSeq - headSeq; }
+    RobEntry &entryRef(Seq seq) { return ring[seq & ringMask]; }
+
     unsigned dataLatency(const RobEntry &entry) const;
     void recordOffChip(uint64_t idx, uint64_t complete_cycle);
-    void drainCompletions();
     void accumulateMlp(uint64_t from_cycle, uint64_t to_cycle);
 
+    // --- configuration and inputs ---
     const CycleSimConfig cfg;
-    const core::WorkloadContext &wl;
+    // Held by value (it is four non-owning pointers): callers routinely
+    // pass a context materialised in the constructor call itself, and a
+    // reference member would dangle by the time run() executes.
+    const core::WorkloadContext wl;
+    const trace::Instruction *insts = nullptr; //!< trace base (hot path)
 
+    // --- machine state ---
     uint64_t now = 0;
-    std::deque<RobEntry> rob;
-    uint64_t headSeq = 1;
-    std::vector<uint64_t> unissued;
-    std::array<uint64_t, trace::numArchRegs> regProducer{};
-    std::unordered_map<uint64_t, uint64_t> storeProducer;
+    std::vector<RobEntry> ring;        //!< power-of-two ring, seq & mask
+    uint32_t ringMask = 0;
+    uint64_t headSeq = 1;              //!< oldest in-flight seq
+    uint64_t tailSeq = 1;              //!< next seq to allocate
+    unsigned iwOccupancy = 0;          //!< dispatched, not yet issued
+    std::array<Seq, trace::numArchRegs> regProducer{};
+    util::StoreMap storeProducer;      //!< newest in-flight store per line
+    util::SeqFifo memFifo;             //!< config-A in-order memory ops
+    util::SeqFifo branchFifo;          //!< in-order branches (A/B/C)
+    Seq usHead = 0;                    //!< unresolved stores (config B)
+    Seq usTail = 0;
+
+    // Ready-candidate pool, popped in ascending seq order: an ascending
+    // run consumed by cursor plus an overflow min-heap for the rare
+    // out-of-order push (see the epoch engine's identical pool).
+    std::vector<Seq> candRun;
+    size_t candRunCursor = 0;
+    std::vector<Seq> candHeap;
+    std::vector<Seq> blockedOnStore;   //!< config-B entries to re-wake
 
     uint64_t nextFetchIdx = 0;
     uint64_t nextDispatchIdx = 0;
@@ -164,6 +257,12 @@ class CycleSim
      *  used to fast-forward idle stretches. */
     std::priority_queue<uint64_t, std::vector<uint64_t>,
                         std::greater<uint64_t>> events;
+
+    /** Issued-instruction completions awaiting delivery: (cycle, seq)
+     *  min-heap drained at the top of every simulated cycle. */
+    std::priority_queue<std::pair<uint64_t, Seq>,
+                        std::vector<std::pair<uint64_t, Seq>>,
+                        std::greater<std::pair<uint64_t, Seq>>> completions;
 
     bool measuring = false;
     uint64_t committed = 0;

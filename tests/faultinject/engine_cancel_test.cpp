@@ -101,6 +101,30 @@ TEST(EngineCancelTest, CycleSimHonoursADeadlineMidRun)
     EXPECT_EQ(job.status().code(), ErrorCode::DeadlineExceeded);
 }
 
+TEST(EngineCancelTest, CycleSimConfigAHonoursADeadlineMidRun)
+{
+    // Config A threads every memory op through the in-order FIFO, the
+    // slowest and most stall-prone scheduler mode — the event-driven
+    // fast-forward must still hit the 64K-cycle poll cadence there.
+    SweepRunner runner(1);
+    runner.setFailureMode(FailureMode::CollectAll);
+    runner.setJobLimits(withDeadline(2.0));
+    auto job = runner.defer<cyclesim::CycleSimResult>(
+        "cyclesim config A under deadline", [] {
+            cyclesim::CycleSimConfig config;
+            config.issue = core::IssueConfig::A;
+            config.offChipLatency = 1000;
+            config.warmupInsts = kWarmup;
+            return cyclesim::CycleSim(config,
+                                      bigTrace().annotated->context())
+                .run();
+        });
+    runner.runAll();
+
+    EXPECT_FALSE(job.succeeded());
+    EXPECT_EQ(job.status().code(), ErrorCode::DeadlineExceeded);
+}
+
 TEST(EngineCancelTest, TraceGenerationHonoursADeadlineMidFill)
 {
     SweepRunner runner(1);

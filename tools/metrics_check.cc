@@ -16,8 +16,9 @@
  *
  * --require names metric paths (snapshot), event names (trace),
  * result keys (bench-perf) or failed-job labels (sweep-report) that
- * must be present. Exit status is 0 only
- * if every check passes; failures are fatal() with a description.
+ * must be present. For bench-perf a "bench:NAME" token instead
+ * requires a result row whose "bench" field is NAME. Exit status is 0
+ * only if every check passes; failures are fatal() with a description.
  */
 #include <cstdio>
 #include <string>
@@ -118,14 +119,32 @@ checkBenchPerf(const JsonValue &doc,
     const JsonValue &results = requireMember(doc, "results", "bench-perf");
     if (!results.isArray() || results.size() == 0)
         fatal("bench-perf \"results\" is not a non-empty array");
+    // A plain --require token is a key every result row must carry; a
+    // "bench:NAME" token instead asserts that at least one row reports
+    // benchmark NAME (e.g. bench:CycleSim for the cyclesim-only pass).
     std::vector<std::string> keys = {"bench",  "workload",    "config",
                                      "wall_s", "instr_per_s", "peak_rss_kb"};
-    keys.insert(keys.end(), required.begin(), required.end());
+    std::vector<std::string> benches;
+    for (const auto &token : required) {
+        if (token.rfind("bench:", 0) == 0)
+            benches.push_back(token.substr(6));
+        else
+            keys.push_back(token);
+    }
     for (const JsonValue &row : results.items()) {
         for (const auto &key : keys) {
             if (!row.find(key))
                 fatal("bench-perf result lacks \"", key, "\"");
         }
+    }
+    for (const auto &bench : benches) {
+        bool found = false;
+        for (const JsonValue &row : results.items())
+            found = found || (row.find("bench") &&
+                              row.find("bench")->isString() &&
+                              row.find("bench")->string() == bench);
+        if (!found)
+            fatal("bench-perf has no result row for bench '", bench, "'");
     }
 }
 
