@@ -33,6 +33,7 @@
 
 #include "core/mlpsim.hh"
 #include "cyclesim/cycle_sim.hh"
+#include "metrics/export.hh"
 #include "metrics/json.hh"
 #include "util/logging.hh"
 #include "workloads/factory.hh"
@@ -272,10 +273,10 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
-    metrics::JsonValue doc = metrics::JsonValue::object();
-    doc.set("schema", "mlpsim-bench-perf-v1");
-    doc.set("results", std::move(reporter.results));
-    metrics::writeJsonFile(metrics_out, doc).orFatal();
+    metrics::writeJsonFile(
+        metrics_out,
+        metrics::makeBenchPerfDoc(std::move(reporter.results)))
+        .orFatal();
     inform("perf summary written to ", metrics_out);
     return 0;
 }

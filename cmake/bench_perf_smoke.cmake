@@ -27,3 +27,13 @@ run_or_die(${BENCH} --cyclesim-only --benchmark_min_time=0.01
            --metrics-out ${OUT}.cyclesim)
 run_or_die(${CHECKER} --in ${OUT}.cyclesim --kind bench-perf
            --require instr_per_s,bench:CycleSim)
+
+# The sweep service's load generator reports through the same schema:
+# one bench:Service row with throughput, cache hit ratio and latency
+# quantiles (memory-only daemon; the persistent-cache path is
+# service_smoke's job).
+run_or_die(${CLIENT} --spawn ${DAEMON} --requests 8
+           --duplicate-ratio 0.5 --warmup 500 --insts 2000
+           --bench-out ${OUT}.service)
+run_or_die(${CHECKER} --in ${OUT}.service --kind bench-perf
+           --require instr_per_s,bench:Service,requests_per_s,hit_ratio,p50_ms,p99_ms)

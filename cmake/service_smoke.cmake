@@ -1,0 +1,88 @@
+# End-to-end proof of the mlpsimd sweep service and its
+# content-addressed caches.
+#
+# Invoked by the service_smoke ctest entry (see tools/CMakeLists.txt):
+#   cmake -DDAEMON=<mlpsimd exe> -DCLIENT=<sweep_client exe>
+#         -DCHECKER=<metrics_check exe> -DWORKDIR=<scratch dir>
+#         -P cmake/service_smoke.cmake
+#
+# Scenario:
+#   1. a cold client run (50% duplicates) populates the persistent
+#      caches; its request, response and bench documents all pass the
+#      metrics_check wire validators;
+#   2. a warm rerun against the same cache directory is served
+#      entirely from disk (hit ratio ~1) and every response is
+#      byte-identical to its cold counterpart;
+#   3. a daemon crash-injected after 2 recorded cells (torn frame left
+#      at the cache tail) fails the client run, but the next daemon
+#      salvages the log and still serves those 2 cells warm.
+
+function(run_or_die)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (exit ${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+set(REQUESTS 10)
+set(GRID --requests ${REQUESTS} --duplicate-ratio 0.5 --seed 3
+    --warmup 1000 --insts 5000 --configs-per-request 2 --window 4)
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# 1. Cold run: everything computes, artifacts written for validation.
+run_or_die(${CLIENT} --spawn ${DAEMON} ${GRID}
+           --cache-dir ${WORKDIR}/cache
+           --requests-out ${WORKDIR}/req
+           --responses-out ${WORKDIR}/cold
+           --bench-out ${WORKDIR}/bench.json)
+
+# The emitted documents pass the daemon's own wire validators: the
+# request parses as the daemon would parse it, every response is
+# status:ok with full result rows, and the bench summary carries the
+# service throughput/latency/hit-ratio keys.
+run_or_die(${CHECKER} --in ${WORKDIR}/req0.json --kind sweep-request
+           --require workload:database,configs)
+run_or_die(${CHECKER} --in ${WORKDIR}/cold0.json --kind sweep-response
+           --require status:ok,epochs,mlp,accesses_per_epoch)
+run_or_die(${CHECKER} --in ${WORKDIR}/bench.json --kind bench-perf
+           --require bench:Service,requests_per_s,hit_ratio,p99_ms)
+
+# 2. Warm rerun: same grid, same cache directory. --min-hit-ratio
+#    makes the client itself fail unless every cell is served from
+#    cache; the byte-compare proves a hit is indistinguishable from
+#    the cold computation it replays.
+run_or_die(${CLIENT} --spawn ${DAEMON} ${GRID}
+           --cache-dir ${WORKDIR}/cache
+           --responses-out ${WORKDIR}/warm
+           --min-hit-ratio 0.99)
+math(EXPR last "${REQUESTS} - 1")
+foreach(i RANGE ${last})
+    run_or_die(${CMAKE_COMMAND} -E compare_files
+               ${WORKDIR}/cold${i}.json ${WORKDIR}/warm${i}.json)
+endforeach()
+
+# 3. Crash salvage: a daemon killed right after recording its 2nd
+#    cell leaves a torn frame at the cache tail. The client must
+#    notice the dead daemon (nonzero exit) ...
+execute_process(
+    COMMAND ${CLIENT} --spawn ${DAEMON} ${GRID}
+            --cache-dir ${WORKDIR}/crash --daemon-kill-after 2
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "client reported success despite the daemon crash")
+endif()
+
+# ... and the next daemon salvages the log, serves the 2 recorded
+# cells warm (--min-cell-hits), and completes the full grid with
+# responses byte-identical to the healthy cache's.
+run_or_die(${CLIENT} --spawn ${DAEMON} ${GRID}
+           --cache-dir ${WORKDIR}/crash
+           --responses-out ${WORKDIR}/salvaged
+           --min-cell-hits 2)
+foreach(i RANGE ${last})
+    run_or_die(${CMAKE_COMMAND} -E compare_files
+               ${WORKDIR}/cold${i}.json ${WORKDIR}/salvaged${i}.json)
+endforeach()

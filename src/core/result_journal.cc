@@ -1,5 +1,6 @@
 #include "result_journal.hh"
 
+#include "core/result_json.hh"
 #include "metrics/json.hh"
 
 namespace mlpsim::core {
@@ -17,96 +18,6 @@ journalMeta(uint64_t warmup_insts, uint64_t measured_insts)
     return "mlpsim-result-journal-v1;warmup=" +
            std::to_string(warmup_insts) +
            ";insts=" + std::to_string(measured_insts);
-}
-
-JsonValue
-resultToJson(const std::string &cell_key, const MlpResult &result)
-{
-    JsonValue entry = JsonValue::object();
-    entry.set("key", cell_key);
-    entry.set("epochs", result.epochs);
-    entry.set("useful_accesses", result.usefulAccesses);
-    entry.set("dmiss_accesses", result.dmissAccesses);
-    entry.set("imiss_accesses", result.imissAccesses);
-    entry.set("pmiss_accesses", result.pmissAccesses);
-    entry.set("smiss_accesses", result.smissAccesses);
-    entry.set("measured_insts", result.measuredInsts);
-
-    JsonValue inhibitors = JsonValue::array();
-    for (const uint64_t count : result.inhibitors.count)
-        inhibitors.push(count);
-    entry.set("inhibitors", std::move(inhibitors));
-
-    JsonValue histogram = JsonValue::array();
-    for (const auto &[bucket_key, weight] :
-         result.accessesPerEpoch.buckets()) {
-        JsonValue pair = JsonValue::array();
-        pair.push(bucket_key);
-        pair.push(weight);
-        histogram.push(std::move(pair));
-    }
-    entry.set("accesses_per_epoch", std::move(histogram));
-    return entry;
-}
-
-Status
-resultFromJson(const JsonValue &entry, std::string *cell_key,
-               MlpResult *result)
-{
-    const auto getCount = [&entry](const char *name,
-                                   uint64_t *out) -> Status {
-        const JsonValue *field = entry.find(name);
-        if (!field || !field->isNumber())
-            return Status::dataLoss("missing journal field '", name, "'");
-        *out = field->uinteger();
-        return Status::okStatus();
-    };
-
-    const JsonValue *key_field = entry.find("key");
-    if (!key_field || !key_field->isString())
-        return Status::dataLoss("missing journal field 'key'");
-    *cell_key = key_field->string();
-
-    *result = MlpResult{};
-    MLPSIM_RETURN_IF_ERROR(getCount("epochs", &result->epochs));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("useful_accesses", &result->usefulAccesses));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("dmiss_accesses", &result->dmissAccesses));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("imiss_accesses", &result->imissAccesses));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("pmiss_accesses", &result->pmissAccesses));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("smiss_accesses", &result->smissAccesses));
-    MLPSIM_RETURN_IF_ERROR(
-        getCount("measured_insts", &result->measuredInsts));
-
-    const JsonValue *inhibitors = entry.find("inhibitors");
-    if (!inhibitors || !inhibitors->isArray() ||
-        inhibitors->size() != numInhibitors) {
-        return Status::dataLoss("bad journal field 'inhibitors'");
-    }
-    for (std::size_t i = 0; i < numInhibitors; ++i) {
-        const JsonValue &count = inhibitors->items()[i];
-        if (!count.isNumber())
-            return Status::dataLoss("bad journal field 'inhibitors'");
-        result->inhibitors.count[i] = count.uinteger();
-    }
-
-    const JsonValue *histogram = entry.find("accesses_per_epoch");
-    if (!histogram || !histogram->isArray())
-        return Status::dataLoss("bad journal field 'accesses_per_epoch'");
-    for (const JsonValue &pair : histogram->items()) {
-        if (!pair.isArray() || pair.size() != 2 ||
-            !pair.items()[0].isNumber() || !pair.items()[1].isNumber()) {
-            return Status::dataLoss(
-                "bad journal field 'accesses_per_epoch'");
-        }
-        result->accessesPerEpoch.add(pair.items()[0].uinteger(),
-                                     pair.items()[1].uinteger());
-    }
-    return Status::okStatus();
 }
 
 } // namespace
@@ -146,7 +57,8 @@ ResultJournal::open(const std::string &path, uint64_t warmup_insts,
         }
         std::string cell_key;
         MlpResult result;
-        const Status st = resultFromJson(*parsed, &cell_key, &result);
+        const Status st =
+            resultRecordFromJson(*parsed, &cell_key, &result);
         if (!st.ok()) {
             warn("result journal '", path, "': skipping entry: ",
                  st.message());
@@ -172,7 +84,7 @@ ResultJournal::record(const std::string &cell_key,
                       const MlpResult &result)
 {
     MLPSIM_RETURN_IF_ERROR(
-        log.append(resultToJson(cell_key, result).dump(0))
+        log.append(resultRecordToJson(cell_key, result).dump(0))
             .withContext("recording '", cell_key, "'"));
     entries[cell_key] = result;
     return Status::okStatus();

@@ -136,6 +136,15 @@ writeSnapshotFile(const std::string &path, JsonValue meta,
 }
 
 JsonValue
+makeBenchPerfDoc(JsonValue results)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", benchPerfSchema);
+    doc.set("results", std::move(results));
+    return doc;
+}
+
+JsonValue
 sweepReportToJson(std::size_t total_jobs, std::size_t retries,
                   const std::vector<JobFailure> &failures,
                   JsonValue meta)

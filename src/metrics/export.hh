@@ -60,6 +60,20 @@ Status writeSnapshotFile(const std::string &path,
                          JsonValue meta = JsonValue::object(),
                          const SnapshotOptions &options = {});
 
+/** The bench-performance document identifier (BENCH_perf.json). */
+inline constexpr const char *benchPerfSchema = "mlpsim-bench-perf-v1";
+
+/**
+ * Wrap an array of bench-performance rows in the standard document
+ * (`{"schema": benchPerfSchema, "results": [...]}`). Every producer
+ * of BENCH_perf.json content — perf_microbench, sweep_client — goes
+ * through this so the metrics_check --kind bench-perf contract has a
+ * single definition. Each row must carry at least the six standard
+ * keys (bench, workload, config, wall_s, instr_per_s, peak_rss_kb);
+ * producers may add extra keys after them.
+ */
+JsonValue makeBenchPerfDoc(JsonValue results);
+
 /** The sweep-report document identifier. */
 inline constexpr const char *sweepReportSchema = "mlpsim-sweep-report-v1";
 

@@ -231,11 +231,11 @@ struct JobCollector
 
 } // namespace
 
-void
-installSweepIsolation()
+JobHooks
+sweepIsolationHooks()
 {
     JobHooks hooks;
-    hooks.begin = []() -> std::shared_ptr<void> {
+    hooks.begin = [](const std::string &) -> std::shared_ptr<void> {
         if (!enabled())
             return nullptr;
         auto collector = std::make_shared<JobCollector>();
@@ -247,11 +247,18 @@ installSweepIsolation()
         if (auto *collector = static_cast<JobCollector *>(token.get()))
             collector->scope.reset();
     };
-    hooks.commit = [](const std::shared_ptr<void> &token) {
+    hooks.commit = [](const std::shared_ptr<void> &token,
+                      const std::string &) {
         if (auto *collector = static_cast<JobCollector *>(token.get()))
             MetricRegistry::global().merge(collector->registry);
     };
-    SweepRunner::setJobHooks(std::move(hooks));
+    return hooks;
+}
+
+void
+installSweepIsolation()
+{
+    SweepRunner::setJobHooks(sweepIsolationHooks());
 }
 
 } // namespace mlpsim::metrics

@@ -49,7 +49,10 @@
 
 #include "util/stats.hh"
 
-namespace mlpsim::metrics {
+namespace mlpsim {
+struct JobHooks; // util/parallel.hh
+
+namespace metrics {
 
 /** What a metric path holds (fixed at first touch, checked after). */
 enum class MetricKind : uint8_t {
@@ -197,4 +200,13 @@ class ScopedTimer
  */
 void installSweepIsolation();
 
-} // namespace mlpsim::metrics
+/**
+ * The hooks installSweepIsolation() installs, exposed so a caller can
+ * compose them with its own instrumentation (the mlpsimd daemon wraps
+ * them to stream per-cell progress events) before SweepRunner::
+ * setJobHooks — there is only one process-wide hook slot.
+ */
+JobHooks sweepIsolationHooks();
+
+} // namespace metrics
+} // namespace mlpsim

@@ -1,0 +1,125 @@
+#include "framing.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace mlpsim::service {
+
+namespace {
+
+/**
+ * Read exactly @p len bytes, riding out EINTR and short reads.
+ * Returns the byte count actually read: len on success, less only if
+ * EOF arrived first, or an errno failure.
+ */
+Expected<size_t>
+readFull(int fd, void *buf, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n =
+            ::read(fd, static_cast<char *>(buf) + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError("read: ", std::strerror(errno));
+        }
+        if (n == 0)
+            break; // EOF
+        got += static_cast<size_t>(n);
+    }
+    return got;
+}
+
+Status
+writeFull(int fd, const void *buf, size_t len)
+{
+    size_t put = 0;
+    while (put < len) {
+        const ssize_t n =
+            ::write(fd, static_cast<const char *>(buf) + put, len - put);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError("write: ", std::strerror(errno));
+        }
+        put += static_cast<size_t>(n);
+    }
+    return Status::okStatus();
+}
+
+} // namespace
+
+Expected<bool>
+FrameReader::read(std::string *payload)
+{
+    unsigned char word[4];
+    MLPSIM_ASSIGN_OR_RETURN(const size_t header_bytes,
+                            readFull(fd, word, sizeof word));
+    if (header_bytes == 0)
+        return false; // clean EOF between frames
+    if (header_bytes < sizeof word) {
+        return Status::dataLoss("frame stream truncated inside a "
+                                "length prefix (", header_bytes,
+                                " of 4 bytes)");
+    }
+
+    const uint32_t len = static_cast<uint32_t>(word[0]) |
+                         static_cast<uint32_t>(word[1]) << 8 |
+                         static_cast<uint32_t>(word[2]) << 16 |
+                         static_cast<uint32_t>(word[3]) << 24;
+    if (len > maxFrameBytes) {
+        return Status::dataLoss("frame length ", len, " exceeds the ",
+                                maxFrameBytes,
+                                "-byte cap (peer not speaking the "
+                                "mlpsimd frame protocol?)");
+    }
+
+    payload->resize(len);
+    if (len != 0) {
+        MLPSIM_ASSIGN_OR_RETURN(const size_t body_bytes,
+                                readFull(fd, payload->data(), len));
+        if (body_bytes < len) {
+            return Status::dataLoss("frame stream truncated inside a ",
+                                    len, "-byte payload (got ",
+                                    body_bytes, ")");
+        }
+    }
+    return true;
+}
+
+bool
+FrameReader::pending() const
+{
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    return ::poll(&pfd, 1, 0) == 1 &&
+           (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+Status
+FrameWriter::write(std::string_view payload)
+{
+    if (payload.size() > maxFrameBytes) {
+        return Status::outOfRange("frame payload of ", payload.size(),
+                                  " bytes exceeds the ", maxFrameBytes,
+                                  "-byte cap");
+    }
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const unsigned char word[4] = {
+        static_cast<unsigned char>(len),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 24),
+    };
+
+    std::lock_guard<std::mutex> lock(mutex);
+    MLPSIM_RETURN_IF_ERROR(writeFull(fd, word, sizeof word));
+    return writeFull(fd, payload.data(), payload.size());
+}
+
+} // namespace mlpsim::service

@@ -1,0 +1,86 @@
+#include "result_cache.hh"
+
+#include "core/result_json.hh"
+#include "metrics/json.hh"
+#include "util/logging.hh"
+
+namespace mlpsim::service {
+
+namespace {
+
+constexpr const char *cacheMeta = "mlpsim-result-cache-v1";
+
+} // namespace
+
+Expected<ResultCache>
+ResultCache::open(const std::string &path)
+{
+    ResultCache cache;
+    if (path.empty())
+        return cache;
+
+    MLPSIM_ASSIGN_OR_RETURN(RecordLog log,
+                            RecordLog::open(path, cacheMeta)
+                                .withContext("opening result cache"));
+    cache.didSalvage = log.salvaged();
+    for (const std::string &payload : log.recovered()) {
+        auto parsed = metrics::JsonValue::parse(payload);
+        if (!parsed.ok()) {
+            warn("result cache '", path, "': skipping entry: ",
+                 parsed.status().message());
+            continue;
+        }
+        std::string cell_key;
+        core::MlpResult result;
+        const Status st =
+            core::resultRecordFromJson(*parsed, &cell_key, &result);
+        if (!st.ok()) {
+            // CRC-valid but unparseable: a writer bug, not bit rot.
+            // Dropping it costs one recomputation, not the cache.
+            warn("result cache '", path, "': skipping entry: ",
+                 st.message());
+            continue;
+        }
+        cache.entries[cell_key] = result;
+    }
+    cache.log = std::make_unique<RecordLog>(std::move(log));
+    return cache;
+}
+
+bool
+ResultCache::lookup(const std::string &cell_key,
+                    core::MlpResult *out) const
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    const auto it = entries.find(cell_key);
+    if (it == entries.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+Status
+ResultCache::record(const std::string &cell_key,
+                    const core::MlpResult &result)
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    if (entries.count(cell_key) != 0)
+        return Status::okStatus(); // duplicate within one batch
+    if (log) {
+        MLPSIM_RETURN_IF_ERROR(
+            log->append(core::resultRecordToJson(cell_key, result)
+                            .dump(0))
+                .withContext("recording sweep cell"));
+    }
+    entries[cell_key] = result;
+    return Status::okStatus();
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    return entries.size();
+}
+
+} // namespace mlpsim::service

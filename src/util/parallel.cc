@@ -253,7 +253,7 @@ SweepRunner::execute(Pending &job)
         // Per-attempt hook pair; a failed attempt's token is dropped
         // below so partial metrics never reach the snapshot merge.
         if (hooks.begin)
-            job.slot->hookToken = hooks.begin();
+            job.slot->hookToken = hooks.begin(job.slot->label);
 
         Status failure;
         std::exception_ptr raw;
@@ -360,7 +360,7 @@ SweepRunner::runAll()
     const JobHooks hooks = currentJobHooks();
     for (const auto &job : jobs) {
         if (hooks.commit && job.slot->hookToken)
-            hooks.commit(job.slot->hookToken);
+            hooks.commit(job.slot->hookToken, job.slot->label);
         job.slot->hookToken.reset();
     }
 

@@ -140,6 +140,9 @@ struct JobSpan
  * the same thread right after the body; `commit` runs on the runAll()
  * caller once the batch finished, once per job in *submission order* —
  * the ordering the metrics layer relies on for deterministic merges.
+ * begin/commit also receive the job's label, so hooks that report
+ * progress (the mlpsimd event stream) can name the cell without a
+ * side channel.
  *
  * Retried jobs get a fresh begin/end pair per attempt and only the
  * final attempt's token survives; failed jobs' tokens are dropped
@@ -148,9 +151,11 @@ struct JobSpan
  */
 struct JobHooks
 {
-    std::function<std::shared_ptr<void>()> begin;
+    std::function<std::shared_ptr<void>(const std::string &label)> begin;
     std::function<void(const std::shared_ptr<void> &)> end;
-    std::function<void(const std::shared_ptr<void> &)> commit;
+    std::function<void(const std::shared_ptr<void> &,
+                       const std::string &label)>
+        commit;
 };
 
 /** One recorded job failure (see the file comment's failure model). */

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ResultCache tests: the persistent (cell key → MlpResult) tier of the
+ * sweep service. Covers the memory-only mode, replay-on-reopen (a
+ * restarted daemon starts warm), bit-exact round trips through the
+ * storage form, and salvage of a log whose tail a crash tore — the
+ * exact file state mlpsimd --kill-after leaves behind.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/result_json.hh"
+#include "service/result_cache.hh"
+
+namespace mlpsim::service {
+namespace {
+
+std::string
+tempPath(const std::string &tag)
+{
+    const std::string path =
+        ::testing::TempDir() + "mlpsim_result_cache_" + tag + ".rec";
+    std::remove(path.c_str());
+    return path;
+}
+
+core::MlpResult
+sampleResult(uint64_t salt)
+{
+    core::MlpResult result;
+    result.epochs = 40 + salt;
+    result.usefulAccesses = 100 + 3 * salt;
+    result.dmissAccesses = 80 + salt;
+    result.imissAccesses = 15 + salt;
+    result.pmissAccesses = 5 + salt;
+    result.measuredInsts = 10000;
+    result.inhibitors.record(core::Inhibitor::Maxwin);
+    result.inhibitors.record(core::Inhibitor::MispredBr);
+    result.accessesPerEpoch.add(1, 10 + salt);
+    result.accessesPerEpoch.add(4, 30);
+    return result;
+}
+
+std::string
+dumpOf(const core::MlpResult &result)
+{
+    return core::resultToJson(result).dump(0);
+}
+
+TEST(ResultCacheTest, MemoryOnlyRecordAndLookup)
+{
+    ResultCache cache;
+    EXPECT_FALSE(cache.persistent());
+    EXPECT_EQ(cache.size(), 0u);
+
+    const core::MlpResult stored = sampleResult(1);
+    ASSERT_TRUE(cache.record("cell-a", stored).ok());
+    EXPECT_EQ(cache.size(), 1u);
+
+    core::MlpResult loaded;
+    ASSERT_TRUE(cache.lookup("cell-a", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(stored));
+    EXPECT_FALSE(cache.lookup("cell-b", &loaded));
+}
+
+TEST(ResultCacheTest, DuplicateRecordIsIdempotent)
+{
+    ResultCache cache;
+    ASSERT_TRUE(cache.record("cell-a", sampleResult(1)).ok());
+    ASSERT_TRUE(cache.record("cell-a", sampleResult(2)).ok());
+    EXPECT_EQ(cache.size(), 1u);
+
+    // First write wins: a cell's result is immutable once recorded.
+    core::MlpResult loaded;
+    ASSERT_TRUE(cache.lookup("cell-a", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(1)));
+}
+
+TEST(ResultCacheTest, ReopenReplaysEveryRecord)
+{
+    const std::string path = tempPath("reopen");
+    {
+        auto cache = ResultCache::open(path);
+        ASSERT_TRUE(cache.ok()) << cache.status().toString();
+        EXPECT_TRUE(cache->persistent());
+        EXPECT_FALSE(cache->salvaged());
+        ASSERT_TRUE(cache->record("cell-a", sampleResult(1)).ok());
+        ASSERT_TRUE(cache->record("cell-b", sampleResult(2)).ok());
+    }
+    auto warm = ResultCache::open(path);
+    ASSERT_TRUE(warm.ok()) << warm.status().toString();
+    EXPECT_EQ(warm->size(), 2u);
+    EXPECT_FALSE(warm->salvaged());
+
+    core::MlpResult loaded;
+    ASSERT_TRUE(warm->lookup("cell-a", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(1)));
+    ASSERT_TRUE(warm->lookup("cell-b", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(2)));
+}
+
+TEST(ResultCacheTest, TornTailIsSalvagedAndAppendable)
+{
+    const std::string path = tempPath("torn");
+    {
+        auto cache = ResultCache::open(path);
+        ASSERT_TRUE(cache.ok()) << cache.status().toString();
+        ASSERT_TRUE(cache->record("cell-a", sampleResult(1)).ok());
+        ASSERT_TRUE(cache->record("cell-b", sampleResult(2)).ok());
+    }
+    {
+        // A crash mid-append: a length word promising more bytes than
+        // the file holds (what --kill-after injects deliberately).
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        const char torn[] = {'\xe8', '\x03', '\x00', '\x00',
+                             '\xde', '\xad', '\xbe', '\xef'};
+        out.write(torn, sizeof(torn));
+    }
+    auto salvaged = ResultCache::open(path);
+    ASSERT_TRUE(salvaged.ok()) << salvaged.status().toString();
+    EXPECT_TRUE(salvaged->salvaged());
+    EXPECT_EQ(salvaged->size(), 2u);
+
+    core::MlpResult loaded;
+    ASSERT_TRUE(salvaged->lookup("cell-a", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(1)));
+
+    // The salvaged log accepts new appends and replays them next open.
+    ASSERT_TRUE(salvaged->record("cell-c", sampleResult(3)).ok());
+    auto again = ResultCache::open(path);
+    ASSERT_TRUE(again.ok()) << again.status().toString();
+    EXPECT_EQ(again->size(), 3u);
+    EXPECT_FALSE(again->salvaged());
+    ASSERT_TRUE(again->lookup("cell-c", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(3)));
+}
+
+} // namespace
+} // namespace mlpsim::service

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "core/result_json.hh"
 #include "core/result_journal.hh"
 #include "metrics/json.hh"
 #include "util/logging.hh"
@@ -86,34 +87,6 @@ goldenConfigs()
     for (GoldenConfig &gc : configs)
         gc.config.warmupInsts = goldenWarmup;
     return configs;
-}
-
-JsonValue
-resultToJson(const core::MlpResult &r)
-{
-    JsonValue doc = JsonValue::object();
-    doc.set("epochs", r.epochs);
-    doc.set("useful_accesses", r.usefulAccesses);
-    doc.set("dmiss_accesses", r.dmissAccesses);
-    doc.set("imiss_accesses", r.imissAccesses);
-    doc.set("pmiss_accesses", r.pmissAccesses);
-    doc.set("smiss_accesses", r.smissAccesses);
-    doc.set("measured_insts", r.measuredInsts);
-    doc.set("mlp", r.mlp());
-
-    JsonValue inhibitors = JsonValue::object();
-    for (size_t i = 0; i < core::numInhibitors; ++i) {
-        inhibitors.set(
-            core::inhibitorName(static_cast<core::Inhibitor>(i)),
-            r.inhibitors.count[i]);
-    }
-    doc.set("inhibitors", std::move(inhibitors));
-
-    JsonValue histogram = JsonValue::object();
-    for (const auto &[accesses, epochs] : r.accessesPerEpoch.buckets())
-        histogram.set(std::to_string(accesses), epochs);
-    doc.set("accesses_per_epoch", std::move(histogram));
-    return doc;
 }
 
 JsonValue

@@ -10,15 +10,27 @@
  *
  * Usage:
  *   metrics_check --in FILE
- *                 [--kind snapshot|trace|bench-perf|sweep-report]
+ *                 [--kind snapshot|trace|bench-perf|sweep-report
+ *                        |sweep-request|sweep-response]
  *                 [--require path1,path2,...]
  *   metrics_check --dump-paper-targets   # print the embedded targets
  *
  * --require names metric paths (snapshot), event names (trace),
  * result keys (bench-perf) or failed-job labels (sweep-report) that
  * must be present. For bench-perf a "bench:NAME" token instead
- * requires a result row whose "bench" field is NAME. Exit status is 0
- * only if every check passes; failures are fatal() with a description.
+ * requires a result row whose "bench" field is NAME.
+ *
+ * The mlpsimd wire kinds run the *daemon's own* validators
+ * (service/wire.hh), so a request file that passes here is exactly a
+ * request the daemon would accept. Their --require tokens:
+ *   sweep-request:  "workload:NAME", "config:NAME" (a config with
+ *                   that display name), or a plain top-level key;
+ *   sweep-response: "status:ok" / "status:error", "config:NAME" (a
+ *                   result row for that config), or a plain key every
+ *                   result row must carry.
+ *
+ * Exit status is 0 only if every check passes; failures are fatal()
+ * with a description.
  */
 #include <cstdio>
 #include <string>
@@ -26,6 +38,7 @@
 
 #include "metrics/export.hh"
 #include "metrics/json.hh"
+#include "service/wire.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "workloads/paper_targets.hh"
@@ -114,8 +127,8 @@ checkBenchPerf(const JsonValue &doc,
                const std::vector<std::string> &required)
 {
     const JsonValue &schema = requireMember(doc, "schema", "bench-perf");
-    if (!schema.isString() || schema.string() != "mlpsim-bench-perf-v1")
-        fatal("bench-perf schema is not mlpsim-bench-perf-v1");
+    if (!schema.isString() || schema.string() != metrics::benchPerfSchema)
+        fatal("bench-perf schema is not ", metrics::benchPerfSchema);
     const JsonValue &results = requireMember(doc, "results", "bench-perf");
     if (!results.isArray() || results.size() == 0)
         fatal("bench-perf \"results\" is not a non-empty array");
@@ -207,6 +220,76 @@ checkSweepReport(const JsonValue &doc,
     }
 }
 
+void
+checkSweepRequest(const JsonValue &doc,
+                  const std::vector<std::string> &required)
+{
+    // The daemon's own parser is the contract: a file that passes
+    // here is a request mlpsimd would accept, byte for byte.
+    auto parsed = service::parseSweepRequest(doc);
+    if (!parsed.ok())
+        fatal("sweep-request: ", parsed.status().toString());
+
+    for (const auto &token : required) {
+        if (token.rfind("workload:", 0) == 0) {
+            const std::string want = token.substr(9);
+            if (parsed->workload != want)
+                fatal("sweep-request workload is '", parsed->workload,
+                      "', not '", want, "'");
+        } else if (token.rfind("config:", 0) == 0) {
+            const std::string want = token.substr(7);
+            bool found = false;
+            for (const service::RequestConfig &rc : parsed->configs)
+                found = found || rc.name == want;
+            if (!found)
+                fatal("sweep-request has no config named '", want, "'");
+        } else if (!doc.find(token)) {
+            fatal("sweep-request lacks required member \"", token,
+                  "\"");
+        }
+    }
+}
+
+void
+checkSweepResponse(const JsonValue &doc,
+                   const std::vector<std::string> &required)
+{
+    const Status valid = service::validateSweepResponse(doc);
+    if (!valid.ok())
+        fatal("sweep-response: ", valid.toString());
+
+    const std::string &status = doc.find("status")->string();
+    const JsonValue *results = doc.find("results");
+    for (const auto &token : required) {
+        if (token.rfind("status:", 0) == 0) {
+            const std::string want = token.substr(7);
+            if (status != want)
+                fatal("sweep-response status is '", status, "', not '",
+                      want, "'");
+        } else if (token.rfind("config:", 0) == 0) {
+            const std::string want = token.substr(7);
+            bool found = false;
+            if (results) {
+                for (const JsonValue &row : results->items())
+                    found = found ||
+                            (row.find("config")->string() == want);
+            }
+            if (!found)
+                fatal("sweep-response has no result row for config '",
+                      want, "'");
+        } else {
+            if (!results)
+                fatal("sweep-response is an error response; cannot "
+                      "require result key \"", token, "\"");
+            for (const JsonValue &row : results->items()) {
+                if (!row.find(token))
+                    fatal("sweep-response result row lacks \"", token,
+                          "\"");
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -255,9 +338,14 @@ main(int argc, char **argv)
         checkBenchPerf(doc, required);
     else if (kind == "sweep-report")
         checkSweepReport(doc, required);
+    else if (kind == "sweep-request")
+        checkSweepRequest(doc, required);
+    else if (kind == "sweep-response")
+        checkSweepResponse(doc, required);
     else
         fatal("unknown --kind '", kind,
-              "' (expected snapshot|trace|bench-perf|sweep-report)");
+              "' (expected snapshot|trace|bench-perf|sweep-report|"
+              "sweep-request|sweep-response)");
 
     std::printf("%s: ok (%s)\n", path.c_str(), kind.c_str());
     return 0;
