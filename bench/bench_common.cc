@@ -84,7 +84,7 @@ BenchSetup::tryFromOptions(const Options &opts,
         "warmup",       "insts",        "workload",
         "jobs",         "metrics-out",  "trace-events",
         "deadline-ms",  "retries",      "collect-failures",
-        "sweep-report"};
+        "sweep-report", "stream-chunk", "materialize"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     MLPSIM_RETURN_IF_ERROR(opts.checkKnown(known));
 
@@ -118,6 +118,28 @@ BenchSetup::tryFromOptions(const Options &opts,
                                        "(it counts total attempts)");
     setup.jobLimits.retry.maxAttempts = unsigned(retries);
     setup.collectFailures = opts.has("collect-failures");
+
+    MLPSIM_ASSIGN_OR_RETURN(uint64_t stream_chunk,
+                            opts.tryGetU64("stream-chunk", 0));
+    if (opts.has("stream-chunk")) {
+        if (opts.has("materialize")) {
+            return Status::invalidArgument(
+                "--stream-chunk and --materialize are mutually "
+                "exclusive");
+        }
+        if (stream_chunk == 0) {
+            return Status::invalidArgument(
+                "--stream-chunk needs an explicit chunk size >= 1 "
+                "(try --stream-chunk=",
+                trace::defaultChunkCapacity, ")");
+        }
+        if (stream_chunk > (uint64_t(1) << 24)) {
+            return Status::invalidArgument(
+                "--stream-chunk=", stream_chunk,
+                " would allocate unreasonably large chunks (max 2^24)");
+        }
+    }
+    setup.streamChunk = uint32_t(stream_chunk);
 
     if (!setup.metricsOut.empty() || !setup.traceEventsOut.empty()) {
         metrics::setEnabled(true);
@@ -163,6 +185,36 @@ prepareWorkload(const std::string &name, const BenchSetup &setup)
     PreparedWorkload prepared;
     prepared.name = name;
     prepared.warmupInsts = setup.warmupInsts;
+
+    core::AnnotationOptions annotation = setup.annotation;
+    annotation.warmupInsts = setup.warmupInsts;
+
+    if (setup.streaming()) {
+        // Streamed mode: no trace buffer is ever materialised. The
+        // factory re-creates the generator — with the same
+        // name-derived seed — for every stream open, so the annotate
+        // pass and each engine run replay the identical instruction
+        // sequence.
+        prepared.source = std::make_unique<trace::GeneratedChunkSource>(
+            name, setup.warmupInsts + setup.measureInsts,
+            [name] {
+                return workloads::makeWorkload(
+                    name, workloads::workloadSeed(name));
+            },
+            setup.streamChunk);
+        prepared.streamed = std::make_unique<core::StreamingTrace>(
+            *prepared.source, annotation);
+        if (metrics::enabled()) {
+            // Mirror the materialised path's counters exactly so the
+            // two modes' metric snapshots stay byte-identical.
+            auto &reg = metrics::cur();
+            reg.add(metrics::scopedPath("workloads/traces"), 1);
+            reg.add(metrics::scopedPath("workloads/generated_insts"),
+                    prepared.streamed->instructions());
+        }
+        return prepared;
+    }
+
     // The explicit workloadSeed(name) pins the trace to the workload's
     // name: preparation order, thread assignment and --jobs value
     // cannot change a single emitted instruction.
@@ -180,8 +232,6 @@ prepareWorkload(const std::string &name, const BenchSetup &setup)
         reg.add(metrics::scopedPath("workloads/generated_insts"),
                 prepared.buffer->size());
     }
-    core::AnnotationOptions annotation = setup.annotation;
-    annotation.warmupInsts = setup.warmupInsts;
     prepared.annotated = std::make_unique<core::AnnotatedTrace>(
         *prepared.buffer, annotation);
     return prepared;

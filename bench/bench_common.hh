@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "core/trace_pipeline.hh"
 #include "cyclesim/cycle_sim.hh"
+#include "trace/stream_source.hh"
 #include "util/options.hh"
 #include "util/parallel.hh"
 #include "util/table.hh"
@@ -39,20 +41,29 @@
 namespace mlpsim::bench {
 
 /**
- * One materialised, annotated workload. The trace buffer lives on the
- * heap so the annotations' back-pointer stays valid when the
- * PreparedWorkload itself is moved.
+ * One prepared (annotated) workload, in one of two trace modes:
+ *
+ *  - materialised (default): `buffer` holds the whole trace,
+ *    `annotated` its annotations;
+ *  - streamed (--stream-chunk): `source` regenerates the trace on
+ *    demand and `streamed` holds the annotations built in one fused
+ *    generate-and-annotate pass — no instruction is ever stored.
+ *
+ * Everything lives on the heap so the annotations' back-pointers stay
+ * valid when the PreparedWorkload itself is moved.
  */
 struct PreparedWorkload
 {
     std::string name;
     std::unique_ptr<trace::TraceBuffer> buffer;
     std::unique_ptr<core::AnnotatedTrace> annotated;
+    std::unique_ptr<trace::GeneratedChunkSource> source;
+    std::unique_ptr<core::StreamingTrace> streamed;
     uint64_t warmupInsts = 0;
 
     core::WorkloadContext context() const
     {
-        return annotated->context();
+        return annotated ? annotated->context() : streamed->context();
     }
 };
 
@@ -64,6 +75,18 @@ struct BenchSetup
     /** Sweep parallelism: 0 = one thread per hardware thread. */
     unsigned jobs = 0;
     core::AnnotationOptions annotation;
+
+    /**
+     * --stream-chunk=N: prepare workloads in streaming mode with
+     * N-instruction chunks (trace::defaultChunkCapacity is the
+     * sensible choice). 0 (the default, or --materialize) materialises
+     * the whole trace. Results are bit-identical between the two modes
+     * and for every chunk size; streaming trades generator re-runs for
+     * ~5x+ lower peak RSS on long traces.
+     */
+    uint32_t streamChunk = 0;
+
+    bool streaming() const { return streamChunk != 0; }
 
     /**
      * Destination for the deterministic metrics snapshot ("" = metric

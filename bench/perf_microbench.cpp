@@ -32,9 +32,11 @@
 #endif
 
 #include "core/mlpsim.hh"
+#include "core/trace_pipeline.hh"
 #include "cyclesim/cycle_sim.hh"
 #include "metrics/export.hh"
 #include "metrics/json.hh"
+#include "trace/stream_source.hh"
 #include "util/logging.hh"
 #include "workloads/factory.hh"
 #include "workloads/micro.hh"
@@ -90,6 +92,52 @@ BM_EpochEngine(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
 }
 BENCHMARK(BM_EpochEngine)->Arg(64)->Arg(256)->Arg(2048);
+
+/**
+ * Streaming-mode counterpart of annotatedWorkload(): annotations come
+ * from one fused generate-and-annotate pass, and each engine run
+ * re-streams the trace from the replayable source instead of reading
+ * a materialised buffer.
+ */
+const core::StreamingTrace &
+streamedWorkload(const std::string &name)
+{
+    static std::map<
+        std::string,
+        std::pair<std::unique_ptr<trace::GeneratedChunkSource>,
+                  std::unique_ptr<core::StreamingTrace>>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto source = std::make_unique<trace::GeneratedChunkSource>(
+            name, traceInsts, [name] {
+                return workloads::makeWorkload(
+                    name, workloads::workloadSeed(name));
+            });
+        auto streamed = std::make_unique<core::StreamingTrace>(
+            *source, core::AnnotationOptions{});
+        it = cache.emplace(name, std::make_pair(std::move(source),
+                                                std::move(streamed)))
+                 .first;
+    }
+    return *it->second.second;
+}
+
+/** Same grid as BM_EpochEngine, consuming a re-generated chunk stream
+ *  instead of a materialised buffer: the head-to-head engine overhead
+ *  of streaming mode, and (under --stream-only) the process peak RSS
+ *  of a run that never holds the whole trace. */
+void
+BM_EpochEngineStream(benchmark::State &state)
+{
+    const auto &streamed = streamedWorkload("database");
+    core::MlpConfig cfg = core::MlpConfig::sized(
+        unsigned(state.range(0)), core::IssueConfig::C);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runMlp(cfg, streamed.context()));
+    state.SetItemsProcessed(int64_t(state.iterations()) * traceInsts);
+}
+BENCHMARK(BM_EpochEngineStream)->Arg(64)->Arg(256)->Arg(2048);
 
 void
 BM_EpochEngineRunahead(benchmark::State &state)
@@ -235,6 +283,7 @@ main(int argc, char **argv)
     std::string metrics_out = "BENCH_perf.json";
     bool engine_only = false;
     bool cyclesim_only = false;
+    bool stream_only = false;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -254,16 +303,27 @@ main(int argc, char **argv)
             cyclesim_only = true;
             continue;
         }
+        if (arg == "--stream-only") {
+            stream_only = true;
+            continue;
+        }
         args.push_back(argv[i]);
     }
     // Must outlive Initialize(); restricts the run to pre-annotated
     // replay of one simulator (see the file comment).
     static char engine_filter[] = "--benchmark_filter=^BM_EpochEngine";
     static char cyclesim_filter[] = "--benchmark_filter=^BM_CycleSim";
+    // The stream filter isolates the streaming rows in a process that
+    // never materialises a trace, so their peak_rss_kb genuinely
+    // measures the streaming pipeline's footprint.
+    static char stream_filter[] =
+        "--benchmark_filter=^BM_EpochEngineStream";
     if (engine_only)
         args.push_back(engine_filter);
     if (cyclesim_only)
         args.push_back(cyclesim_filter);
+    if (stream_only)
+        args.push_back(stream_filter);
     int pass_argc = int(args.size());
     benchmark::Initialize(&pass_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(pass_argc, args.data()))

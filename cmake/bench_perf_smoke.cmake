@@ -28,6 +28,16 @@ run_or_die(${BENCH} --cyclesim-only --benchmark_min_time=0.01
 run_or_die(${CHECKER} --in ${OUT}.cyclesim --kind bench-perf
            --require instr_per_s,bench:CycleSim)
 
+# Streaming pipeline pass: a fresh process that only runs the
+# chunk-stream engine rows and so never materialises a trace. Its
+# peak_rss_kb is the streaming pipeline's whole footprint (binary +
+# annotation planes + a bounded chunk window); the ceiling fails the
+# build if someone reintroduces a whole-trace allocation on this path.
+run_or_die(${BENCH} --stream-only --benchmark_min_time=0.01
+           --metrics-out ${OUT}.stream)
+run_or_die(${CHECKER} --in ${OUT}.stream --kind bench-perf
+           --require instr_per_s,bench:EpochEngineStream,max-rss-kb:EpochEngineStream:32768)
+
 # The sweep service's load generator reports through the same schema:
 # one bench:Service row with throughput, cache hit ratio and latency
 # quantiles (memory-only daemon; the persistent-cache path is

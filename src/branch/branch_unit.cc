@@ -118,28 +118,33 @@ BranchUnit::reset()
     nMispredicts = 0;
 }
 
-BranchAnnotations
-annotateBranches(const trace::TraceBuffer &buffer,
-                 const BranchConfig &config, uint64_t warmup_insts)
+void
+BranchAnnotator::add(const trace::TraceChunk &chunk)
 {
-    BranchAnnotations ann;
-    ann.mispredicted.assign(buffer.size(), 0);
-
-    BranchUnit unit(config);
-    const auto &insts = buffer.instructions();
-    for (size_t i = 0; i < insts.size(); ++i) {
-        if (!insts[i].isBranch())
+    ann.mispredicted.resize(chunk.end());
+    for (uint32_t ci = 0; ci < chunk.count; ++ci) {
+        if (!chunk.isBranch(ci))
             continue;
-        const bool miss = unit.predictAndUpdate(insts[i]);
+        const size_t i = chunk.base + ci;
+        const bool miss = unit.predictAndUpdate(chunk.get(ci));
         if (miss)
             ann.mispredicted[i] = 1;
-        if (i >= warmup_insts) {
+        if (i >= warmup) {
             ++ann.branches;
             if (miss)
                 ++ann.mispredicts;
         }
     }
-    return ann;
+}
+
+BranchAnnotations
+annotateBranches(const trace::TraceBuffer &buffer,
+                 const BranchConfig &config, uint64_t warmup_insts)
+{
+    BranchAnnotator pass(config, warmup_insts);
+    for (size_t ci = 0; ci < buffer.numChunks(); ++ci)
+        pass.add(buffer.chunk(ci));
+    return pass.finish();
 }
 
 } // namespace mlpsim::branch

@@ -92,7 +92,34 @@ struct BranchAnnotations
 };
 
 /**
- * Run @p config's predictor over @p buffer in program order.
+ * Chunk-incremental branch annotator: the streaming pipeline feeds
+ * trace chunks in program order and the predictor state (gshare
+ * history, BTB, RAS) carries across chunk boundaries, so the outcome
+ * plane is bit-identical to a whole-trace pass for any chunking.
+ */
+class BranchAnnotator
+{
+  public:
+    BranchAnnotator(const BranchConfig &config, uint64_t warmup_insts)
+        : unit(config), warmup(warmup_insts)
+    {
+    }
+
+    /** Feed the next chunk of the trace, in order. */
+    void add(const trace::TraceChunk &chunk);
+
+    /** The completed annotations; the annotator is spent afterwards. */
+    BranchAnnotations finish() { return std::move(ann); }
+
+  private:
+    BranchUnit unit;
+    uint64_t warmup;
+    BranchAnnotations ann;
+};
+
+/**
+ * Run @p config's predictor over @p buffer in program order (a fresh
+ * BranchAnnotator pass over its chunks).
  * @param warmup_insts Branches before this index train the predictor
  *        but are excluded from the rate statistics.
  */

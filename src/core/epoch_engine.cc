@@ -11,7 +11,6 @@
 namespace mlpsim::core {
 
 using trace::InstClass;
-using trace::Instruction;
 using trace::noReg;
 
 // ---------------------------------------------------------------------
@@ -28,9 +27,10 @@ EpochEngine::EpochEngine(const MlpConfig &config,
                       config.issue == IssueConfig::B ||
                       config.issue == IssueConfig::C),
       serializingBlocks(config.issue != IssueConfig::E &&
-                        config.mode != CoreMode::Runahead)
+                        config.mode != CoreMode::Runahead),
+      window(workload), dispatchCur(window), fetchCur(window)
 {
-    MLPSIM_ASSERT(wl.buffer && wl.misses && wl.branches,
+    MLPSIM_ASSERT(wl.hasTrace() && wl.misses && wl.branches,
                   "workload context incomplete");
     MLPSIM_ASSERT(cfg.mode == CoreMode::OutOfOrder ||
                       cfg.mode == CoreMode::Runahead,
@@ -45,7 +45,6 @@ EpochEngine::EpochEngine(const MlpConfig &config,
     // practice, so this is a hard input limit rather than a mode.
     MLPSIM_ASSERT(wl.size() < (uint64_t(1) << 30),
                   "trace too large for packed sequence links");
-    insts = wl.size() != 0 ? &wl.buffer->at(0) : nullptr;
 
     // The ring only needs to cover the architectural ROB (plus
     // runahead's overshoot, which growRing() picks up on demand); cap
@@ -185,7 +184,17 @@ EpochEngine::popCandidate()
 void
 EpochEngine::makeEntry(uint64_t idx)
 {
-    const Instruction &inst = insts[idx];
+    // Field reads straight from the chunk columns: dispatch never
+    // needs pc or payload, and skipping get()'s full reassembly keeps
+    // two dead u64 streams out of a loop that already contends for
+    // cache with the entry pool.
+    const trace::TraceChunk &ck = dispatchCur.at(idx);
+    const uint32_t ci = uint32_t(idx - ck.base);
+    const uint8_t dstReg = ck.dst[ci];
+    const uint8_t src0 = ck.src0[ci];
+    const uint8_t src1 = ck.src1[ci];
+    const uint8_t src2 = ck.src2[ci];
+    const uint64_t effAddr = ck.effAddr[ci];
     const Seq seq = Seq(idx + 1);
     RobEntry &entry = entryRef(seq);
     entry = RobEntry{};
@@ -204,9 +213,9 @@ EpochEngine::makeEntry(uint64_t idx)
         /* Serializing */ kSerializing,
         0, 0,
     };
-    const InstClass cls = inst.cls();
+    const InstClass cls = ck.cls(ci);
     const bool atomic_mem =
-        cls == InstClass::Serializing && inst.effAddr != 0;
+        cls == InstClass::Serializing && effAddr != 0;
     const bool is_prefetch = cls == InstClass::Prefetch;
     uint16_t flags = classFlags[size_t(cls) & 7];
     if (atomic_mem)
@@ -220,7 +229,7 @@ EpochEngine::makeEntry(uint64_t idx)
     if (cfg.valuePrediction && wl.values && wl.values->isCorrect(idx))
         flags |= kVpCorrect;
     entry.flags = flags;
-    entry.dstReg = inst.hasDst() ? inst.dst : noReg;
+    entry.dstReg = dstReg;
 
     // Register renaming: capture the current in-flight producer of each
     // source. For stores, src[0]/src[2] compute the address and src[1]
@@ -237,20 +246,21 @@ EpochEngine::makeEntry(uint64_t idx)
             prods[num_prods++] = prod;
     };
     if (entry.is(kStore)) {
-        capture(inst.src[0]);
-        capture(inst.src[2]);
+        capture(src0);
+        capture(src2);
         entry.numAddrProds = uint8_t(num_prods);
-        capture(inst.src[1]);
+        capture(src1);
     } else {
-        for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
-            capture(inst.src[s]);
+        capture(src0);
+        capture(src1);
+        capture(src2);
         entry.numAddrProds = uint8_t(num_prods);
     }
 
     // Memory dependence: a load (or atomic read) whose address was
     // written by an in-flight store forwards from that store, so the
     // store's execution is an additional producer.
-    const uint64_t mem_key = inst.effAddr >> 3;
+    const uint64_t mem_key = effAddr >> 3;
     if (entry.is(kLoadLike) && !is_prefetch) {
         const Seq forward = storeProducer.find(mem_key);
         if (forward != 0 && num_prods < maxProds)
@@ -261,8 +271,8 @@ EpochEngine::makeEntry(uint64_t idx)
         entry.storeKey = mem_key + 1;
     }
 
-    if (inst.hasDst())
-        regProducer[inst.dst] = seq;
+    if (dstReg != noReg)
+        regProducer[dstReg] = seq;
 
     // Producer registration: a producer whose value is already
     // available contributes nothing; every other producer gets this
@@ -511,6 +521,10 @@ EpochEngine::dispatch()
         ++nextDispatchIdx;
         any = true;
     }
+    // Everything below the dispatch point is dead to this engine: the
+    // stream-backed window may drop those chunks.
+    if (any)
+        window.releaseBefore(nextDispatchIdx);
     return any;
 }
 
@@ -552,8 +566,9 @@ EpochEngine::fetch()
         ++nextFetchIdx;
         any = true;
 
-        const Instruction &inst = insts[idx];
-        if (inst.isBranch() && wl.branches->isMispredict(idx)) {
+        const trace::TraceChunk &ck = fetchCur.at(idx);
+        const uint32_t ci = uint32_t(idx - ck.base);
+        if (ck.isBranch(ci) && wl.branches->isMispredict(idx)) {
             // Tentatively pause fetch at a mispredicted branch; if it
             // executes (resolves) within this epoch, fetch resumes at
             // no modelled cost. If it cannot, it is unresolvable and
@@ -562,7 +577,7 @@ EpochEngine::fetch()
             fetchBlockSeq = idx + 1;
             break;
         }
-        if (inst.isSerializing() && serializingBlocks) {
+        if (ck.isSerializing(ci) && serializingBlocks) {
             fetchBlock = FetchBlock::Serialize;
             fetchBlockSeq = idx + 1;
             break;

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/chunk_window.hh"
 #include "core/mlp_config.hh"
 #include "core/mlp_result.hh"
 #include "core/workload_context.hh"
@@ -157,9 +158,11 @@ class EpochEngine
     // --- configuration and inputs ---
     const MlpConfig cfg;
     const WorkloadContext &wl;
-    const trace::Instruction *insts = nullptr; //!< trace base (hot path)
     const bool branchesInOrder;
     const bool serializingBlocks;
+    ChunkWindow window;       //!< trace chunks (buffer- or stream-backed)
+    InstCursor dispatchCur;   //!< makeEntry's trailing cursor
+    InstCursor fetchCur;      //!< fetch's leading cursor
 
     // --- machine state ---
     std::vector<RobEntry> ring;        //!< power-of-two ring, seq & mask

@@ -74,7 +74,7 @@ tryRunMlp(const MlpConfig &config, const WorkloadContext &workload)
 {
     MLPSIM_RETURN_IF_ERROR(
         config.validate().withContext("machine '", config.label(), "'"));
-    if (!workload.buffer || !workload.misses || !workload.branches) {
+    if (!workload.hasTrace() || !workload.misses || !workload.branches) {
         return Status::failedPrecondition(
             "workload context is incomplete (missing trace or "
             "annotations)");

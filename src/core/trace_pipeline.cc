@@ -1,0 +1,86 @@
+#include "trace_pipeline.hh"
+
+#include <optional>
+
+#include "metrics/registry.hh"
+#include "util/cancellation.hh"
+
+namespace mlpsim::core {
+
+Expected<StreamingTrace>
+StreamingTrace::make(const trace::ChunkSource &source,
+                     const AnnotationOptions &options)
+{
+    MLPSIM_RETURN_IF_ERROR(options.validate().withContext(
+        "annotating stream '", source.name(), "'"));
+    return StreamingTrace(source, options);
+}
+
+StreamingTrace::StreamingTrace(const trace::ChunkSource &source,
+                               const AnnotationOptions &options)
+    : src(&source), opts(options)
+{
+    opts.validate().orFatal();
+
+    memory::ProfileConfig profile_cfg;
+    profile_cfg.hierarchy = opts.hierarchy;
+    profile_cfg.warmupInsts = opts.warmupInsts;
+    memory::AccessProfiler profiler(profile_cfg);
+    branch::BranchAnnotator branch_pass(opts.branch, opts.warmupInsts);
+    std::optional<predictor::ValueAnnotator> value_pass;
+    if (opts.buildValues) {
+        // Reads the profiler's data-miss plane at the chunk just fed;
+        // that plane is final for already-profiled chunks (only the
+        // useful-prefetch plane flips retroactively).
+        value_pass.emplace(profiler.partial(), opts.value,
+                           opts.warmupInsts);
+    }
+
+    uint64_t streamed = 0;
+    {
+        metrics::ScopedTimer t("core/annotate/stream_s");
+        auto stream = source.open();
+        while (trace::ChunkPtr c = stream->next()) {
+            // Sweep deadlines stay enforceable during the fused
+            // generate-and-annotate pass (the job thread is here, not
+            // in an engine loop).
+            pollCancellation();
+            profiler.add(*c);
+            branch_pass.add(*c);
+            if (value_pass)
+                value_pass->add(*c);
+            streamed += c->count;
+        }
+    }
+
+    // finish() order matters only for the value pass, which borrows
+    // the profiler's in-progress planes: close it out first.
+    if (value_pass) {
+        valAnn = value_pass->finish();
+        hasValues = true;
+    }
+    missAnn = profiler.finish();
+    brAnn = branch_pass.finish();
+    numInsts = streamed;
+
+    // Same counters the materialised AnnotatedTrace records, so the
+    // two pipelines produce identical metrics snapshots.
+    if (metrics::enabled()) {
+        metrics::cur().add(metrics::scopedPath("core/annotate/traces"), 1);
+        metrics::cur().add(metrics::scopedPath("core/annotate/insts"),
+                           streamed);
+    }
+}
+
+WorkloadContext
+StreamingTrace::context() const
+{
+    WorkloadContext ctx;
+    ctx.stream = src;
+    ctx.misses = &missAnn;
+    ctx.branches = &brAnn;
+    ctx.values = hasValues ? &valAnn : nullptr;
+    return ctx;
+}
+
+} // namespace mlpsim::core

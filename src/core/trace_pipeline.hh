@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pass 1 of the streaming trace pipeline: fused generate-and-annotate.
+ *
+ * The materialised flow is "generate the whole trace, then run each
+ * annotator over it, then run engines". StreamingTrace collapses the
+ * first two: it opens one chunk stream over a replayable ChunkSource
+ * and feeds every chunk, in order, to the chunk-incremental
+ * annotators (memory profiler, branch predictor, value predictor),
+ * whose internal state carries across chunk boundaries. Only the
+ * whole-trace annotation planes (~1 bit per instruction per plane)
+ * are retained — the instructions themselves are dropped as soon as
+ * the annotators have seen them, which is where the pipeline's ≥5×
+ * peak-RSS win over materialisation comes from.
+ *
+ * The annotation planes must be whole-trace, completed before any
+ * engine runs: a demand touch credits a pending software prefetch
+ * *retroactively* at an arbitrarily older index (access_profiler.hh),
+ * so per-chunk annotations could never be published incrementally
+ * without either deadlocking on still-pending prefetches or racing
+ * consumers past indices that later flip.
+ *
+ * Pass 2: context() hands engines the annotation planes plus the
+ * ChunkSource itself; each engine run opens a fresh stream and
+ * regenerates the identical instruction sequence (same seed, same
+ * chunks — the replay-determinism contract), consuming it through a
+ * bounded ChunkWindow. Both passes walk the same TraceChunk shape the
+ * materialised path stores, so the two modes are bit-identical by
+ * construction.
+ */
+#pragma once
+
+#include "core/mlpsim.hh"
+#include "trace/trace_chunk.hh"
+
+namespace mlpsim::core {
+
+/** A streamed trace's annotations plus its replayable source. */
+class StreamingTrace
+{
+  public:
+    /**
+     * fatal()-on-error wrapper around make(); terminates if
+     * @p options fail validation.
+     */
+    StreamingTrace(const trace::ChunkSource &source,
+                   const AnnotationOptions &options);
+
+    /**
+     * Validate @p options, then stream @p source once through the
+     * annotators. The source must outlive the returned object.
+     */
+    static Expected<StreamingTrace>
+    make(const trace::ChunkSource &source,
+         const AnnotationOptions &options);
+
+    /** Borrowing view passed to the simulators (stream-backed). */
+    WorkloadContext context() const;
+
+    const trace::ChunkSource &source() const { return *src; }
+    /** Instructions actually streamed through the annotate pass. */
+    uint64_t instructions() const { return numInsts; }
+    const memory::MissAnnotations &misses() const { return missAnn; }
+    const branch::BranchAnnotations &branches() const { return brAnn; }
+    const predictor::ValueAnnotations &values() const { return valAnn; }
+    const AnnotationOptions &options() const { return opts; }
+
+  private:
+    const trace::ChunkSource *src;
+    AnnotationOptions opts;
+    memory::MissAnnotations missAnn;
+    branch::BranchAnnotations brAnn;
+    predictor::ValueAnnotations valAnn;
+    uint64_t numInsts = 0;
+    bool hasValues = false;
+};
+
+} // namespace mlpsim::core

@@ -1,9 +1,14 @@
 /**
  * @file
- * Bundle of a materialised trace plus its program-order annotations
- * (off-chip accesses, branch mispredictions, value-prediction
- * outcomes). Built once per workload/memory configuration and shared
- * by every simulator run over it.
+ * Bundle of a trace plus its program-order annotations (off-chip
+ * accesses, branch mispredictions, value-prediction outcomes). Built
+ * once per workload/memory configuration and shared by every
+ * simulator run over it.
+ *
+ * The trace itself comes in one of two forms: a materialised
+ * TraceBuffer, or a replayable ChunkSource the simulators re-stream
+ * on every run (the streaming pipeline; the annotation planes are
+ * whole-trace either way). Exactly one of `buffer` / `stream` is set.
  */
 #pragma once
 
@@ -11,6 +16,7 @@
 #include "memory/access_profiler.hh"
 #include "predictor/value_predictor.hh"
 #include "trace/trace_buffer.hh"
+#include "trace/trace_chunk.hh"
 
 namespace mlpsim::core {
 
@@ -18,12 +24,23 @@ namespace mlpsim::core {
 struct WorkloadContext
 {
     const trace::TraceBuffer *buffer = nullptr;
+    /** Streaming alternative to `buffer`: each simulator run opens a
+     *  fresh chunk stream and regenerates the identical trace. */
+    const trace::ChunkSource *stream = nullptr;
     const memory::MissAnnotations *misses = nullptr;
     const branch::BranchAnnotations *branches = nullptr;
     /** May be null when value prediction is not simulated. */
     const predictor::ValueAnnotations *values = nullptr;
 
-    size_t size() const { return buffer ? buffer->size() : 0; }
+    bool hasTrace() const { return buffer != nullptr || stream != nullptr; }
+
+    size_t
+    size() const
+    {
+        if (buffer)
+            return buffer->size();
+        return stream ? size_t(stream->size()) : 0;
+    }
 };
 
 } // namespace mlpsim::core

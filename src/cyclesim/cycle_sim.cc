@@ -12,7 +12,6 @@ namespace mlpsim::cyclesim {
 
 using core::IssueConfig;
 using trace::InstClass;
-using trace::Instruction;
 using trace::noReg;
 
 Status
@@ -63,9 +62,10 @@ CycleSimConfig::metricLabel() const
 
 CycleSim::CycleSim(const CycleSimConfig &config,
                    const core::WorkloadContext &workload)
-    : cfg(config), wl(workload)
+    : cfg(config), wl(workload), window(wl), dispatchCur(window),
+      fetchCur(window)
 {
-    MLPSIM_ASSERT(wl.buffer && wl.misses && wl.branches,
+    MLPSIM_ASSERT(wl.hasTrace() && wl.misses && wl.branches,
                   "workload context incomplete");
     const Status valid = cfg.validate();
     MLPSIM_ASSERT(valid.ok(), valid.message());
@@ -73,7 +73,6 @@ CycleSim::CycleSim(const CycleSimConfig &config,
     // section 14); same hard input limit as the epoch engine.
     MLPSIM_ASSERT(wl.size() < (uint64_t(1) << 30),
                   "trace too large for packed sequence links");
-    insts = wl.size() != 0 ? &wl.buffer->at(0) : nullptr;
 
     // The ring only needs to cover the architectural ROB; cap the
     // up-front allocation so huge configured windows start small and
@@ -165,7 +164,15 @@ CycleSim::dataLatency(const RobEntry &entry) const
 void
 CycleSim::makeEntry(uint64_t idx)
 {
-    const Instruction &inst = insts[idx];
+    // Field reads straight from the chunk columns: dispatch never
+    // needs pc or payload, so skip get()'s full record reassembly.
+    const trace::TraceChunk &ck = dispatchCur.at(idx);
+    const uint32_t ci = uint32_t(idx - ck.base);
+    const uint8_t dstReg = ck.dst[ci];
+    const uint8_t src0 = ck.src0[ci];
+    const uint8_t src1 = ck.src1[ci];
+    const uint8_t src2 = ck.src2[ci];
+    const uint64_t effAddr = ck.effAddr[ci];
     const Seq seq = Seq(idx + 1);
     RobEntry &entry = entryRef(seq);
     entry = RobEntry{};
@@ -184,9 +191,9 @@ CycleSim::makeEntry(uint64_t idx)
         /* Serializing */ kSerializing,
         0, 0,
     };
-    const InstClass cls = inst.cls();
+    const InstClass cls = ck.cls(ci);
     const bool atomic_mem =
-        cls == InstClass::Serializing && inst.effAddr != 0;
+        cls == InstClass::Serializing && effAddr != 0;
     const bool is_prefetch = cls == InstClass::Prefetch;
     uint16_t flags = classFlags[size_t(cls) & 7];
     if (atomic_mem)
@@ -198,7 +205,7 @@ CycleSim::makeEntry(uint64_t idx)
     if (wl.misses->dataL2Hit(idx))
         flags |= kDL2;
     entry.flags = flags;
-    entry.dstReg = inst.hasDst() ? inst.dst : noReg;
+    entry.dstReg = dstReg;
 
     // Register renaming: capture the current in-flight producer of each
     // source, deduplicated (a producer feeding two sources still
@@ -227,20 +234,21 @@ CycleSim::makeEntry(uint64_t idx)
         prods[num_prods++] = prod;
     };
     if (entry.is(kStore)) {
-        capture(inst.src[0]);
-        capture(inst.src[2]);
+        capture(src0);
+        capture(src2);
         entry.numAddrProds = uint8_t(num_prods);
-        capture(inst.src[1]);
+        capture(src1);
     } else {
-        for (unsigned s = 0; s < trace::maxSrcRegs; ++s)
-            capture(inst.src[s]);
+        capture(src0);
+        capture(src1);
+        capture(src2);
         entry.numAddrProds = uint8_t(num_prods);
     }
 
     // Memory dependence: a load (or atomic read) whose address was
     // written by an in-flight store forwards from that store, so the
     // store's execution is an additional producer.
-    const uint64_t mem_key = inst.effAddr >> 3;
+    const uint64_t mem_key = effAddr >> 3;
     if (wants_forward) {
         const Seq forward = storeProducer.find(mem_key);
         if (forward != 0) {
@@ -260,8 +268,8 @@ CycleSim::makeEntry(uint64_t idx)
         entry.storeKey = mem_key + 1;
     }
 
-    if (inst.hasDst())
-        regProducer[inst.dst] = seq;
+    if (dstReg != noReg)
+        regProducer[dstReg] = seq;
 
     // Producer registration: a producer whose value is already
     // available contributes nothing; every other producer gets this
@@ -492,8 +500,8 @@ CycleSim::dispatchStage()
             iwOccupancy >= cfg.issueWindowSize) {
             break;
         }
-        const Instruction &inst = insts[nextDispatchIdx];
-        if (inst.isSerializing()) {
+        const trace::TraceChunk &ck = dispatchCur.at(nextDispatchIdx);
+        if (ck.isSerializing(uint32_t(nextDispatchIdx - ck.base))) {
             // Straightforward drain: dispatch only into an empty ROB
             // and block younger dispatch until it commits.
             if (robOccupancy() != 0)
@@ -516,6 +524,10 @@ CycleSim::dispatchStage()
         ++nextDispatchIdx;
         any = true;
     }
+    // Everything below the dispatch point is dead to this pipeline:
+    // the stream-backed window may drop those chunks.
+    if (any)
+        window.releaseBefore(nextDispatchIdx);
     return any;
 }
 
@@ -548,8 +560,9 @@ CycleSim::fetchStage()
         ++nextFetchIdx;
         any = true;
 
-        const Instruction &inst = insts[idx];
-        if (inst.isBranch() && wl.branches->isMispredict(idx)) {
+        const trace::TraceChunk &ck = fetchCur.at(idx);
+        if (ck.isBranch(uint32_t(idx - ck.base)) &&
+            wl.branches->isMispredict(idx)) {
             // Trace-driven wrong path: fetch stalls until the branch
             // resolves (wrong-path work would be useless anyway and
             // must not contribute to MLP).

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/chunk_window.hh"
 #include "core/mlp_config.hh"
 #include "core/workload_context.hh"
 #include "util/seq_containers.hh"
@@ -214,11 +215,13 @@ class CycleSim
 
     // --- configuration and inputs ---
     const CycleSimConfig cfg;
-    // Held by value (it is four non-owning pointers): callers routinely
+    // Held by value (it is five non-owning pointers): callers routinely
     // pass a context materialised in the constructor call itself, and a
     // reference member would dangle by the time run() executes.
     const core::WorkloadContext wl;
-    const trace::Instruction *insts = nullptr; //!< trace base (hot path)
+    core::ChunkWindow window;      //!< buffer- or stream-backed chunks
+    core::InstCursor dispatchCur;  //!< makeEntry's trailing cursor
+    core::InstCursor fetchCur;     //!< fetch's leading cursor
 
     // --- machine state ---
     uint64_t now = 0;

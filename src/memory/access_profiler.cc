@@ -1,96 +1,91 @@
 #include "access_profiler.hh"
 
-#include <unordered_map>
-
 #include "metrics/registry.hh"
 
 namespace mlpsim::memory {
 
-MissAnnotations
-AccessProfiler::profile(const trace::TraceBuffer &buffer) const
+void
+AccessProfiler::recordUseful(size_t i)
+{
+    if (i < cfg.warmupInsts)
+        return;
+    if (haveUseful)
+        ann.interMissDistance.add(uint64_t(i - lastUsefulIndex));
+    haveUseful = true;
+    lastUsefulIndex = i;
+}
+
+void
+AccessProfiler::creditDemandTouch(uint64_t addr)
+{
+    auto it = pendingPrefetches.find(mem.lineAddr(addr));
+    if (it == pendingPrefetches.end())
+        return;
+    const size_t prefetch_index = it->second;
+    pendingPrefetches.erase(it);
+    if (ann.usefulPrefetchV.test(prefetch_index))
+        return;
+    ann.usefulPrefetchV.set(prefetch_index);
+    if (prefetch_index >= cfg.warmupInsts) {
+        ++ann.usefulPrefetches;
+        --ann.uselessPrefetches;
+    }
+}
+
+void
+AccessProfiler::add(const trace::TraceChunk &chunk)
 {
     using trace::InstClass;
 
-    MissAnnotations ann;
-    ann.resetVectors(buffer.size());
-    ann.measuredInsts = buffer.size() > cfg.warmupInsts
-                            ? buffer.size() - cfg.warmupInsts
-                            : 0;
-
-    CacheHierarchy mem(cfg.hierarchy);
-
-    // Outstanding off-chip prefetches: L2 line address -> index of the
-    // prefetch instruction. Credited on first later demand touch,
-    // cancelled if the line is evicted from the L2 first.
-    std::unordered_map<uint64_t, size_t> pending_prefetches;
-
-    uint64_t last_fetch_line = ~0ULL;
-    uint64_t last_useful_index = 0;
-    bool have_useful = false;
+    // Grow the annotation planes to cover this chunk. The retroactive
+    // prefetch credit above may still write into earlier regions —
+    // the planes are whole-trace state, never per-chunk.
+    const size_t end = chunk.end();
+    ann.fetchMissV.resize(end);
+    ann.dataMissV.resize(end);
+    ann.usefulPrefetchV.resize(end);
+    ann.dataL2HitV.resize(end);
+    ann.storeMissV.resize(end);
 
     auto on_l2_eviction = [&](const HierarchyAccessResult &r) {
         if (r.l2Evicted)
-            pending_prefetches.erase(r.l2EvictedLine);
+            pendingPrefetches.erase(r.l2EvictedLine);
     };
 
-    auto credit_demand_touch = [&](uint64_t addr, size_t i) {
-        auto it = pending_prefetches.find(mem.lineAddr(addr));
-        if (it == pending_prefetches.end())
-            return;
-        const size_t prefetch_index = it->second;
-        pending_prefetches.erase(it);
-        if (ann.usefulPrefetchV.test(prefetch_index))
-            return;
-        ann.usefulPrefetchV.set(prefetch_index);
-        if (prefetch_index >= cfg.warmupInsts) {
-            ++ann.usefulPrefetches;
-            --ann.uselessPrefetches;
-        }
-        (void)i;
-    };
-
-    auto record_useful = [&](size_t i) {
-        if (i < cfg.warmupInsts)
-            return;
-        if (have_useful) {
-            ann.interMissDistance.add(uint64_t(i - last_useful_index));
-        }
-        have_useful = true;
-        last_useful_index = i;
-    };
-
-    const auto &insts = buffer.instructions();
-    for (size_t i = 0; i < insts.size(); ++i) {
-        const trace::Instruction &inst = insts[i];
+    for (uint32_t ci = 0; ci < chunk.count; ++ci) {
+        const size_t i = chunk.base + ci;
         const bool measured = i >= cfg.warmupInsts;
+        const InstClass cls = chunk.cls(ci);
+        const uint64_t pc = chunk.pc[ci];
+        const uint64_t eff_addr = chunk.effAddr[ci];
 
         // Instruction side: one access per fetched 64B line.
-        const uint64_t fetch_line = mem.lineAddr(inst.pc);
-        if (fetch_line != last_fetch_line) {
-            last_fetch_line = fetch_line;
-            const auto r = mem.instFetch(inst.pc);
+        const uint64_t fetch_line = mem.lineAddr(pc);
+        if (fetch_line != lastFetchLine) {
+            lastFetchLine = fetch_line;
+            const auto r = mem.instFetch(pc);
             on_l2_eviction(r);
-            credit_demand_touch(inst.pc, i);
+            creditDemandTouch(pc);
             if (r.offChip()) {
                 ann.fetchMissV.set(i);
                 if (measured)
                     ++ann.fetchMisses;
-                record_useful(i);
+                recordUseful(i);
             }
         }
 
         // Data side.
-        switch (inst.cls()) {
+        switch (cls) {
           case InstClass::Load:
           {
-            const auto r = mem.dataRead(inst.effAddr);
+            const auto r = mem.dataRead(eff_addr);
             on_l2_eviction(r);
-            credit_demand_touch(inst.effAddr, i);
+            creditDemandTouch(eff_addr);
             if (r.offChip()) {
                 ann.dataMissV.set(i);
                 if (measured)
                     ++ann.loadMisses;
-                record_useful(i);
+                recordUseful(i);
             } else if (r.level == AccessLevel::L2) {
                 ann.dataL2HitV.set(i);
             }
@@ -98,7 +93,7 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
           }
           case InstClass::Store:
           {
-            const auto r = mem.dataWrite(inst.effAddr);
+            const auto r = mem.dataWrite(eff_addr);
             on_l2_eviction(r);
             // Stores neither credit prefetches (the paper credits only
             // loads and instruction fetches) nor count toward the
@@ -113,10 +108,10 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
           }
           case InstClass::Prefetch:
           {
-            const auto r = mem.prefetch(inst.effAddr);
+            const auto r = mem.prefetch(eff_addr);
             on_l2_eviction(r);
             if (r.offChip()) {
-                pending_prefetches[mem.lineAddr(inst.effAddr)] = i;
+                pendingPrefetches[mem.lineAddr(eff_addr)] = i;
                 if (measured)
                     ++ann.uselessPrefetches;
                 // Marked useful (and moved between the useless/useful
@@ -126,24 +121,24 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
                 // access sits in the stream; a tiny overcount for
                 // prefetches that end up useless is acceptable and
                 // covered in tests.
-                record_useful(i);
+                recordUseful(i);
             }
             break;
           }
           case InstClass::Serializing:
           {
-            if (inst.effAddr != 0) {
+            if (eff_addr != 0) {
                 // CASA/LDSTUB-style atomic: reads (and writes) its
                 // target. An off-chip atomic read is a demand load
                 // miss for MLP purposes.
-                const auto r = mem.dataRead(inst.effAddr);
+                const auto r = mem.dataRead(eff_addr);
                 on_l2_eviction(r);
-                credit_demand_touch(inst.effAddr, i);
+                creditDemandTouch(eff_addr);
                 if (r.offChip()) {
                     ann.dataMissV.set(i);
                     if (measured)
                         ++ann.loadMisses;
-                    record_useful(i);
+                    recordUseful(i);
                 }
             }
             break;
@@ -153,6 +148,13 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
             break;
         }
     }
+}
+
+MissAnnotations
+AccessProfiler::finish()
+{
+    const size_t n = ann.fetchMissV.size();
+    ann.measuredInsts = n > cfg.warmupInsts ? n - cfg.warmupInsts : 0;
 
     if (metrics::enabled()) {
         mem.exportMetrics(metrics::scopedPath("memory"));
@@ -170,7 +172,16 @@ AccessProfiler::profile(const trace::TraceBuffer &buffer) const
                 ann.uselessPrefetches);
     }
 
-    return ann;
+    return std::move(ann);
+}
+
+MissAnnotations
+AccessProfiler::profile(const trace::TraceBuffer &buffer) const
+{
+    AccessProfiler pass(cfg);
+    for (size_t ci = 0; ci < buffer.numChunks(); ++ci)
+        pass.add(buffer.chunk(ci));
+    return pass.finish();
 }
 
 double

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "memory/hierarchy.hh"
 #include "trace/trace_buffer.hh"
+#include "trace/trace_chunk.hh"
 #include "util/bitvec.hh"
 #include "util/stats.hh"
 
@@ -163,17 +165,65 @@ struct ProfileConfig
     uint64_t warmupInsts = 0;
 };
 
-/** Runs the single-pass profile described in the file comment. */
+/**
+ * Runs the single-pass profile described in the file comment.
+ *
+ * The profiler is chunk-incremental: the streaming pipeline feeds it
+ * one TraceChunk at a time with add() and takes the completed
+ * annotations with finish(). The cache hierarchy, the pending-
+ * prefetch ledger and the inter-miss tracker all carry across chunk
+ * boundaries, so the result is bit-identical to a whole-trace pass no
+ * matter how the trace is chunked — profile() is literally the same
+ * code walking a materialised buffer's chunks. Note that a demand
+ * touch credits a *pending* prefetch retroactively (usefulPrefetchV
+ * at an arbitrarily older index), which is exactly why annotation
+ * planes are whole-trace state completed before any simulator runs,
+ * rather than per-chunk metadata.
+ */
 class AccessProfiler
 {
   public:
-    explicit AccessProfiler(const ProfileConfig &config) : cfg(config) {}
+    explicit AccessProfiler(const ProfileConfig &config)
+        : cfg(config), mem(config.hierarchy)
+    {
+    }
 
-    /** Profile @p buffer and return its annotations. */
+    /** Feed the next chunk of the trace, in order. */
+    void add(const trace::TraceChunk &chunk);
+
+    /** Complete the pass: totals, metrics export, annotations out.
+     *  The profiler is spent afterwards. */
+    MissAnnotations finish();
+
+    /**
+     * The in-progress annotations. For every chunk already add()ed,
+     * the fetch/data/store-miss and L2-hit planes are final — only
+     * usefulPrefetchV may still flip retroactively — so downstream
+     * chunk-incremental annotators (the value annotator) may read
+     * those planes at the indices of the chunk just fed.
+     */
+    const MissAnnotations &partial() const { return ann; }
+
+    /** One-shot convenience: profile @p buffer and return its
+     *  annotations (a fresh add()/finish() pass over its chunks). */
     MissAnnotations profile(const trace::TraceBuffer &buffer) const;
 
   private:
+    void recordUseful(size_t i);
+    void creditDemandTouch(uint64_t addr);
+
     ProfileConfig cfg;
+    CacheHierarchy mem;
+    MissAnnotations ann;
+
+    /** Outstanding off-chip prefetches: L2 line address -> index of
+     *  the prefetch instruction. Credited on first later demand
+     *  touch, cancelled if the line is evicted from the L2 first. */
+    std::unordered_map<uint64_t, size_t> pendingPrefetches;
+
+    uint64_t lastFetchLine = ~0ULL;
+    uint64_t lastUsefulIndex = 0;
+    bool haveUseful = false;
 };
 
 } // namespace mlpsim::memory

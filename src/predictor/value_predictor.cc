@@ -53,25 +53,21 @@ LastValuePredictor::reset()
         e.valid = false;
 }
 
-ValueAnnotations
-annotateValues(const trace::TraceBuffer &buffer,
-               const memory::MissAnnotations &misses,
-               const ValuePredictorConfig &config, uint64_t warmup_insts)
+void
+ValueAnnotator::add(const trace::TraceChunk &chunk)
 {
-    ValueAnnotations ann;
-    ann.outcome.assign(buffer.size(), ValueOutcome::NotApplicable);
-
-    LastValuePredictor predictor(config);
-    const auto &insts = buffer.instructions();
-    for (size_t i = 0; i < insts.size(); ++i) {
+    // Grown entries read back as NotApplicable (enum value 0).
+    ann.outcome.resize(chunk.end());
+    for (uint32_t ci = 0; ci < chunk.count; ++ci) {
+        const size_t i = chunk.base + ci;
         // "Missing load" here: any instruction whose data read went
         // off-chip (demand loads and CASA-style atomics).
-        if (!misses.dataMiss(i))
+        if (!miss.dataMiss(i))
             continue;
         const ValueOutcome out =
-            predictor.predictAndUpdate(insts[i].pc, insts[i].value());
+            predictor.predictAndUpdate(chunk.pc[ci], chunk.value(ci));
         ann.outcome[i] = out;
-        if (i < warmup_insts)
+        if (i < warmup)
             continue;
         ++ann.missingLoads;
         switch (out) {
@@ -81,7 +77,17 @@ annotateValues(const trace::TraceBuffer &buffer,
           case ValueOutcome::NotApplicable: break;
         }
     }
-    return ann;
+}
+
+ValueAnnotations
+annotateValues(const trace::TraceBuffer &buffer,
+               const memory::MissAnnotations &misses,
+               const ValuePredictorConfig &config, uint64_t warmup_insts)
+{
+    ValueAnnotator pass(misses, config, warmup_insts);
+    for (size_t ci = 0; ci < buffer.numChunks(); ++ci)
+        pass.add(buffer.chunk(ci));
+    return pass.finish();
 }
 
 } // namespace mlpsim::predictor

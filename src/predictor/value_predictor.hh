@@ -97,8 +97,41 @@ struct ValueAnnotations
 };
 
 /**
+ * Chunk-incremental value annotator. Reads the profiler's dataMiss
+ * plane at the indices of the chunk being added — those bits are set
+ * by the profiler's pass over the *same* chunk and never
+ * retroactively (only usefulPrefetchV is), so feeding each chunk to
+ * the profiler first and this annotator second streams correctly.
+ * Predictor table state carries across chunks, so outcomes are
+ * bit-identical to a whole-trace pass for any chunking.
+ */
+class ValueAnnotator
+{
+  public:
+    ValueAnnotator(const memory::MissAnnotations &misses,
+                   const ValuePredictorConfig &config,
+                   uint64_t warmup_insts)
+        : miss(misses), predictor(config), warmup(warmup_insts)
+    {
+    }
+
+    /** Feed the next chunk of the trace, in order. */
+    void add(const trace::TraceChunk &chunk);
+
+    /** The completed annotations; the annotator is spent afterwards. */
+    ValueAnnotations finish() { return std::move(ann); }
+
+  private:
+    const memory::MissAnnotations &miss;
+    LastValuePredictor predictor;
+    uint64_t warmup;
+    ValueAnnotations ann;
+};
+
+/**
  * Run the predictor over every missing load of @p buffer (as
- * identified by @p misses) in program order.
+ * identified by @p misses) in program order (a fresh ValueAnnotator
+ * pass over its chunks).
  * @param warmup_insts Loads before this index train the predictor but
  *        are excluded from the statistics.
  */

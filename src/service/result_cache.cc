@@ -23,6 +23,9 @@ ResultCache::open(const std::string &path)
                             RecordLog::open(path, cacheMeta)
                                 .withContext("opening result cache"));
     cache.didSalvage = log.salvaged();
+    // First-seen key order, so a compacted rewrite is deterministic
+    // for a given log (entries itself is unordered).
+    std::vector<std::string> key_order;
     for (const std::string &payload : log.recovered()) {
         auto parsed = metrics::JsonValue::parse(payload);
         if (!parsed.ok()) {
@@ -41,7 +44,34 @@ ResultCache::open(const std::string &path)
                  st.message());
             continue;
         }
+        if (cache.entries.count(cell_key) == 0)
+            key_order.push_back(cell_key);
         cache.entries[cell_key] = result;
+    }
+
+    // Startup compaction: a torn tail, a skipped (unparseable) entry
+    // or duplicate keys mean the file carries dead frames — every
+    // future replay would re-pay for them. Rewrite it to exactly one
+    // frame per distinct key (atomic, so a crash mid-compaction keeps
+    // the old log). Failure is only a lost optimisation: the replayed
+    // entries above are already authoritative.
+    if (log.salvaged() || log.recovered().size() != cache.entries.size()) {
+        std::vector<std::string> records;
+        records.reserve(key_order.size());
+        for (const std::string &key : key_order) {
+            records.push_back(
+                core::resultRecordToJson(key, cache.entries[key]).dump(0));
+        }
+        const size_t before = log.recovered().size();
+        const Status st = log.rewrite(std::move(records));
+        if (st.ok()) {
+            cache.didCompact = true;
+            inform("result cache '", path, "': compacted ", before,
+                   " logged records to ", cache.entries.size());
+        } else {
+            warn("result cache '", path,
+                 "': compaction failed: ", st.message());
+        }
     }
     cache.log = std::make_unique<RecordLog>(std::move(log));
     return cache;

@@ -68,6 +68,10 @@ class ResultCache
     /** True if open() dropped a corrupt tail from the backing log. */
     bool salvaged() const { return didSalvage; }
 
+    /** True if open() rewrote the backing log to one frame per key
+     *  (it held torn, duplicate or unparseable records). */
+    bool compacted() const { return didCompact; }
+
     /** True when a backing log is attached. */
     bool persistent() const { return log != nullptr; }
 
@@ -79,6 +83,7 @@ class ResultCache
     std::unique_ptr<RecordLog> log; //!< null = memory-only
     std::unordered_map<std::string, core::MlpResult> entries;
     bool didSalvage = false;
+    bool didCompact = false;
 };
 
 } // namespace mlpsim::service

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bounded single-producer / multi-consumer ring of trace chunks.
+ *
+ * The hand-off point of the streaming pipeline: a generator thread
+ * push()es immutable chunks, consumer threads pop() them through
+ * per-consumer cursors. The ring is bounded by the *slowest live
+ * consumer* — the producer blocks once it is `capacity` chunks ahead
+ * of it — which is the backpressure that keeps a fused
+ * generate-while-simulate run at a constant, small footprint no
+ * matter how long the trace is.
+ *
+ * Lifecycle: register every consumer with addConsumer() before
+ * producing, push() until done, then close(). A consumer that stops
+ * early calls detach(); when no live consumers remain, push() returns
+ * false and the producer abandons the stream (this is how a cancelled
+ * or destroyed simulation tears the producer thread down without a
+ * cancellation token crossing threads).
+ *
+ * Chunks are shared_ptr<const TraceChunk>: publication happens-before
+ * consumption via the ring mutex, and the immutable payload may then
+ * be read lock-free by any number of consumers.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace_chunk.hh"
+
+namespace mlpsim::trace {
+
+class ChunkRing
+{
+  public:
+    explicit ChunkRing(size_t capacity_chunks)
+        : capacity(capacity_chunks ? capacity_chunks : 1)
+    {
+    }
+
+    /** Register a consumer; returns its id. Call before producing. */
+    int
+    addConsumer()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        // New consumers start at the oldest chunk still buffered.
+        cursors.push_back(head - ring.size());
+        live.push_back(true);
+        return int(cursors.size()) - 1;
+    }
+
+    /**
+     * Publish one chunk. Blocks while the slowest live consumer is
+     * `capacity` chunks behind. Returns false once no live consumers
+     * remain (the producer should stop).
+     */
+    bool
+    push(ChunkPtr chunk)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            dropConsumed();
+            if (!anyLive())
+                return false;
+            if (ring.size() < capacity)
+                break;
+            producerCv.wait(lock);
+        }
+        ring.push_back(std::move(chunk));
+        ++head;
+        consumerCv.notify_all();
+        return true;
+    }
+
+    /** Producer is done; consumers drain and then see nullptr. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        closed = true;
+        consumerCv.notify_all();
+    }
+
+    /**
+     * Next chunk for @p consumer; blocks until one is available.
+     * Returns nullptr when the ring is closed and drained.
+     */
+    ChunkPtr
+    pop(int consumer)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            if (cursors[size_t(consumer)] < head) {
+                const size_t slot =
+                    size_t(cursors[size_t(consumer)] - (head - ring.size()));
+                ChunkPtr chunk = ring[slot];
+                ++cursors[size_t(consumer)];
+                // The front may now be fully consumed: wake the
+                // producer so backpressure releases promptly.
+                producerCv.notify_one();
+                return chunk;
+            }
+            if (closed)
+                return nullptr;
+            consumerCv.wait(lock);
+        }
+    }
+
+    /** Consumer gives up its cursor (stops constraining the producer). */
+    void
+    detach(int consumer)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        live[size_t(consumer)] = false;
+        producerCv.notify_one();
+    }
+
+  private:
+    /** Drop front chunks every live consumer has passed. Lock held. */
+    void
+    dropConsumed()
+    {
+        uint64_t min_cursor = head;
+        for (size_t c = 0; c < cursors.size(); ++c)
+            if (live[c] && cursors[c] < min_cursor)
+                min_cursor = cursors[c];
+        while (!ring.empty() && head - ring.size() < min_cursor)
+            ring.pop_front();
+    }
+
+    bool
+    anyLive() const
+    {
+        for (const bool l : live)
+            if (l)
+                return true;
+        return false;
+    }
+
+    const size_t capacity;
+    std::mutex mutex;
+    std::condition_variable producerCv;
+    std::condition_variable consumerCv;
+    std::deque<ChunkPtr> ring; //!< chunks [head - ring.size(), head)
+    uint64_t head = 0;         //!< sequence number of the next push
+    std::vector<uint64_t> cursors;
+    std::vector<bool> live;
+    bool closed = false;
+};
+
+} // namespace mlpsim::trace

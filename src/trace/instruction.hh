@@ -115,12 +115,26 @@ struct Instruction
 
     bool hasDst() const { return dst != noReg; }
 
-  private:
-    // Bits 0-2: InstClass; bits 3-5: BranchKind; bit 6: taken.
+    // Bits 0-2: InstClass; bits 3-5: BranchKind; bit 6: taken. Public
+    // so the structure-of-arrays TraceChunk can decode its meta column
+    // with the same constants (see trace/trace_chunk.hh).
     static constexpr uint8_t clsMask = 0x7;
     static constexpr unsigned brKindShift = 3;
     static constexpr uint8_t takenBit = 1 << 6;
 
+    /**
+     * Raw packed-byte accessors for the SoA trace chunk and the v3
+     * on-disk format, which store the meta byte and the shared
+     * payload word as columns rather than re-deriving them field by
+     * field. Invariant-preserving: a round trip through
+     * rawMeta()/rawPayload() reproduces the instruction exactly.
+     */
+    uint8_t rawMeta() const { return meta; }
+    void setRawMeta(uint8_t m) { meta = m; }
+    uint64_t rawPayload() const { return payload; }
+    void setRawPayload(uint64_t p) { payload = p; }
+
+  private:
     uint8_t meta = 0;       //!< InstClass::Alu, BranchKind::None
     uint64_t payload = 0;   //!< branch target or loaded/stored value
 };

@@ -1,0 +1,96 @@
+#include "stream_source.hh"
+
+#include <thread>
+#include <utility>
+
+#include "trace/chunk_ring.hh"
+#include "util/logging.hh"
+
+namespace mlpsim::trace {
+
+namespace {
+
+/**
+ * One live stream: a ring plus the producer thread feeding it.
+ * next() blocks on the ring; the destructor detaches the consumer
+ * (unblocking a producer stalled on backpressure) and joins.
+ */
+class GeneratedStream : public ChunkStream
+{
+  public:
+    GeneratedStream(std::unique_ptr<TraceSource> source, uint64_t limit,
+                    uint32_t chunk_cap, size_t ring_chunks)
+        : ring(ring_chunks)
+    {
+        consumer = ring.addConsumer();
+        producer = std::thread(
+            [this, limit, chunk_cap, src = std::move(source)]() mutable {
+                produce(*src, limit, chunk_cap);
+            });
+    }
+
+    ~GeneratedStream() override
+    {
+        ring.detach(consumer);
+        if (producer.joinable())
+            producer.join();
+    }
+
+    ChunkPtr next() override { return ring.pop(consumer); }
+
+  private:
+    void
+    produce(TraceSource &src, uint64_t limit, uint32_t chunk_cap)
+    {
+        uint64_t produced = 0;
+        Instruction inst;
+        bool more = true;
+        while (produced < limit && more) {
+            auto chunk = std::make_shared<TraceChunk>(produced,
+                                                      chunk_cap);
+            ChunkFiller fill(*chunk);
+            while (!fill.full() && produced < limit &&
+                   (more = src.next(inst))) {
+                fill.append(inst);
+                ++produced;
+            }
+            fill.publish();
+            if (chunk->empty())
+                break;
+            if (!ring.push(std::move(chunk))) {
+                // Every consumer detached: the simulation was
+                // destroyed or cancelled; abandon the stream.
+                return;
+            }
+        }
+        ring.close();
+    }
+
+    ChunkRing ring;
+    int consumer = -1;
+    std::thread producer;
+};
+
+} // namespace
+
+GeneratedChunkSource::GeneratedChunkSource(std::string stream_name,
+                                           uint64_t limit_insts,
+                                           SourceFactory source_factory,
+                                           uint32_t chunk_capacity,
+                                           size_t ring_chunks)
+    : label(std::move(stream_name)), limit(limit_insts),
+      factory(std::move(source_factory)), chunkCap(chunk_capacity),
+      ringChunks(ring_chunks)
+{
+    MLPSIM_ASSERT(chunkCap > 0, "chunk capacity must be positive");
+    MLPSIM_ASSERT(factory != nullptr, "stream source needs a factory");
+}
+
+std::unique_ptr<ChunkStream>
+GeneratedChunkSource::open() const
+{
+    return std::make_unique<GeneratedStream>(factory(), limit, chunkCap,
+                                             ringChunks);
+}
+
+} // namespace mlpsim::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Replayable streamed generation: a ChunkSource whose open() spawns a
+ * producer thread that runs a fresh generator and pushes fixed-size
+ * SoA chunks through a bounded ChunkRing.
+ *
+ * This is how the streaming pipeline fuses generation into
+ * consumption without ever materialising the trace: each pass that
+ * needs the instruction stream (the annotation pass, then every
+ * engine run) opens its own stream, and the factory re-creates the
+ * generator from scratch — same seed, same chunk sequence, which is
+ * the replay-determinism contract consumers rely on. The ring's
+ * backpressure bounds the footprint to a handful of chunks no matter
+ * how long the trace is.
+ *
+ * Teardown needs no cross-thread cancellation token: destroying the
+ * stream detaches its ring consumer, the producer's next push()
+ * returns false, and the thread exits and is joined.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "trace/trace_chunk.hh"
+#include "trace/trace_source.hh"
+
+namespace mlpsim::trace {
+
+/** Chunk-source over a replayable generator factory. */
+class GeneratedChunkSource : public ChunkSource
+{
+  public:
+    /** Builds a fresh, rewound generator; called once per open(). */
+    using SourceFactory = std::function<std::unique_ptr<TraceSource>()>;
+
+    /**
+     * @param stream_name Trace name (for logs and metrics labels).
+     * @param limit Instructions per stream; every open() yields
+     *        exactly this many (the factory's source must not run dry
+     *        earlier — generators here are infinite).
+     * @param ring_chunks Backpressure bound, in chunks.
+     */
+    GeneratedChunkSource(std::string stream_name, uint64_t limit,
+                         SourceFactory source_factory,
+                         uint32_t chunk_capacity = defaultChunkCapacity,
+                         size_t ring_chunks = 4);
+
+    uint64_t size() const override { return limit; }
+    std::string name() const override { return label; }
+    std::unique_ptr<ChunkStream> open() const override;
+
+    uint32_t chunkCapacity() const { return chunkCap; }
+
+  private:
+    std::string label;
+    uint64_t limit;
+    SourceFactory factory;
+    uint32_t chunkCap;
+    size_t ringChunks;
+};
+
+} // namespace mlpsim::trace

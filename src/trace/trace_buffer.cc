@@ -9,20 +9,29 @@ namespace mlpsim::trace {
 void
 TraceBuffer::fill(TraceSource &source, uint64_t limit)
 {
-    // Reserve up front so multi-million-entry fills do not repeatedly
-    // reallocate (and copy) the vector, but cap the reservation: limit
-    // is caller-supplied and may be "all of it" (UINT64_MAX), while
-    // the source may produce far less.
-    constexpr uint64_t maxReserve = uint64_t(1) << 22;
-    insts.reserve(insts.size() + size_t(std::min(limit, maxReserve)));
     Instruction inst;
-    for (uint64_t i = 0; i < limit && source.next(inst); ++i) {
+    uint64_t remaining = limit;
+    bool more = true;
+    while (remaining > 0 && more) {
         // Trace generation is the other long phase of a sweep job, so
-        // it polls for cancellation too (every 64K instructions).
-        if ((i & 0xFFFF) == 0)
-            pollCancellation();
-        insts.push_back(inst);
+        // it polls for cancellation too (once per chunk).
+        pollCancellation();
+        if (chunkList.empty() || chunkList.back()->full())
+            chunkList.push_back(
+                std::make_shared<TraceChunk>(n, chunkCapacity));
+        ChunkFiller fill(*chunkList.back());
+        while (!fill.full() && remaining > 0 &&
+               (more = source.next(inst))) {
+            fill.append(inst);
+            --remaining;
+        }
+        n += fill.appended();
+        fill.publish();
     }
+    // An exhausted source can leave a chunk that was opened for it
+    // but never received an instruction.
+    if (!chunkList.empty() && chunkList.back()->empty())
+        chunkList.pop_back();
 }
 
 } // namespace mlpsim::trace

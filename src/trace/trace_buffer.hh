@@ -1,26 +1,36 @@
 /**
  * @file
- * In-memory trace container.
+ * In-memory trace container, chunk-native.
  *
- * TraceBuffer owns a vector of instructions and hands out replayable
- * TraceSource views. Benches materialise each workload once and then
- * replay it across every processor configuration, which keeps cache
- * warm-up and branch-predictor state exactly identical between
- * configurations (the paper replays the same 150M-instruction trace
- * the same way).
+ * TraceBuffer owns a sequence of structure-of-arrays TraceChunks
+ * (trace_chunk.hh) and hands out replayable views. Benches that
+ * materialise do so once per workload and then replay the buffer
+ * across every processor configuration, which keeps cache warm-up and
+ * branch-predictor state exactly identical between configurations
+ * (the paper replays the same 150M-instruction trace the same way).
+ *
+ * Storing chunks rather than a flat vector<Instruction> means the
+ * materialised and streamed paths feed simulators the *same* chunk
+ * shape: every consumer walks SoA columns whether the trace lives in
+ * memory or is being generated on the fly, so the two modes cannot
+ * diverge. All chunks except the last are full, so random access is
+ * one divide away: at(i) = chunk(i / cap).get(i % cap).
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "trace/trace_chunk.hh"
 #include "trace/trace_source.hh"
 
 namespace mlpsim::trace {
 
-/** Owning, random-access instruction trace. */
+/** Owning, random-access instruction trace (chunked SoA storage). */
 class TraceBuffer
 {
   public:
@@ -30,19 +40,55 @@ class TraceBuffer
     {
     }
 
-    void append(const Instruction &inst) { insts.push_back(inst); }
+    void
+    append(const Instruction &inst)
+    {
+        if (chunkList.empty() || chunkList.back()->full())
+            chunkList.push_back(
+                std::make_shared<TraceChunk>(n, chunkCapacity));
+        chunkList.back()->append(inst);
+        ++n;
+    }
 
     /** Drain @p source (up to @p limit instructions) into this buffer. */
     void fill(TraceSource &source, uint64_t limit);
 
-    size_t size() const { return insts.size(); }
-    bool empty() const { return insts.empty(); }
-    const Instruction &at(size_t i) const { return insts[i]; }
-    const std::vector<Instruction> &instructions() const { return insts; }
-    std::vector<Instruction> &instructions() { return insts; }
+    /**
+     * Splice a pre-built full-capacity chunk (the v3 trace reader's
+     * zero-decode path). The chunk's base is rewritten to this
+     * buffer's running instruction index; the previous chunk, if any,
+     * must be full.
+     */
+    void
+    appendChunk(std::shared_ptr<TraceChunk> c)
+    {
+        assert(c->cap == chunkCapacity);
+        assert(chunkList.empty() || chunkList.back()->full());
+        chunkList.push_back(std::move(c));
+        chunkList.back()->base = n;
+        n += chunkList.back()->count;
+    }
+
+    size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    /** Instruction @p i, reassembled by value from its chunk. */
+    Instruction
+    at(size_t i) const
+    {
+        return chunkList[i / chunkCapacity]->get(
+            uint32_t(i % chunkCapacity));
+    }
+
+    size_t numChunks() const { return chunkList.size(); }
+    const TraceChunk &chunk(size_t ci) const { return *chunkList[ci]; }
+    ChunkPtr chunkPtr(size_t ci) const { return chunkList[ci]; }
+
+    /** Chunk granularity of every TraceBuffer. */
+    static constexpr uint32_t chunkCapacity = defaultChunkCapacity;
 
     const std::string &name() const { return label; }
-    void setName(std::string n) { label = std::move(n); }
+    void setName(std::string n_) { label = std::move(n_); }
 
     /** A replayable streaming view over this buffer. */
     class Cursor : public TraceSource
@@ -69,8 +115,49 @@ class TraceBuffer
 
     Cursor cursor() const { return Cursor(*this); }
 
+    /** A replayable chunk-level view (zero-copy: shares the chunks). */
+    class Chunks : public ChunkStream
+    {
+      public:
+        explicit Chunks(const TraceBuffer &b) : buffer(b) {}
+
+        ChunkPtr
+        next() override
+        {
+            if (ci >= buffer.numChunks())
+                return nullptr;
+            return buffer.chunkPtr(ci++);
+        }
+
+      private:
+        const TraceBuffer &buffer;
+        size_t ci = 0;
+    };
+
+    /** This buffer as a replayable ChunkSource. */
+    class Source : public ChunkSource
+    {
+      public:
+        explicit Source(const TraceBuffer &b) : buffer(b) {}
+
+        uint64_t size() const override { return buffer.size(); }
+        std::string name() const override { return buffer.name(); }
+
+        std::unique_ptr<ChunkStream>
+        open() const override
+        {
+            return std::make_unique<Chunks>(buffer);
+        }
+
+      private:
+        const TraceBuffer &buffer;
+    };
+
+    Source chunkSource() const { return Source(*this); }
+
   private:
-    std::vector<Instruction> insts;
+    std::vector<std::shared_ptr<TraceChunk>> chunkList;
+    size_t n = 0;
     std::string label = "trace";
 };
 

@@ -1,0 +1,37 @@
+#include "trace_chunk.hh"
+
+#include <cassert>
+
+namespace mlpsim::trace {
+
+TraceChunk::TraceChunk(uint64_t base_index, uint32_t capacity)
+    : base(base_index), cap(capacity)
+{
+    assert(cap > 0);
+    pc.resize(cap);
+    effAddr.resize(cap);
+    payload.resize(cap);
+    meta.resize(cap);
+    dst.resize(cap);
+    src0.resize(cap);
+    src1.resize(cap);
+    src2.resize(cap);
+}
+
+Instruction
+TraceChunk::get(uint32_t i) const
+{
+    assert(i < count);
+    Instruction inst;
+    inst.pc = pc[i];
+    inst.effAddr = effAddr[i];
+    inst.setRawPayload(payload[i]);
+    inst.setRawMeta(meta[i]);
+    inst.dst = dst[i];
+    inst.src[0] = src0[i];
+    inst.src[1] = src1[i];
+    inst.src[2] = src2[i];
+    return inst;
+}
+
+} // namespace mlpsim::trace

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -18,8 +19,8 @@ constexpr char traceMagic[4] = {'M', 'L', 'P', 'T'};
 
 /**
  * Full on-disk header. Version 1 files stop at `name` (80 bytes);
- * version 2 appends the two CRC words (88 bytes). The prefix through
- * `name` is layout-identical in both versions.
+ * versions 2 and 3 append the two CRC words (88 bytes). The prefix
+ * through `name` is layout-identical in every version.
  */
 struct FileHeader
 {
@@ -27,8 +28,8 @@ struct FileHeader
     uint32_t version;
     uint64_t numInsts;
     char name[64];
-    uint32_t payloadCrc; // v2: CRC-32 of all record bytes
-    uint32_t headerCrc;  // v2: CRC-32 of bytes [0, offsetof(headerCrc))
+    uint32_t payloadCrc; // v2+: CRC-32 of all payload bytes
+    uint32_t headerCrc;  // v2+: CRC-32 of bytes [0, offsetof(headerCrc))
 };
 
 constexpr size_t headerSizeV1 = offsetof(FileHeader, payloadCrc);
@@ -36,6 +37,21 @@ constexpr size_t headerSizeV2 = sizeof(FileHeader);
 constexpr size_t headerCrcSpan = offsetof(FileHeader, headerCrc);
 static_assert(headerSizeV1 == 80, "v1 header layout drifted");
 static_assert(headerSizeV2 == 88, "v2 header layout drifted");
+
+/** v3 payload prologue, immediately after the header. */
+struct ChunkPrologue
+{
+    uint64_t chunkCapacity;
+    uint64_t numChunks;
+};
+static_assert(sizeof(ChunkPrologue) == 16, "v3 prologue layout drifted");
+
+/** Bytes one instruction occupies inside a v3 chunk section. */
+constexpr uint64_t v3BytesPerInst = 3 * 8 + 5;
+/** Per-chunk section overhead: the count and chunkCrc words. */
+constexpr uint64_t v3ChunkOverhead = 8;
+/** Largest chunk capacity the reader will allocate for. */
+constexpr uint64_t maxV3ChunkCapacity = uint64_t(1) << 20;
 
 /** Fixed-width on-disk instruction record (identical in v1 and v2). */
 struct FileRecord
@@ -113,6 +129,34 @@ unpackRecord(const FileRecord &rec, uint64_t index, Instruction &inst)
     return Status::okStatus();
 }
 
+/**
+ * Range-check one packed v3 meta byte: the class and branch-kind
+ * fields must name real enumerators and the unused high bit must be
+ * clear, so corrupt column bytes cannot smuggle an out-of-range enum
+ * into the simulators.
+ */
+Status
+checkMetaByte(uint8_t meta, uint64_t index)
+{
+    if ((meta & Instruction::clsMask) > maxInstClass) {
+        return Status::dataLoss("record ", index,
+                                ": invalid instruction class ",
+                                unsigned(meta & Instruction::clsMask));
+    }
+    const uint8_t br_kind =
+        (meta >> Instruction::brKindShift) & Instruction::clsMask;
+    if (br_kind > maxBranchKind) {
+        return Status::dataLoss("record ", index,
+                                ": invalid branch kind ",
+                                unsigned(br_kind));
+    }
+    if ((meta & 0x80) != 0) {
+        return Status::dataLoss("record ", index,
+                                ": invalid meta byte ", unsigned(meta));
+    }
+    return Status::okStatus();
+}
+
 Expected<uint64_t>
 fileSize(std::FILE *f, const std::string &path)
 {
@@ -126,11 +170,285 @@ fileSize(std::FILE *f, const std::string &path)
     return uint64_t(size);
 }
 
+/** Write raw bytes, folding them into the payload CRC. */
+bool
+writePayload(std::FILE *f, Crc32 &crc, const void *data, size_t bytes)
+{
+    if (bytes == 0)
+        return true;
+    crc.update(data, bytes);
+    return std::fwrite(data, bytes, 1, f) == 1;
+}
+
+/** The v2 payload: one 40-byte record per instruction. */
+Status
+writeRecordsV2(std::FILE *f, Crc32 &crc, const TraceBuffer &buffer)
+{
+    for (size_t ci = 0; ci < buffer.numChunks(); ++ci) {
+        const TraceChunk &chunk = buffer.chunk(ci);
+        for (uint32_t i = 0; i < chunk.count; ++i) {
+            const FileRecord rec = packRecord(chunk.get(i));
+            if (!writePayload(f, crc, &rec, sizeof(rec)))
+                return Status::ioError("short write of trace record");
+        }
+    }
+    return Status::okStatus();
+}
+
+/** The v3 payload: the chunk prologue plus one SoA section per chunk. */
+Status
+writeChunksV3(std::FILE *f, Crc32 &crc, const TraceBuffer &buffer)
+{
+    const ChunkPrologue pro{TraceBuffer::chunkCapacity,
+                            buffer.numChunks()};
+    if (!writePayload(f, crc, &pro, sizeof(pro)))
+        return Status::ioError("short write of chunk prologue");
+
+    for (size_t ci = 0; ci < buffer.numChunks(); ++ci) {
+        const TraceChunk &c = buffer.chunk(ci);
+        const size_t n = c.count;
+        Crc32 chunk_crc;
+        chunk_crc.update(c.pc.data(), n * 8);
+        chunk_crc.update(c.effAddr.data(), n * 8);
+        chunk_crc.update(c.payload.data(), n * 8);
+        chunk_crc.update(c.meta.data(), n);
+        chunk_crc.update(c.dst.data(), n);
+        chunk_crc.update(c.src0.data(), n);
+        chunk_crc.update(c.src1.data(), n);
+        chunk_crc.update(c.src2.data(), n);
+
+        const uint32_t count = c.count;
+        const uint32_t section_crc = chunk_crc.value();
+        if (!writePayload(f, crc, &count, sizeof(count)) ||
+            !writePayload(f, crc, &section_crc, sizeof(section_crc)) ||
+            !writePayload(f, crc, c.pc.data(), n * 8) ||
+            !writePayload(f, crc, c.effAddr.data(), n * 8) ||
+            !writePayload(f, crc, c.payload.data(), n * 8) ||
+            !writePayload(f, crc, c.meta.data(), n) ||
+            !writePayload(f, crc, c.dst.data(), n) ||
+            !writePayload(f, crc, c.src0.data(), n) ||
+            !writePayload(f, crc, c.src1.data(), n) ||
+            !writePayload(f, crc, c.src2.data(), n)) {
+            return Status::ioError("short write of chunk section");
+        }
+    }
+    return Status::okStatus();
+}
+
+/** Read raw bytes, folding them into the payload CRC. */
+bool
+readPayload(std::FILE *f, Crc32 &crc, void *data, size_t bytes)
+{
+    if (bytes == 0)
+        return true;
+    if (std::fread(data, bytes, 1, f) != 1)
+        return false;
+    crc.update(data, bytes);
+    return true;
+}
+
+/** Parse the v3 chunked payload into @p buffer. */
+Status
+readChunksV3(std::FILE *f, const FileHeader &hdr, uint64_t actual_size,
+             TraceBuffer &buffer)
+{
+    Crc32 payload_crc;
+    ChunkPrologue pro{};
+    if (actual_size < headerSizeV2 + sizeof(pro) ||
+        !readPayload(f, payload_crc, &pro, sizeof(pro))) {
+        return Status::dataLoss("truncated: file ends inside the chunk "
+                                "prologue");
+    }
+    if (pro.chunkCapacity == 0 ||
+        pro.chunkCapacity > maxV3ChunkCapacity) {
+        return Status::dataLoss("implausible chunk capacity ",
+                                pro.chunkCapacity);
+    }
+    const uint64_t expected_chunks =
+        hdr.numInsts == 0
+            ? 0
+            : (hdr.numInsts + pro.chunkCapacity - 1) / pro.chunkCapacity;
+    if (pro.numChunks != expected_chunks) {
+        return Status::dataLoss("chunk-count mismatch: ", hdr.numInsts,
+                                " records at capacity ",
+                                pro.chunkCapacity, " need ",
+                                expected_chunks, " chunks, header says ",
+                                pro.numChunks);
+    }
+
+    // Exact-size cross-check before any chunk is parsed (or memory
+    // allocated for one): catches truncation, trailing garbage, and a
+    // tampered count in one place.
+    const uint64_t expected_size = headerSizeV2 + sizeof(pro) +
+                                   pro.numChunks * v3ChunkOverhead +
+                                   hdr.numInsts * v3BytesPerInst;
+    if (actual_size < expected_size) {
+        return Status::dataLoss("truncated: ", hdr.numInsts,
+                                " records declared but file is ",
+                                actual_size, " of ", expected_size,
+                                " bytes");
+    }
+    if (actual_size > expected_size) {
+        return Status::dataLoss(
+            "record-count mismatch: file has ",
+            actual_size - expected_size, " trailing bytes");
+    }
+
+    // A file written at the native capacity loads its chunks verbatim
+    // (no per-record decode); other capacities re-chunk through
+    // append().
+    const bool native = pro.chunkCapacity == TraceBuffer::chunkCapacity;
+    uint64_t remaining = hdr.numInsts;
+    for (uint64_t ci = 0; ci < pro.numChunks; ++ci) {
+        const uint64_t expect_count =
+            std::min<uint64_t>(remaining, pro.chunkCapacity);
+        uint32_t count = 0;
+        uint32_t stored_crc = 0;
+        if (!readPayload(f, payload_crc, &count, sizeof(count)) ||
+            !readPayload(f, payload_crc, &stored_crc,
+                         sizeof(stored_crc))) {
+            return Status::dataLoss("truncated at chunk ", ci, " of ",
+                                    pro.numChunks);
+        }
+        if (count != expect_count) {
+            return Status::dataLoss("chunk ", ci, " count ", count,
+                                    " does not match expected ",
+                                    expect_count);
+        }
+
+        auto chunk = std::make_shared<TraceChunk>(
+            buffer.size(),
+            native ? TraceBuffer::chunkCapacity : uint32_t(count ? count : 1));
+        chunk->pc.resize(count);
+        chunk->effAddr.resize(count);
+        chunk->payload.resize(count);
+        chunk->meta.resize(count);
+        chunk->dst.resize(count);
+        chunk->src0.resize(count);
+        chunk->src1.resize(count);
+        chunk->src2.resize(count);
+        chunk->count = count;
+        if (!readPayload(f, payload_crc, chunk->pc.data(), count * 8) ||
+            !readPayload(f, payload_crc, chunk->effAddr.data(),
+                         count * 8) ||
+            !readPayload(f, payload_crc, chunk->payload.data(),
+                         count * 8) ||
+            !readPayload(f, payload_crc, chunk->meta.data(), count) ||
+            !readPayload(f, payload_crc, chunk->dst.data(), count) ||
+            !readPayload(f, payload_crc, chunk->src0.data(), count) ||
+            !readPayload(f, payload_crc, chunk->src1.data(), count) ||
+            !readPayload(f, payload_crc, chunk->src2.data(), count)) {
+            return Status::dataLoss("truncated inside chunk ", ci,
+                                    " of ", pro.numChunks);
+        }
+
+        Crc32 chunk_crc;
+        chunk_crc.update(chunk->pc.data(), count * 8);
+        chunk_crc.update(chunk->effAddr.data(), count * 8);
+        chunk_crc.update(chunk->payload.data(), count * 8);
+        chunk_crc.update(chunk->meta.data(), count);
+        chunk_crc.update(chunk->dst.data(), count);
+        chunk_crc.update(chunk->src0.data(), count);
+        chunk_crc.update(chunk->src1.data(), count);
+        chunk_crc.update(chunk->src2.data(), count);
+        if (chunk_crc.value() != stored_crc) {
+            return Status::dataLoss("chunk ", ci,
+                                    " CRC mismatch (stored ", stored_crc,
+                                    ", computed ", chunk_crc.value(),
+                                    "): chunk columns are corrupt");
+        }
+
+        for (uint32_t i = 0; i < count; ++i) {
+            Status meta_status =
+                checkMetaByte(chunk->meta[i], chunk->base + i);
+            if (!meta_status.ok())
+                return meta_status;
+        }
+
+        if (native) {
+            buffer.appendChunk(std::move(chunk));
+        } else {
+            for (uint32_t i = 0; i < count; ++i)
+                buffer.append(chunk->get(i));
+        }
+        remaining -= expect_count;
+    }
+
+    if (payload_crc.value() != hdr.payloadCrc) {
+        return Status::dataLoss(
+            "payload CRC mismatch (stored ", hdr.payloadCrc,
+            ", computed ", payload_crc.value(),
+            "): trace payload is corrupt");
+    }
+    return Status::okStatus();
+}
+
+/** Parse the v1/v2 record-stream payload into @p buffer. */
+Status
+readRecordsV1V2(std::FILE *f, const FileHeader &hdr, uint32_t version,
+                uint64_t actual_size, size_t header_size,
+                TraceBuffer &buffer)
+{
+    // Cross-check the declared record count against the file's real
+    // size before reading a single record: catches truncation,
+    // trailing garbage, and a tampered count in one place.
+    if (hdr.numInsts > (UINT64_MAX - header_size) / sizeof(FileRecord)) {
+        return Status::dataLoss("implausible record count ",
+                                hdr.numInsts);
+    }
+    const uint64_t expected_size =
+        header_size + hdr.numInsts * sizeof(FileRecord);
+    if (actual_size < expected_size) {
+        const uint64_t whole_records =
+            (actual_size - header_size) / sizeof(FileRecord);
+        return Status::dataLoss(
+            "truncated: ", hdr.numInsts, " records declared but file "
+            "ends after record ", whole_records, " (", actual_size,
+            " of ", expected_size, " bytes)");
+    }
+    if (actual_size > expected_size) {
+        return Status::dataLoss(
+            "record-count mismatch: ", hdr.numInsts,
+            " records declared but file has ",
+            actual_size - expected_size, " trailing bytes");
+    }
+
+    Crc32 payload_crc;
+    for (uint64_t i = 0; i < hdr.numInsts; ++i) {
+        FileRecord rec{};
+        if (std::fread(&rec, sizeof(rec), 1, f) != 1) {
+            return Status::dataLoss("truncated at record ", i, " of ",
+                                    hdr.numInsts);
+        }
+        payload_crc.update(&rec, sizeof(rec));
+        Instruction inst;
+        Status rec_status = unpackRecord(rec, i, inst);
+        if (!rec_status.ok())
+            return rec_status;
+        buffer.append(inst);
+    }
+
+    if (version >= 2 && payload_crc.value() != hdr.payloadCrc) {
+        return Status::dataLoss(
+            "payload CRC mismatch (stored ", hdr.payloadCrc,
+            ", computed ", payload_crc.value(),
+            "): trace records are corrupt");
+    }
+    return Status::okStatus();
+}
+
 } // namespace
 
 Status
-writeTrace(const std::string &path, const TraceBuffer &buffer)
+writeTrace(const std::string &path, const TraceBuffer &buffer,
+           uint32_t version)
 {
+    if (version != 2 && version != 3) {
+        return Status::invalidArgument("cannot write format version ",
+                                       version, " (writer supports 2 "
+                                       "and 3)");
+    }
+
     // Write to a sibling temp file and rename into place so a crashed
     // or failed write can never leave a half-written trace at `path`.
     const std::string tmp_path =
@@ -147,24 +465,23 @@ writeTrace(const std::string &path, const TraceBuffer &buffer)
         return std::move(status).withContext("writing '", path, "'");
     };
 
-    // The payload CRC is only known after streaming the records, so
+    // The payload CRC is only known after streaming the payload, so
     // write a placeholder header first and patch it at the end; the
     // rename makes the intermediate state invisible to readers.
     FileHeader hdr{};
     std::memcpy(hdr.magic, traceMagic, sizeof(traceMagic));
-    hdr.version = traceFormatVersion;
+    hdr.version = version;
     hdr.numInsts = buffer.size();
     std::strncpy(hdr.name, buffer.name().c_str(), sizeof(hdr.name) - 1);
     if (std::fwrite(&hdr, headerSizeV2, 1, f.get()) != 1)
         return fail(Status::ioError("short write of trace header"));
 
     Crc32 payload_crc;
-    for (const Instruction &inst : buffer.instructions()) {
-        const FileRecord rec = packRecord(inst);
-        payload_crc.update(&rec, sizeof(rec));
-        if (std::fwrite(&rec, sizeof(rec), 1, f.get()) != 1)
-            return fail(Status::ioError("short write of trace record"));
-    }
+    Status payload_status =
+        version == 3 ? writeChunksV3(f.get(), payload_crc, buffer)
+                     : writeRecordsV2(f.get(), payload_crc, buffer);
+    if (!payload_status.ok())
+        return fail(std::move(payload_status));
 
     hdr.payloadCrc = payload_crc.value();
     hdr.headerCrc = Crc32::compute(&hdr, headerCrcSpan);
@@ -249,53 +566,14 @@ readTrace(const std::string &path)
             "trace name field is not NUL-terminated (oversized name)"));
     }
 
-    // Cross-check the declared record count against the file's real
-    // size before reading a single record: catches truncation,
-    // trailing garbage, and a tampered count in one place.
-    if (hdr.numInsts >
-        (UINT64_MAX - header_size) / sizeof(FileRecord)) {
-        return corrupt(Status::dataLoss("implausible record count ",
-                                        hdr.numInsts));
-    }
-    const uint64_t expected_size =
-        header_size + hdr.numInsts * sizeof(FileRecord);
-    if (actual_size < expected_size) {
-        const uint64_t whole_records =
-            (actual_size - header_size) / sizeof(FileRecord);
-        return corrupt(Status::dataLoss(
-            "truncated: ", hdr.numInsts, " records declared but file "
-            "ends after record ", whole_records, " (", actual_size,
-            " of ", expected_size, " bytes)"));
-    }
-    if (actual_size > expected_size) {
-        return corrupt(Status::dataLoss(
-            "record-count mismatch: ", hdr.numInsts,
-            " records declared but file has ",
-            actual_size - expected_size, " trailing bytes"));
-    }
-
     TraceBuffer buffer{std::string(hdr.name)};
-    Crc32 payload_crc;
-    for (uint64_t i = 0; i < hdr.numInsts; ++i) {
-        FileRecord rec{};
-        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1) {
-            return corrupt(Status::dataLoss("truncated at record ", i,
-                                            " of ", hdr.numInsts));
-        }
-        payload_crc.update(&rec, sizeof(rec));
-        Instruction inst;
-        Status rec_status = unpackRecord(rec, i, inst);
-        if (!rec_status.ok())
-            return corrupt(std::move(rec_status));
-        buffer.append(inst);
-    }
-
-    if (version >= 2 && payload_crc.value() != hdr.payloadCrc) {
-        return corrupt(Status::dataLoss(
-            "payload CRC mismatch (stored ", hdr.payloadCrc,
-            ", computed ", payload_crc.value(),
-            "): trace records are corrupt"));
-    }
+    Status payload_status =
+        version == 3
+            ? readChunksV3(f.get(), hdr, actual_size, buffer)
+            : readRecordsV1V2(f.get(), hdr, version, actual_size,
+                              header_size, buffer);
+    if (!payload_status.ok())
+        return corrupt(std::move(payload_status));
     return buffer;
 }
 

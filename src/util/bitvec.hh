@@ -54,6 +54,19 @@ class BitVector
         words.assign((count + 63) / 64, value ? ~uint64_t(0) : 0);
     }
 
+    /**
+     * Grow to @p count bits, preserving existing bits; new bits are
+     * zero. The chunk-incremental annotation builders extend their
+     * planes one trace chunk at a time with this (the total length is
+     * unknown while the trace is still streaming).
+     */
+    void
+    resize(size_t count)
+    {
+        words.resize((count + 63) / 64, 0);
+        n = count;
+    }
+
     size_t size() const { return n; }
     bool empty() const { return n == 0; }
 
@@ -121,6 +134,14 @@ class PackedEnumVector
         for (unsigned e = 0; e < perWord; ++e)
             fill |= (static_cast<uint64_t>(value) & elemMask) << (e * Bits);
         words.assign((count + perWord - 1) / perWord, fill);
+    }
+
+    /** Grow to @p count, preserving contents; new elements are 0. */
+    void
+    resize(size_t count)
+    {
+        words.resize((count + perWord - 1) / perWord, 0);
+        n = count;
     }
 
     size_t size() const { return n; }

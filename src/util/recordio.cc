@@ -156,6 +156,7 @@ RecordLog::open(const std::string &path, const std::string &meta)
 {
     RecordLog log;
     log.logPath = path;
+    log.logMeta = meta;
 
     auto contents = readRecordFile(path);
     const bool usable = contents.ok() && contents->meta == meta;
@@ -206,6 +207,27 @@ RecordLog::open(const std::string &path, const std::string &meta)
         return Status::ioError("writing header of '", path, "'");
     }
     return log;
+}
+
+Status
+RecordLog::rewrite(std::vector<std::string> records)
+{
+    MLPSIM_ASSERT(out != nullptr, "rewrite() on a moved-from RecordLog");
+    // Flush and drop the append handle first: the rename below swaps
+    // the inode out from under it, and any buffered bytes must land in
+    // the *old* file image being replaced, not after it.
+    std::fflush(out);
+    closeFile();
+    MLPSIM_RETURN_IF_ERROR(
+        writeWholeFileAtomic(logPath, serialize(logMeta, records))
+            .withContext("rewriting record log"));
+    loaded = std::move(records);
+    out = std::fopen(logPath.c_str(), "ab");
+    if (!out) {
+        return Status::ioError("reopening '", logPath,
+                               "' for append: ", std::strerror(errno));
+    }
+    return Status::okStatus();
 }
 
 Status

@@ -79,6 +79,7 @@ class RecordLog
             other.out = nullptr;
             loaded = std::move(other.loaded);
             logPath = std::move(other.logPath);
+            logMeta = std::move(other.logMeta);
             didSalvage = other.didSalvage;
             fresh = other.fresh;
         }
@@ -107,6 +108,16 @@ class RecordLog
      */
     Status append(std::string_view payload);
 
+    /**
+     * Atomically replace the log's contents with @p records (same
+     * temp-file+rename idiom as salvage) and resume appending after
+     * them. This is the compaction primitive: a replay layer that
+     * collapsed duplicate or superseded records rewrites the log to
+     * the collapsed set. recovered() reflects the new contents; a
+     * crash mid-rewrite leaves the old file intact.
+     */
+    Status rewrite(std::vector<std::string> records);
+
   private:
     RecordLog() = default;
 
@@ -122,6 +133,7 @@ class RecordLog
     std::FILE *out = nullptr;
     std::vector<std::string> loaded;
     std::string logPath;
+    std::string logMeta;
     bool didSalvage = false;
     bool fresh = true;
 };

@@ -14,6 +14,7 @@
 
 #include "core/result_json.hh"
 #include "service/result_cache.hh"
+#include "util/recordio.hh"
 
 namespace mlpsim::service {
 namespace {
@@ -136,6 +137,96 @@ TEST(ResultCacheTest, TornTailIsSalvagedAndAppendable)
     EXPECT_FALSE(again->salvaged());
     ASSERT_TRUE(again->lookup("cell-c", &loaded));
     EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(3)));
+}
+
+/** Append a torn frame (a length word promising more bytes than the
+ *  file holds) — the state a kill mid-append leaves behind. */
+void
+tearTail(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char torn[] = {'\xe8', '\x03', '\x00', '\x00',
+                         '\xde', '\xad', '\xbe', '\xef'};
+    out.write(torn, sizeof(torn));
+}
+
+TEST(ResultCacheTest, OpenCompactsDuplicateAndDeadRecords)
+{
+    const std::string path = tempPath("compact");
+    {
+        // Hand-build a log with frames ResultCache::record() would
+        // never produce itself: a duplicate key and an unparseable
+        // payload (CRC-valid junk, e.g. from a writer bug).
+        auto log = RecordLog::open(path, "mlpsim-result-cache-v1");
+        ASSERT_TRUE(log.ok()) << log.status().toString();
+        ASSERT_TRUE(log->append(core::resultRecordToJson(
+                                    "cell-a", sampleResult(1))
+                                    .dump(0))
+                        .ok());
+        ASSERT_TRUE(log->append("this is not a json record").ok());
+        ASSERT_TRUE(log->append(core::resultRecordToJson(
+                                    "cell-a", sampleResult(2))
+                                    .dump(0))
+                        .ok());
+        ASSERT_TRUE(log->append(core::resultRecordToJson(
+                                    "cell-b", sampleResult(3))
+                                    .dump(0))
+                        .ok());
+    }
+    auto cache = ResultCache::open(path);
+    ASSERT_TRUE(cache.ok()) << cache.status().toString();
+    EXPECT_TRUE(cache->compacted());
+    EXPECT_EQ(cache->size(), 2u);
+
+    // Replay semantics are last-record-wins; compaction must keep
+    // exactly that entry.
+    core::MlpResult loaded;
+    ASSERT_TRUE(cache->lookup("cell-a", &loaded));
+    EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(2)));
+
+    // On disk: one frame per distinct key, nothing else.
+    auto contents = readRecordFile(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().toString();
+    EXPECT_FALSE(contents->truncated);
+    EXPECT_EQ(contents->records.size(), 2u);
+
+    // A clean log does not get rewritten again.
+    auto again = ResultCache::open(path);
+    ASSERT_TRUE(again.ok()) << again.status().toString();
+    EXPECT_FALSE(again->compacted());
+    EXPECT_EQ(again->size(), 2u);
+}
+
+TEST(ResultCacheTest, RepeatedKillCyclesNeverGrowTheLog)
+{
+    const std::string path = tempPath("killcycles");
+    {
+        auto cache = ResultCache::open(path);
+        ASSERT_TRUE(cache.ok()) << cache.status().toString();
+        ASSERT_TRUE(cache->record("cell-a", sampleResult(1)).ok());
+        ASSERT_TRUE(cache->record("cell-b", sampleResult(2)).ok());
+    }
+    // Crash/restart loop (what repeated mlpsimd --kill-after runs do):
+    // every cycle tears the tail, every reopen salvages + compacts,
+    // and the steady state is exactly one frame per key — the log
+    // must not accrete dead bytes across cycles.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        tearTail(path);
+        auto cache = ResultCache::open(path);
+        ASSERT_TRUE(cache.ok()) << cache.status().toString();
+        EXPECT_TRUE(cache->salvaged()) << "cycle " << cycle;
+        EXPECT_TRUE(cache->compacted()) << "cycle " << cycle;
+        EXPECT_EQ(cache->size(), 2u) << "cycle " << cycle;
+
+        core::MlpResult loaded;
+        ASSERT_TRUE(cache->lookup("cell-a", &loaded));
+        EXPECT_EQ(dumpOf(loaded), dumpOf(sampleResult(1)));
+
+        auto contents = readRecordFile(path);
+        ASSERT_TRUE(contents.ok()) << contents.status().toString();
+        EXPECT_FALSE(contents->truncated);
+        EXPECT_EQ(contents->records.size(), 2u) << "cycle " << cycle;
+    }
 }
 
 } // namespace

@@ -101,8 +101,8 @@ writeV1TraceFile(const std::string &path,
     std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
     std::strncpy(reinterpret_cast<char *>(bytes.data() + nameOffset),
                  buffer.name().c_str(), 63);
-    for (const trace::Instruction &inst : buffer.instructions()) {
-        const auto rec = packRawRecord(inst);
+    for (size_t i = 0; i < buffer.size(); ++i) {
+        const auto rec = packRawRecord(buffer.at(i));
         bytes.insert(bytes.end(), rec.begin(), rec.end());
     }
     writeFileBytes(path, bytes);
@@ -134,6 +134,60 @@ fixPayloadCrc(std::vector<uint8_t> &bytes)
     const uint32_t crc = Crc32::compute(bytes.data() + v2HeaderSize,
                                         bytes.size() - v2HeaderSize);
     std::memcpy(bytes.data() + payloadCrcOffset, &crc, sizeof(crc));
+    fixHeaderCrc(bytes);
+}
+
+// ---- v3 (chunked structure-of-arrays) layout, duplicated from
+// trace_io.hh for the same drift-detection reason as above. ----
+
+/** v3 payload prologue: u64 chunkCapacity + u64 numChunks. */
+constexpr size_t v3PrologueSize = 16;
+/** Per-chunk section header: u32 count + u32 chunkCrc. */
+constexpr size_t v3ChunkHeaderSize = 8;
+/** Column bytes per instruction: pc/effAddr/payload + 5 byte columns. */
+constexpr size_t v3BytesPerInst = 3 * 8 + 5;
+
+/** Offset of chunk section @p ci in a file whose chunks are full
+ *  except possibly the last; only useful for single-chunk images when
+ *  ci > 0 is never needed. */
+inline size_t
+v3ChunkOffset(size_t ci)
+{
+    (void)ci; // test images are single-chunk
+    return v2HeaderSize + v3PrologueSize;
+}
+
+/** Total bytes of a chunk section holding @p count instructions. */
+inline size_t
+v3ChunkSectionSize(size_t count)
+{
+    return v3ChunkHeaderSize + count * v3BytesPerInst;
+}
+
+/** Offset of the meta column inside a single-chunk v3 image. */
+inline size_t
+v3MetaOffset(size_t count)
+{
+    return v3ChunkOffset(0) + v3ChunkHeaderSize + 3 * 8 * count;
+}
+
+/**
+ * Recompute the chunk, payload, and header CRCs of a *single-chunk*
+ * v3 image after editing column bytes, so a test can target a later
+ * check (enum range, counts…) without tripping a checksum first.
+ */
+inline void
+fixV3Crcs(std::vector<uint8_t> &bytes, size_t count)
+{
+    const size_t columns_off = v3ChunkOffset(0) + v3ChunkHeaderSize;
+    const uint32_t chunk_crc = Crc32::compute(
+        bytes.data() + columns_off, count * v3BytesPerInst);
+    std::memcpy(bytes.data() + v3ChunkOffset(0) + 4, &chunk_crc,
+                sizeof(chunk_crc));
+    const uint32_t payload_crc = Crc32::compute(
+        bytes.data() + v2HeaderSize, bytes.size() - v2HeaderSize);
+    std::memcpy(bytes.data() + payloadCrcOffset, &payload_crc,
+                sizeof(payload_crc));
     fixHeaderCrc(bytes);
 }
 

@@ -231,5 +231,37 @@ TEST(RecordIoTest, CorruptMetaFrameStartsFresh)
     EXPECT_TRUE(log->recovered().empty());
 }
 
+TEST(RecordIoTest, RewriteReplacesContentsAndResumesAppending)
+{
+    const std::string path = tempPath("rewrite");
+    {
+        auto log = RecordLog::open(path, kMeta);
+        ASSERT_TRUE(log.ok());
+        ASSERT_TRUE(log->append("a").ok());
+        ASSERT_TRUE(log->append("b").ok());
+        ASSERT_TRUE(log->append("c").ok());
+
+        // Compact to one record; the in-memory view follows the file.
+        ASSERT_TRUE(log->rewrite({"merged"}).ok());
+        ASSERT_EQ(log->recovered().size(), 1u);
+        EXPECT_EQ(log->recovered()[0], "merged");
+
+        // Appends land after the rewritten contents, not the old ones.
+        ASSERT_TRUE(log->append("after").ok());
+    }
+    const auto contents = readRecordFile(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->meta, kMeta);
+    EXPECT_FALSE(contents->truncated);
+    ASSERT_EQ(contents->records.size(), 2u);
+    EXPECT_EQ(contents->records[0], "merged");
+    EXPECT_EQ(contents->records[1], "after");
+
+    auto reopened = RecordLog::open(path, kMeta);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_FALSE(reopened->salvaged());
+    EXPECT_EQ(reopened->recovered().size(), 2u);
+}
+
 } // namespace
 } // namespace mlpsim

@@ -18,7 +18,10 @@
  * --require names metric paths (snapshot), event names (trace),
  * result keys (bench-perf) or failed-job labels (sweep-report) that
  * must be present. For bench-perf a "bench:NAME" token instead
- * requires a result row whose "bench" field is NAME.
+ * requires a result row whose "bench" field is NAME, and a
+ * "max-rss-kb:NAME:KB" token additionally asserts that every result
+ * row for bench NAME reports peak_rss_kb at or below KB — the CI
+ * ceiling that keeps the streaming pipeline's footprint honest.
  *
  * The mlpsimd wire kinds run the *daemon's own* validators
  * (service/wire.hh), so a request file that passes here is exactly a
@@ -33,6 +36,7 @@
  * with a description.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -134,15 +138,32 @@ checkBenchPerf(const JsonValue &doc,
         fatal("bench-perf \"results\" is not a non-empty array");
     // A plain --require token is a key every result row must carry; a
     // "bench:NAME" token instead asserts that at least one row reports
-    // benchmark NAME (e.g. bench:CycleSim for the cyclesim-only pass).
+    // benchmark NAME (e.g. bench:CycleSim for the cyclesim-only pass);
+    // a "max-rss-kb:NAME:KB" token caps peak_rss_kb on NAME's rows.
     std::vector<std::string> keys = {"bench",  "workload",    "config",
                                      "wall_s", "instr_per_s", "peak_rss_kb"};
     std::vector<std::string> benches;
+    std::vector<std::pair<std::string, uint64_t>> rss_ceilings;
     for (const auto &token : required) {
-        if (token.rfind("bench:", 0) == 0)
+        if (token.rfind("bench:", 0) == 0) {
             benches.push_back(token.substr(6));
-        else
+        } else if (token.rfind("max-rss-kb:", 0) == 0) {
+            const std::string spec = token.substr(11);
+            const size_t colon = spec.find(':');
+            char *end = nullptr;
+            const uint64_t kb =
+                colon == std::string::npos
+                    ? 0
+                    : std::strtoull(spec.c_str() + colon + 1, &end, 10);
+            if (colon == std::string::npos || kb == 0 ||
+                end != spec.c_str() + spec.size()) {
+                fatal("malformed --require token '", token,
+                      "' (want max-rss-kb:BENCH:KILOBYTES)");
+            }
+            rss_ceilings.emplace_back(spec.substr(0, colon), kb);
+        } else {
             keys.push_back(token);
+        }
     }
     for (const JsonValue &row : results.items()) {
         for (const auto &key : keys) {
@@ -158,6 +179,31 @@ checkBenchPerf(const JsonValue &doc,
                               row.find("bench")->string() == bench);
         if (!found)
             fatal("bench-perf has no result row for bench '", bench, "'");
+    }
+    for (const auto &[bench, ceiling_kb] : rss_ceilings) {
+        bool found = false;
+        for (const JsonValue &row : results.items()) {
+            if (!row.find("bench") || !row.find("bench")->isString() ||
+                row.find("bench")->string() != bench) {
+                continue;
+            }
+            found = true;
+            const JsonValue *rss = row.find("peak_rss_kb");
+            if (!rss->isNumber()) {
+                fatal("bench-perf row for '", bench,
+                      "' has a non-numeric peak_rss_kb");
+            }
+            if (rss->uinteger() > ceiling_kb) {
+                fatal("bench-perf row for '", bench, "' peaked at ",
+                      rss->uinteger(), " kB RSS, over the ", ceiling_kb,
+                      " kB ceiling — the streaming path is "
+                      "materialising something it should not");
+            }
+        }
+        if (!found) {
+            fatal("bench-perf has no result row for bench '", bench,
+                  "' to apply the RSS ceiling to");
+        }
     }
 }
 
