@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <mutex>
+#include <optional>
 
 #include "metrics/export.hh"
 #include "metrics/registry.hh"
@@ -84,7 +85,8 @@ BenchSetup::tryFromOptions(const Options &opts,
         "warmup",       "insts",        "workload",
         "jobs",         "metrics-out",  "trace-events",
         "deadline-ms",  "retries",      "collect-failures",
-        "sweep-report", "stream-chunk", "materialize"};
+        "sweep-report", "stream-chunk", "materialize",
+        "no-share-streams"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     MLPSIM_RETURN_IF_ERROR(opts.checkKnown(known));
 
@@ -140,6 +142,7 @@ BenchSetup::tryFromOptions(const Options &opts,
         }
     }
     setup.streamChunk = uint32_t(stream_chunk);
+    setup.shareStreams = !opts.has("no-share-streams");
 
     if (!setup.metricsOut.empty() || !setup.traceEventsOut.empty()) {
         metrics::setEnabled(true);
@@ -287,17 +290,52 @@ runCycleSim(cyclesim::CycleSimConfig config,
     return cyclesim::CycleSim(config, workload.context()).run();
 }
 
-Sweep::Sweep(const BenchSetup &setup) : runner(setup.jobs)
+Sweep::Sweep(const BenchSetup &setup)
+    : runner(setup.jobs),
+      shareStreams(setup.streaming() && setup.shareStreams)
 {
     runner.setJobLimits(setup.jobLimits);
     if (setup.collectFailures)
         runner.setFailureMode(FailureMode::CollectAll);
 }
 
+core::SharedCellGroup *
+Sweep::groupFor(const PreparedWorkload &workload)
+{
+    for (auto &entry : groups)
+        if (entry.first == &workload)
+            return entry.second.get();
+    groups.emplace_back(&workload,
+                        std::make_unique<core::SharedCellGroup>(
+                            workload.context()));
+    return groups.back().second.get();
+}
+
 Job<core::MlpResult>
 Sweep::mlp(core::MlpConfig config, const PreparedWorkload &workload)
 {
     const PreparedWorkload *wl = &workload;
+    if (shareStreams && wl->streamed) {
+        // Shared-generation path: the cell joins its workload's group
+        // and consumes a claimed fan-out slot; its job commits exactly
+        // this cell's result and metrics (see SharedCellGroup).
+        core::SharedCellGroup *group = groupFor(workload);
+        auto slot = std::make_shared<std::optional<core::MlpResult>>();
+        const size_t index = group->add(core::SharedCell{
+            "mlp " + workload.name,
+            [config, wl, slot](const core::WorkloadContext &ctx) {
+                metrics::ScopedLabel wl_label(wl->name);
+                metrics::ScopedLabel cfg_label(config.metricLabel());
+                core::MlpConfig cfg = config;
+                cfg.warmupInsts = wl->warmupInsts;
+                slot->emplace(core::runMlp(cfg, ctx));
+            }});
+        return runner.defer<core::MlpResult>(
+            "mlp " + workload.name, [group, index, slot] {
+                group->runCell(index);
+                return std::move(**slot);
+            });
+    }
     return runner.defer<core::MlpResult>(
         "mlp " + workload.name, [config, wl] {
             metrics::ScopedLabel wl_label(wl->name);
@@ -311,6 +349,26 @@ Sweep::cycleSim(cyclesim::CycleSimConfig config,
                 const PreparedWorkload &workload)
 {
     const PreparedWorkload *wl = &workload;
+    if (shareStreams && wl->streamed) {
+        core::SharedCellGroup *group = groupFor(workload);
+        auto slot =
+            std::make_shared<std::optional<cyclesim::CycleSimResult>>();
+        const size_t index = group->add(core::SharedCell{
+            "cyclesim " + workload.name,
+            [config, wl, slot](const core::WorkloadContext &ctx) {
+                metrics::ScopedLabel wl_label(wl->name);
+                metrics::ScopedLabel cfg_label(config.metricLabel());
+                cyclesim::CycleSimConfig cfg = config;
+                cfg.warmupInsts = wl->warmupInsts;
+                cfg.validate().orFatal();
+                slot->emplace(cyclesim::CycleSim(cfg, ctx).run());
+            }});
+        return runner.defer<cyclesim::CycleSimResult>(
+            "cyclesim " + workload.name, [group, index, slot] {
+                group->runCell(index);
+                return std::move(**slot);
+            });
+    }
     return runner.defer<cyclesim::CycleSimResult>(
         "cyclesim " + workload.name, [config, wl] {
             metrics::ScopedLabel wl_label(wl->name);
@@ -323,6 +381,9 @@ void
 Sweep::run(const std::string &what)
 {
     runner.runAll();
+    // Groups are single-batch: a dependent second stage builds fresh
+    // ones (the old groups' jobs have all committed by now).
+    groups.clear();
     reportBatch(what, runner.jobs(), runner.lastBatch());
     recordBatch(runner.lastBatch(), runner.lastFailures());
 }

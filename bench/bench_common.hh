@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/mlpsim.hh"
+#include "core/shared_stream.hh"
 #include "core/trace_pipeline.hh"
 #include "cyclesim/cycle_sim.hh"
 #include "trace/stream_source.hh"
@@ -87,6 +88,15 @@ struct BenchSetup
     uint32_t streamChunk = 0;
 
     bool streaming() const { return streamChunk != 0; }
+
+    /**
+     * Streamed sweeps group cells by workload and attach them as
+     * consumers of ONE shared stream generation per wave (default on;
+     * results and metric snapshots are byte-identical either way).
+     * --no-share-streams restores one generation per cell — the A/B
+     * lever the streaming-equivalence ctest flips.
+     */
+    bool shareStreams = true;
 
     /**
      * Destination for the deterministic metrics snapshot ("" = metric
@@ -207,7 +217,17 @@ class Sweep
     unsigned jobs() const { return runner.jobs(); }
 
   private:
+    /** The shared-generation group for @p workload (created on first
+     *  use; one per workload per batch). */
+    core::SharedCellGroup *groupFor(const PreparedWorkload &workload);
+
     SweepRunner runner;
+    /** Streamed cells of one batch, grouped by workload so each group
+     *  rides shared stream generations (see BenchSetup::shareStreams). */
+    bool shareStreams = false;
+    std::vector<std::pair<const PreparedWorkload *,
+                          std::unique_ptr<core::SharedCellGroup>>>
+        groups;
 };
 
 /** Print the standard bench banner (what/how much was simulated). */

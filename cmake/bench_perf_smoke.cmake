@@ -18,10 +18,19 @@ function(run_or_die)
     endif()
 endfunction()
 
-run_or_die(${BENCH} --engine-only --benchmark_min_time=0.01
+# The --engine-only filter (^BM_EpochEngine) covers the materialised
+# replay rows AND the shared fan-out streaming rows, so one summary
+# carries both sides of the throughput-ratio gate: the streamed
+# fan-out's best instr_per_s must stay within 15% of materialised
+# replay, or the shared-generation machinery has regressed. This pass
+# runs longer than the others because the gate compares best-of-N
+# across the two sides: at 0.01s the fan-out rows get a single
+# iteration, so one scheduling hiccup lands entirely in the ratio
+# (observed 0.83 on a loaded runner vs 0.99 when sampled properly).
+run_or_die(${BENCH} --engine-only --benchmark_min_time=0.25
            --metrics-out ${OUT})
 run_or_die(${CHECKER} --in ${OUT} --kind bench-perf
-           --require instr_per_s)
+           --require instr_per_s,bench:EpochEngine,bench:EpochEngineStream,min-ratio:EpochEngineStream/EpochEngine:0.85)
 
 run_or_die(${BENCH} --cyclesim-only --benchmark_min_time=0.01
            --metrics-out ${OUT}.cyclesim)

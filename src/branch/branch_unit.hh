@@ -105,8 +105,16 @@ class BranchAnnotator
     {
     }
 
+    /** Size the misprediction plane for an @p n-instruction trace up
+     *  front so fused runs never reallocate it mid-stream. */
+    void preallocate(size_t n) { ann.mispredicted.assign(n, false); }
+
     /** Feed the next chunk of the trace, in order. */
     void add(const trace::TraceChunk &chunk);
+
+    /** The in-progress annotations: final for every chunk already
+     *  add()ed (branch outcomes are never retroactive). */
+    const BranchAnnotations &partial() const { return ann; }
 
     /** The completed annotations; the annotator is spent afterwards. */
     BranchAnnotations finish() { return std::move(ann); }
@@ -115,6 +123,8 @@ class BranchAnnotator
     BranchUnit unit;
     uint64_t warmup;
     BranchAnnotations ann;
+    /** Per-chunk branch mask scratch (trace/chunk_scan.hh). */
+    std::vector<uint64_t> scanMask;
 };
 
 /**

@@ -41,9 +41,17 @@ class ChunkWindow
     explicit ChunkWindow(const WorkloadContext &wl) : buf(wl.buffer)
     {
         if (!buf) {
-            MLPSIM_ASSERT(wl.stream,
-                          "workload context has neither buffer nor stream");
-            stream = wl.stream->open();
+            if (wl.attached) {
+                // Fan-out mode: consume the pre-opened shared-ring
+                // cursor instead of opening (and regenerating) our own.
+                src = wl.attached;
+            } else {
+                MLPSIM_ASSERT(wl.stream,
+                              "workload context has neither buffer nor "
+                              "stream");
+                owned = wl.stream->open();
+                src = owned.get();
+            }
         }
     }
 
@@ -56,7 +64,7 @@ class ChunkWindow
                 size_t(idx / trace::TraceBuffer::chunkCapacity));
         }
         while (window.empty() || window.back()->end() <= idx) {
-            trace::ChunkPtr c = stream->next();
+            trace::ChunkPtr c = src->next();
             MLPSIM_ASSERT(c, "chunk stream ended before index ", idx);
             window.push_back(std::move(c));
         }
@@ -81,7 +89,8 @@ class ChunkWindow
 
   private:
     const trace::TraceBuffer *buf;
-    std::unique_ptr<trace::ChunkStream> stream;
+    std::unique_ptr<trace::ChunkStream> owned;
+    trace::ChunkStream *src = nullptr; //!< owned.get() or wl.attached
     std::deque<trace::ChunkPtr> window;
 };
 

@@ -544,6 +544,12 @@ EpochEngine::fetch()
             break;
         }
         const uint64_t idx = nextFetchIdx;
+        // Position the window on idx's chunk BEFORE touching any
+        // annotation plane: in a fused run the gated stream's chunk
+        // delivery is the acquire that makes the planes below the
+        // frontier readable, so the plane lookups for idx must come
+        // after it.
+        const trace::TraceChunk &ck = fetchCur.at(idx);
         if (wl.misses->fetchMiss(idx) && !imissHandled) {
             if (!epochOpen &&
                 (nextDispatchIdx < nextFetchIdx || waitingCount != 0)) {
@@ -566,7 +572,6 @@ EpochEngine::fetch()
         ++nextFetchIdx;
         any = true;
 
-        const trace::TraceChunk &ck = fetchCur.at(idx);
         const uint32_t ci = uint32_t(idx - ck.base);
         if (ck.isBranch(ci) && wl.branches->isMispredict(idx)) {
             // Tentatively pause fetch at a mispredicted branch; if it

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Shared-generation fan-out: run many consumers of one trace stream
+ * concurrently, so a (workload, seed, length) cell grid pays for ONE
+ * generation instead of one per cell — the software analogue of the
+ * paper's theme of overlapping long-latency work instead of
+ * serialising it.
+ *
+ * Two entry points:
+ *
+ *  - runSharedCells(): engine-only sharing for a context whose
+ *    annotations are already complete (the common sweep shape — one
+ *    PreparedWorkload, many engine configs). Cells are grouped into
+ *    waves of at most `maxConcurrent`; each wave claims the slots of
+ *    one StreamFanout and runs its cells on threads, so a wave of N
+ *    engines consumes one generation.
+ *
+ *  - runFusedAnnotateAndCells(): the single-generation fusion of the
+ *    two-pass StreamingTrace. The annotate pass and the engine cells
+ *    become consumers of the SAME producer; the annotate consumer
+ *    runs a bounded lookahead ahead and publishes a monotonically
+ *    increasing *stable frontier* — the global instruction index
+ *    below which every annotation plane is final. Engine streams are
+ *    gated on the frontier (GatedChunkStream), so an engine never
+ *    reads a plane word the annotator might still write: the frontier
+ *    trails the annotate position by `lookaheadChunks` chunks and is
+ *    rounded down to a 64-bit plane-word boundary, which keeps reader
+ *    and writer on disjoint words by construction. The one annotation
+ *    that can land arbitrarily far back — the retroactive
+ *    useful-prefetch credit — is deferred when it would cross below
+ *    the frontier (AccessProfiler::setConcurrentReadFloor); that run's
+ *    engine outputs are then discarded and the cells are re-run from
+ *    the completed annotations, so results are bit-identical to the
+ *    classic two-pass pipeline by construction, fused or not.
+ *
+ * Determinism: each cell runs under a private metric registry
+ * (CollectorScope); registries are merged into the caller's registry
+ * in cell submission order after every thread has joined, and the
+ * first failing cell's exception (in submission order) is rethrown —
+ * exactly the SweepRunner contract, so grouped and ungrouped sweeps
+ * produce byte-identical snapshots.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mlpsim.hh"
+#include "core/trace_pipeline.hh"
+#include "trace/trace_chunk.hh"
+
+namespace mlpsim::core {
+
+/**
+ * The stable frontier of a fused run: a monotonic global instruction
+ * index published by the annotate consumer (release) and awaited by
+ * engine consumers (acquire), giving the cross-thread happens-before
+ * for every plane word below it. poison() unblocks all waiters with a
+ * sticky failure marker (annotate pass died — waiters throw).
+ */
+class FrontierGate
+{
+  public:
+    /** Sentinel meaning "every plane is final" (published after the
+     *  annotators finalize, so a drained consumer also inherits the
+     *  happens-before for the annotation totals). */
+    static constexpr uint64_t complete = ~uint64_t(0);
+
+    /** Publish frontier @p v (annotate thread only; monotonic). */
+    void
+    publish(uint64_t v)
+    {
+        pos.store(v, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+    }
+
+    /** Unblock every waiter and mark the run failed. */
+    void
+    poison()
+    {
+        poisoned.store(true, std::memory_order_release);
+        pos.store(complete, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+    }
+
+    /** Block until the frontier reaches @p target. Returns false if
+     *  the gate was poisoned (the caller must abandon the run). */
+    bool
+    waitReach(uint64_t target)
+    {
+        if (pos.load(std::memory_order_acquire) >= target)
+            return !poisoned.load(std::memory_order_acquire);
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+            return pos.load(std::memory_order_acquire) >= target;
+        });
+        return !poisoned.load(std::memory_order_acquire);
+    }
+
+    /** The raw frontier atomic — the profiler's concurrent-read floor. */
+    const std::atomic<uint64_t> &raw() const { return pos; }
+
+  private:
+    std::atomic<uint64_t> pos{0};
+    std::atomic<bool> poisoned{false};
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+};
+
+/**
+ * A fan-out slot stream whose chunks are released to the consumer
+ * only once the frontier covers them. The gate sits AFTER the ring
+ * pop, so a gated engine never blocks the ring itself (its cursor has
+ * already advanced) — the ring only needs `lookaheadChunks + slack`
+ * capacity for the whole pack to make progress.
+ */
+class GatedChunkStream : public trace::ChunkStream
+{
+  public:
+    GatedChunkStream(std::unique_ptr<trace::ChunkStream> inner_stream,
+                     FrontierGate &frontier_gate)
+        : inner(std::move(inner_stream)), gate(&frontier_gate)
+    {
+    }
+
+    trace::ChunkPtr next() override;
+
+  private:
+    std::unique_ptr<trace::ChunkStream> inner;
+    FrontierGate *gate;
+};
+
+/**
+ * One type-erased consumer of a shared stream: the body receives a
+ * WorkloadContext whose `attached` stream is its claimed fan-out slot
+ * and must drain or abandon it before returning. Bodies apply their
+ * own metric labels (they run on a worker thread under a private
+ * registry) and store their own results.
+ */
+struct SharedCell
+{
+    std::string label; //!< diagnostics only
+    std::function<void(const WorkloadContext &)> body;
+};
+
+/** Knobs for the shared runners. */
+struct SharedRunOptions
+{
+    /** Cells run concurrently per generation (wave size). */
+    size_t maxConcurrent = 8;
+    /** Fused mode: chunks the annotate consumer leads the frontier
+     *  by. Larger = fewer deferred-credit fallbacks, more ring. */
+    size_t lookaheadChunks = 2;
+    /** Shared ring bound in chunks; 0 = lookaheadChunks + 3. */
+    size_t ringChunks = 0;
+};
+
+/**
+ * Run @p cells over @p base, sharing one stream generation per wave
+ * of `maxConcurrent` cells. Annotations in @p base must be complete.
+ * Falls back to plain sequential execution when the context is
+ * buffer-backed or there is only one cell. Exceptions are captured
+ * per cell; the first (in submission order) is rethrown after all
+ * cells finish and metrics are merged.
+ */
+void runSharedCells(const WorkloadContext &base,
+                    std::vector<SharedCell> &cells,
+                    const SharedRunOptions &options = {});
+
+/**
+ * Leader/follower execution of one fan-out group inside a job grid
+ * with no inter-job dependency support (SweepRunner): every cell is
+ * still submitted as its own job — keeping per-cell results, failure
+ * records and submission-order metric commits — but the first of the
+ * group's jobs to execute (the leader) runs ALL cells concurrently
+ * over shared stream generations; the others (followers) block until
+ * it finishes. Each job then adopts exactly its own cell's private
+ * registry (merged into the job's current registry) and rethrows its
+ * own cell's exception, so the global commit order is the submission
+ * order regardless of which job led — snapshots are byte-identical to
+ * ungrouped execution. Deadlock-free because the leader never waits
+ * on another job.
+ *
+ * Build the group fully (add() every cell) before submitting any of
+ * its jobs.
+ */
+class SharedCellGroup
+{
+  public:
+    SharedCellGroup(WorkloadContext base_context,
+                    SharedRunOptions run_options = {});
+    ~SharedCellGroup();
+
+    /** Register the next cell; returns its index. Not thread-safe —
+     *  call during grid construction only. */
+    size_t add(SharedCell cell);
+
+    /**
+     * Execute from cell @p index's job: lead or follow (see class
+     * comment), then commit cell @p index's metrics to the calling
+     * thread's registry and rethrow its error if it failed.
+     */
+    void runCell(size_t index);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/** Telemetry from a fused run. */
+struct FusedRunReport
+{
+    /** A useful-prefetch credit crossed the frontier: the fused
+     *  engine outputs were discarded and the cells re-run from the
+     *  completed annotations. */
+    bool hazardFallback = false;
+    /** Cells the fused generation carried (the rest ran via
+     *  runSharedCells afterwards). */
+    size_t fusedCells = 0;
+};
+
+/**
+ * Single-generation annotate+simulate: stream @p source once, feeding
+ * the annotators AND up to `maxConcurrent` engine cells concurrently
+ * (see file comment for the frontier protocol); any remaining cells
+ * run afterwards as shared engine-only waves. Returns the completed
+ * StreamingTrace for further runs. Results are bit-identical to
+ * annotating first and running every cell independently.
+ */
+Expected<StreamingTrace>
+runFusedAnnotateAndCells(const trace::ChunkSource &source,
+                         const AnnotationOptions &options,
+                         std::vector<SharedCell> &cells,
+                         const SharedRunOptions &run_options = {},
+                         FusedRunReport *report = nullptr);
+
+} // namespace mlpsim::core

@@ -30,6 +30,8 @@
  */
 #pragma once
 
+#include <utility>
+
 #include "core/mlpsim.hh"
 #include "trace/trace_chunk.hh"
 
@@ -53,6 +55,25 @@ class StreamingTrace
     static Expected<StreamingTrace>
     make(const trace::ChunkSource &source,
          const AnnotationOptions &options);
+
+    /**
+     * Assemble from an externally-run annotate pass — the fused
+     * shared-stream pipeline (core/shared_stream.hh) runs the
+     * annotators itself, concurrently with the engines, and hands the
+     * completed planes over here. @p options must already be
+     * validated.
+     */
+    StreamingTrace(const trace::ChunkSource &source,
+                   const AnnotationOptions &options,
+                   memory::MissAnnotations misses,
+                   branch::BranchAnnotations branches,
+                   predictor::ValueAnnotations values, bool has_values,
+                   uint64_t num_insts)
+        : src(&source), opts(options), missAnn(std::move(misses)),
+          brAnn(std::move(branches)), valAnn(std::move(values)),
+          numInsts(num_insts), hasValues(has_values)
+    {
+    }
 
     /** Borrowing view passed to the simulators (stream-backed). */
     WorkloadContext context() const;

@@ -27,6 +27,14 @@ struct WorkloadContext
     /** Streaming alternative to `buffer`: each simulator run opens a
      *  fresh chunk stream and regenerates the identical trace. */
     const trace::ChunkSource *stream = nullptr;
+    /**
+     * Shared-generation fan-out: a pre-opened stream this run should
+     * consume instead of opening `stream` itself — typically one claimed
+     * slot of a StreamFanout, so many engines ride one generation. The
+     * engine takes ownership-of-consumption (drains or detaches it);
+     * `stream` stays set for size()/name(). Borrowed, set per run.
+     */
+    trace::ChunkStream *attached = nullptr;
     const memory::MissAnnotations *misses = nullptr;
     const branch::BranchAnnotations *branches = nullptr;
     /** May be null when value prediction is not simulated. */

@@ -1,6 +1,7 @@
 #include "access_profiler.hh"
 
 #include "metrics/registry.hh"
+#include "trace/chunk_scan.hh"
 
 namespace mlpsim::memory {
 
@@ -23,6 +24,17 @@ AccessProfiler::creditDemandTouch(uint64_t addr)
         return;
     const size_t prefetch_index = it->second;
     pendingPrefetches.erase(it);
+    if (readFloor &&
+        prefetch_index < readFloor->load(std::memory_order_relaxed)) {
+        // A concurrent engine may already have read this plane index:
+        // writing now would race (and the engine already consumed the
+        // stale value). Record the credit for applyDeferredCredits()
+        // and flag the hazard; the pending-prefetch erase above stays,
+        // matching the classic pass.
+        deferredCredits.push_back(prefetch_index);
+        hazard = true;
+        return;
+    }
     if (ann.usefulPrefetchV.test(prefetch_index))
         return;
     ann.usefulPrefetchV.set(prefetch_index);
@@ -33,26 +45,69 @@ AccessProfiler::creditDemandTouch(uint64_t addr)
 }
 
 void
+AccessProfiler::applyDeferredCredits()
+{
+    for (const size_t prefetch_index : deferredCredits) {
+        if (ann.usefulPrefetchV.test(prefetch_index))
+            continue;
+        ann.usefulPrefetchV.set(prefetch_index);
+        if (prefetch_index >= cfg.warmupInsts) {
+            ++ann.usefulPrefetches;
+            --ann.uselessPrefetches;
+        }
+    }
+    deferredCredits.clear();
+}
+
+void
+AccessProfiler::preallocate(size_t n)
+{
+    ann.resetVectors(n);
+}
+
+void
 AccessProfiler::add(const trace::TraceChunk &chunk)
 {
     using trace::InstClass;
 
     // Grow the annotation planes to cover this chunk. The retroactive
     // prefetch credit above may still write into earlier regions —
-    // the planes are whole-trace state, never per-chunk.
+    // the planes are whole-trace state, never per-chunk. Grow-only:
+    // preallocate() sizes them past every chunk, and a fused run
+    // depends on no reallocation happening here.
     const size_t end = chunk.end();
-    ann.fetchMissV.resize(end);
-    ann.dataMissV.resize(end);
-    ann.usefulPrefetchV.resize(end);
-    ann.dataL2HitV.resize(end);
-    ann.storeMissV.resize(end);
+    if (end > ann.fetchMissV.size()) {
+        ann.fetchMissV.resize(end);
+        ann.dataMissV.resize(end);
+        ann.usefulPrefetchV.resize(end);
+        ann.dataL2HitV.resize(end);
+        ann.storeMissV.resize(end);
+    }
 
     auto on_l2_eviction = [&](const HierarchyAccessResult &r) {
         if (r.l2Evicted)
             pendingPrefetches.erase(r.l2EvictedLine);
     };
 
-    for (uint32_t ci = 0; ci < chunk.count; ++ci) {
+    // Two-phase walk (trace/chunk_scan.hh): a vectorizable mask build
+    // selects exactly the instructions whose body below does any work
+    // — memory-class instructions plus fetch-line boundaries — then
+    // the body runs sparsely over the set bits. A skipped instruction
+    // is an Alu/Branch on an already-fetched line: every arm below is
+    // a no-op for it, so the walk is bit-identical to the dense one.
+    scanMask.assign(trace::scanWords(chunk.count), 0);
+    constexpr uint32_t interesting_classes =
+        trace::classBit(InstClass::Load) |
+        trace::classBit(InstClass::Store) |
+        trace::classBit(InstClass::Prefetch) |
+        trace::classBit(InstClass::Serializing);
+    trace::orClassMask(chunk, interesting_classes, scanMask.data());
+    const uint64_t line_mask = ~mem.lineAddr(~uint64_t(0));
+    uint64_t boundary_carry = lastFetchLine;
+    trace::orFetchBoundaryMask(chunk, line_mask, boundary_carry,
+                               scanMask.data());
+
+    trace::forEachSetBit(scanMask.data(), chunk.count, [&](uint32_t ci) {
         const size_t i = chunk.base + ci;
         const bool measured = i >= cfg.warmupInsts;
         const InstClass cls = chunk.cls(ci);
@@ -147,15 +202,23 @@ AccessProfiler::add(const trace::TraceChunk &chunk)
           case InstClass::Branch:
             break;
         }
-    }
+    });
 }
 
-MissAnnotations
-AccessProfiler::finish()
+void
+AccessProfiler::finalizeInPlace()
 {
+    if (finalized)
+        return;
+    finalized = true;
+
     const size_t n = ann.fetchMissV.size();
     ann.measuredInsts = n > cfg.warmupInsts ? n - cfg.warmupInsts : 0;
+}
 
+void
+AccessProfiler::exportMetrics()
+{
     if (metrics::enabled()) {
         mem.exportMetrics(metrics::scopedPath("memory"));
         auto &reg = metrics::cur();
@@ -171,7 +234,13 @@ AccessProfiler::finish()
         reg.add(metrics::scopedPath("memory/profile/useless_prefetches"),
                 ann.uselessPrefetches);
     }
+}
 
+MissAnnotations
+AccessProfiler::finish()
+{
+    finalizeInPlace();
+    exportMetrics();
     return std::move(ann);
 }
 

@@ -18,6 +18,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -188,8 +189,62 @@ class AccessProfiler
     {
     }
 
+    /**
+     * Size every annotation plane for an @p n-instruction trace up
+     * front. Required before a fused run: engines read the planes
+     * concurrently (gated by the frontier), so the backing words must
+     * never reallocate mid-stream. add() then only grows fill levels,
+     * never storage.
+     */
+    void preallocate(size_t n);
+
+    /**
+     * Install the concurrent-read floor for a fused run: a global
+     * instruction index below which an engine consumer may already
+     * have read the planes. A retroactive useful-prefetch credit that
+     * would land below the floor is deferred (recorded, not written) —
+     * the fused results are then invalid and the caller reruns the
+     * engines from the completed annotations (hazardDetected()).
+     * The atomic is read on the annotate thread only, which is also
+     * the thread that advances it, so the check is always exact.
+     */
+    void
+    setConcurrentReadFloor(const std::atomic<uint64_t> *floor)
+    {
+        readFloor = floor;
+    }
+
+    /** A credit was deferred below the read floor: any engine output
+     *  produced concurrently with this pass must be discarded. Sticky
+     *  (survives applyDeferredCredits()). */
+    bool hazardDetected() const { return hazard; }
+
     /** Feed the next chunk of the trace, in order. */
     void add(const trace::TraceChunk &chunk);
+
+    /**
+     * Complete the totals without moving the annotations out:
+     * partial() afterwards refers to the finished set. Fused runs use
+     * this so engines still draining hold stable references; finish()
+     * may still be called later to take ownership. Idempotent. Does
+     * NOT export metrics — fused runs export on the coordinating
+     * thread (under its metric labels) once deferred credits are
+     * resolved, via exportMetrics().
+     */
+    void finalizeInPlace();
+
+    /** Export memory/profile metrics under the calling thread's
+     *  labels. finish() calls this; fused runs call it explicitly
+     *  after applyDeferredCredits(). */
+    void exportMetrics();
+
+    /**
+     * Apply credits deferred by the read floor — same test-then-set
+     * and counter semantics as the inline path. Call only after every
+     * concurrent reader has stopped; the annotations are then
+     * bit-identical to a classic two-pass profile.
+     */
+    void applyDeferredCredits();
 
     /** Complete the pass: totals, metrics export, annotations out.
      *  The profiler is spent afterwards. */
@@ -224,6 +279,15 @@ class AccessProfiler
     uint64_t lastFetchLine = ~0ULL;
     uint64_t lastUsefulIndex = 0;
     bool haveUseful = false;
+    bool finalized = false;
+
+    /** Fused-run hazard plumbing (see setConcurrentReadFloor). */
+    const std::atomic<uint64_t> *readFloor = nullptr;
+    std::vector<size_t> deferredCredits;
+    bool hazard = false;
+
+    /** Per-chunk interest mask scratch (trace/chunk_scan.hh). */
+    std::vector<uint64_t> scanMask;
 };
 
 } // namespace mlpsim::memory

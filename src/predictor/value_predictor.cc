@@ -57,7 +57,8 @@ void
 ValueAnnotator::add(const trace::TraceChunk &chunk)
 {
     // Grown entries read back as NotApplicable (enum value 0).
-    ann.outcome.resize(chunk.end());
+    if (chunk.end() > ann.outcome.size())
+        ann.outcome.resize(chunk.end());
     for (uint32_t ci = 0; ci < chunk.count; ++ci) {
         const size_t i = chunk.base + ci;
         // "Missing load" here: any instruction whose data read went

@@ -115,8 +115,20 @@ class ValueAnnotator
     {
     }
 
+    /** Size the outcome plane for an @p n-instruction trace up front
+     *  so fused runs never reallocate it mid-stream. */
+    void
+    preallocate(size_t n)
+    {
+        ann.outcome.assign(n, ValueOutcome::NotApplicable);
+    }
+
     /** Feed the next chunk of the trace, in order. */
     void add(const trace::TraceChunk &chunk);
+
+    /** The in-progress annotations: final for every chunk already
+     *  add()ed (value outcomes are never retroactive). */
+    const ValueAnnotations &partial() const { return ann; }
 
     /** The completed annotations; the annotator is spent afterwards. */
     ValueAnnotations finish() { return std::move(ann); }

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "core/mlpsim.hh"
+#include "core/shared_stream.hh"
 #include "metrics/registry.hh"
 #include "service/framing.hh"
 #include "service/wire.hh"
@@ -45,7 +46,8 @@ Daemon::Daemon(DaemonConfig daemon_config)
       traces(daemon_config.cacheDir.empty()
                  ? std::string()
                  : daemon_config.cacheDir + "/traces",
-             daemon_config.traceCacheCapacity)
+             daemon_config.traceCacheCapacity,
+             daemon_config.streamChunk)
 {
     runner.setFailureMode(FailureMode::CollectAll);
     installHooks();
@@ -183,6 +185,26 @@ Daemon::handleBatch(const std::vector<std::string> &frames,
     std::vector<std::string> defer_order;
     const ServiceStats before = counters;
 
+    // Streamed mode: a batch's computed cells, grouped by prepared
+    // trace, consume shared stream generations instead of each cell
+    // regenerating the trace (leader/follower — see SharedCellGroup).
+    // Groups outlive runAll() below; each group is fully built before
+    // the batch executes because defer only queues jobs.
+    std::vector<std::pair<const PreparedTrace *,
+                          std::unique_ptr<core::SharedCellGroup>>>
+        stream_groups;
+    const auto group_for =
+        [&stream_groups](
+            const std::shared_ptr<const PreparedTrace> &prepared) {
+            for (auto &entry : stream_groups)
+                if (entry.first == prepared.get())
+                    return entry.second.get();
+            stream_groups.emplace_back(
+                prepared.get(), std::make_unique<core::SharedCellGroup>(
+                                    prepared->context()));
+            return stream_groups.back().second.get();
+        };
+
     for (size_t i = 0; i < frames.size(); ++i) {
         Outcome &outcome = outcomes[i];
 
@@ -279,16 +301,39 @@ Daemon::handleBatch(const std::vector<std::string> &frames,
             const core::MlpConfig job_config = rc.config;
             const std::string workload = request.workload;
             const std::string label = workload + "/" + rc.name;
-            cell.job = runner.defer<core::MlpResult>(
-                label, [prepared, job_config, workload]() {
-                    metrics::ScopedLabel wl(workload);
-                    metrics::ScopedLabel cfg(job_config.metricLabel());
-                    auto r = core::tryRunMlp(
-                        job_config, prepared->annotated->context());
-                    if (!r.ok())
-                        throw StatusError(r.status());
-                    return *std::move(r);
-                });
+            if (prepared->streamed) {
+                core::SharedCellGroup *group = group_for(prepared);
+                auto slot = std::make_shared<
+                    std::optional<core::MlpResult>>();
+                const size_t index = group->add(core::SharedCell{
+                    label,
+                    [prepared, job_config, workload,
+                     slot](const core::WorkloadContext &ctx) {
+                        metrics::ScopedLabel wl(workload);
+                        metrics::ScopedLabel cfg(
+                            job_config.metricLabel());
+                        auto r = core::tryRunMlp(job_config, ctx);
+                        if (!r.ok())
+                            throw StatusError(r.status());
+                        slot->emplace(*std::move(r));
+                    }});
+                cell.job = runner.defer<core::MlpResult>(
+                    label, [group, index, slot]() {
+                        group->runCell(index);
+                        return std::move(**slot);
+                    });
+            } else {
+                cell.job = runner.defer<core::MlpResult>(
+                    label, [prepared, job_config, workload]() {
+                        metrics::ScopedLabel wl(workload);
+                        metrics::ScopedLabel cfg(job_config.metricLabel());
+                        auto r = core::tryRunMlp(
+                            job_config, prepared->annotated->context());
+                        if (!r.ok())
+                            throw StatusError(r.status());
+                        return *std::move(r);
+                    });
+            }
             plan.emplace(key, std::move(cell));
             defer_order.push_back(key);
             ++outcome.computed;

@@ -65,6 +65,15 @@ struct DaemonConfig
     unsigned jobs = 0;        //!< SweepRunner threads (0 = hardware)
     std::string cacheDir;     //!< persistence root; "" = memory-only
     size_t traceCacheCapacity = 4;
+    /**
+     * --stream-chunk: non-zero prepares traces in streamed mode with
+     * this chunk capacity (memory stops scaling with the instruction
+     * budget) and groups a batch's computed cells by trace so each
+     * group's engines consume shared stream generations
+     * (core::SharedCellGroup). Responses are byte-identical to
+     * materialised mode.
+     */
+    uint32_t streamChunk = 0;
     uint64_t maxInsts = 100'000'000; //!< per-request warmup+insts cap
     unsigned maxBatch = 16;   //!< frames drained into one batch
     uint64_t killAfter = 0;   //!< crash-inject after N recorded cells

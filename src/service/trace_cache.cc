@@ -40,9 +40,11 @@ TraceCache::Key::canonical() const
     return doc.dump(0);
 }
 
-TraceCache::TraceCache(std::string spill_dir, size_t capacity)
+TraceCache::TraceCache(std::string spill_dir, size_t capacity,
+                       uint32_t stream_chunk)
     : dir(std::move(spill_dir)),
-      capacityLimit(capacity == 0 ? 1 : capacity)
+      capacityLimit(capacity == 0 ? 1 : capacity),
+      streamChunk(stream_chunk)
 {
     if (!dir.empty() && !ensureDirectory(dir))
         dir.clear();
@@ -76,6 +78,45 @@ TraceCache::get(const Key &key)
     const uint64_t total = key.warmup + key.insts;
     auto prepared = std::make_shared<PreparedTrace>();
     bool from_disk = false;
+
+    if (streamChunk != 0) {
+        // Streamed mode: validate the workload up front (the source's
+        // factory uses the fatal() maker and runs on sweep threads),
+        // then annotate in one streaming pass — no buffer, no spill.
+        if (auto probe = workloads::tryMakeWorkload(key.workload, key.seed);
+            !probe.ok()) {
+            Status bad = probe.status();
+            return std::move(bad).withContext("preparing streamed trace");
+        }
+        const std::string workload = key.workload;
+        const uint64_t seed = key.seed;
+        prepared->source = std::make_unique<trace::GeneratedChunkSource>(
+            workload, total,
+            [workload, seed] {
+                return workloads::makeWorkload(workload, seed);
+            },
+            streamChunk);
+        core::AnnotationOptions options;
+        options.warmupInsts = key.warmup;
+        MLPSIM_ASSIGN_OR_RETURN(
+            auto streamed,
+            core::StreamingTrace::make(*prepared->source, options));
+        prepared->streamed = std::make_unique<core::StreamingTrace>(
+            std::move(streamed));
+
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.builds;
+        const auto it = index.find(canonical);
+        if (it != index.end())
+            return it->second->second;
+        entries.emplace_front(canonical, prepared);
+        index[canonical] = entries.begin();
+        while (entries.size() > capacityLimit) {
+            index.erase(entries.back().first);
+            entries.pop_back();
+        }
+        return std::shared_ptr<const PreparedTrace>(prepared);
+    }
 
     if (!dir.empty()) {
         auto loaded = trace::readTrace(spillPath(canonical));

@@ -38,18 +38,36 @@
 #include <unordered_map>
 
 #include "core/mlpsim.hh"
+#include "core/trace_pipeline.hh"
+#include "trace/stream_source.hh"
 #include "trace/trace_buffer.hh"
 #include "util/status.hh"
 
 namespace mlpsim::service {
 
-/** An immutable prepared trace, shared read-only across sweep jobs. */
+/**
+ * An immutable prepared trace, shared read-only across sweep jobs, in
+ * one of two modes (mirroring bench::PreparedWorkload):
+ *
+ *  - materialised (default): `buffer` + `annotated`;
+ *  - streamed (stream_chunk != 0): `source` regenerates the trace on
+ *    demand, `streamed` holds its annotations — the daemon's resident
+ *    set stops scaling with the instruction budget, and batch cells
+ *    share stream generations (see Daemon::handleBatch).
+ */
 struct PreparedTrace
 {
     // unique_ptrs for address stability: AnnotatedTrace borrows the
     // buffer, and shared_ptr owners may move the struct's container.
     std::unique_ptr<trace::TraceBuffer> buffer;
     std::unique_ptr<core::AnnotatedTrace> annotated;
+    std::unique_ptr<trace::GeneratedChunkSource> source;
+    std::unique_ptr<core::StreamingTrace> streamed;
+
+    core::WorkloadContext context() const
+    {
+        return annotated ? annotated->context() : streamed->context();
+    }
 };
 
 class TraceCache
@@ -59,9 +77,13 @@ class TraceCache
      * @param spill_dir directory for on-disk trace spill (created if
      *        missing); empty = memory-only.
      * @param capacity  in-memory LRU entry cap (≥ 1).
+     * @param stream_chunk non-zero: prepare traces in streamed mode
+     *        with this chunk capacity instead of materialising them.
+     *        Streamed traces never spill (regeneration replaces
+     *        storage — the generator IS the persistent form).
      */
     explicit TraceCache(std::string spill_dir = "",
-                        size_t capacity = 4);
+                        size_t capacity = 4, uint32_t stream_chunk = 0);
 
     /** The preparation identity (what the cache is keyed on). */
     struct Key
@@ -98,6 +120,7 @@ class TraceCache
     mutable std::mutex mutex;
     std::string dir;      //!< empty = no spill tier
     size_t capacityLimit;
+    uint32_t streamChunk; //!< 0 = materialise
 
     /** LRU: most recently used at the front. */
     std::list<std::pair<std::string,

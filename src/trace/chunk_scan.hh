@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Vectorizable bit-plane scans over structure-of-arrays trace chunks.
+ *
+ * The annotation passes walk every instruction of every chunk, but
+ * most instructions are uninteresting to any one pass: the access
+ * profiler only acts on memory-class instructions and fetch-line
+ * boundaries, the branch annotator only on branches. The scalar
+ * walk's per-instruction dispatch (load meta byte, branch on class,
+ * usually fall through) is exactly the shape compilers cannot
+ * vectorise — the loop body's side effects are opaque calls.
+ *
+ * These helpers split the walk into two phases:
+ *
+ *  1. a *mask build* over the SoA columns — branch-free, fixed-trip
+ *     arithmetic on the meta/pc columns that auto-vectorises on any
+ *     SIMD ISA the compiler targets (one 64-instruction mask word per
+ *     iteration group), with a scalar tail and no intrinsics;
+ *  2. a *sparse apply* that visits only the set bits, in ascending
+ *     index order, via countr_zero — so the expensive per-instruction
+ *     body runs once per interesting instruction instead of once per
+ *     instruction.
+ *
+ * The masks are pure functions of the chunk contents (plus the fetch
+ * carry), so a masked walk visits exactly the instructions whose
+ * scalar body would have done work — results are bit-identical by
+ * construction, and the existing scalar bodies stay the source of
+ * truth for what happens at each visited instruction.
+ */
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "trace/instruction.hh"
+#include "trace/trace_chunk.hh"
+
+namespace mlpsim::trace {
+
+/** Mask words needed to cover @p count instructions. */
+constexpr size_t
+scanWords(uint32_t count)
+{
+    return (size_t(count) + 63) / 64;
+}
+
+/** A set of InstClass values as a bitmask over the enum's 3-bit
+ *  encodings (fits easily in 8 bits). */
+constexpr uint32_t
+classBit(InstClass cls)
+{
+    return 1u << static_cast<uint8_t>(cls);
+}
+
+/**
+ * OR into @p words a bit per instruction whose class is in
+ * @p class_set. The inner loop is one shift+mask per element with no
+ * branches — the compiler vectorises the meta-column walk.
+ */
+inline void
+orClassMask(const TraceChunk &chunk, uint32_t class_set, uint64_t *words)
+{
+    const uint8_t *meta = chunk.meta.data();
+    const uint32_t count = chunk.count;
+    for (uint32_t w = 0; w * 64 < count; ++w) {
+        const uint32_t begin = w * 64;
+        const uint32_t n = count - begin < 64 ? count - begin : 64;
+        uint64_t bits = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+            const uint64_t hit =
+                (class_set >> (meta[begin + j] & Instruction::clsMask)) & 1u;
+            bits |= hit << j;
+        }
+        words[w] |= bits;
+    }
+}
+
+/**
+ * OR into @p words a bit per instruction that starts a new fetch
+ * line: line(pc[i]) != line(pc[i-1]), where instruction 0 compares
+ * against @p last_fetch_line (the line of the previous chunk's final
+ * instruction, or the profiler's reset value). @p line_mask is the
+ * cache's intra-line bit mask (lineAddr(a) == (a & ~line_mask)).
+ *
+ * Updates @p last_fetch_line to the final instruction's line — the
+ * same value the scalar walk's running `lastFetchLine` holds after
+ * the chunk, because skipped instructions share their predecessor's
+ * line by definition.
+ */
+inline void
+orFetchBoundaryMask(const TraceChunk &chunk, uint64_t line_mask,
+                    uint64_t &last_fetch_line, uint64_t *words)
+{
+    const uint64_t *pc = chunk.pc.data();
+    const uint32_t count = chunk.count;
+    if (count == 0)
+        return;
+    uint64_t prev = last_fetch_line;
+    for (uint32_t w = 0; w * 64 < count; ++w) {
+        const uint32_t begin = w * 64;
+        const uint32_t n = count - begin < 64 ? count - begin : 64;
+        uint64_t bits = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+            const uint64_t line = pc[begin + j] & ~line_mask;
+            bits |= uint64_t(line != prev) << j;
+            prev = line;
+        }
+        words[w] |= bits;
+    }
+    last_fetch_line = prev;
+}
+
+/**
+ * Invoke @p fn(ci) for every set bit of @p words, in ascending local
+ * index order, for a chunk of @p count instructions.
+ */
+template <typename Fn>
+inline void
+forEachSetBit(const uint64_t *words, uint32_t count, Fn &&fn)
+{
+    for (uint32_t w = 0; w * 64 < count; ++w) {
+        uint64_t bits = words[w];
+        while (bits) {
+            const uint32_t j = uint32_t(std::countr_zero(bits));
+            bits &= bits - 1;
+            fn(w * 64 + j);
+        }
+    }
+}
+
+} // namespace mlpsim::trace

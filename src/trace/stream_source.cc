@@ -1,5 +1,7 @@
 #include "stream_source.hh"
 
+#include <algorithm>
+#include <cassert>
 #include <thread>
 #include <utility>
 
@@ -8,25 +10,107 @@
 
 namespace mlpsim::trace {
 
+GeneratorPool::GeneratorPool(SourceFactory source_factory, size_t max_idle)
+    : factory(std::move(source_factory)), maxIdle(max_idle ? max_idle : 1)
+{
+    MLPSIM_ASSERT(factory != nullptr, "generator pool needs a factory");
+    // Build the first generator now: workload construction and config
+    // validation happen once, here, not on every stream reopen.
+    idle.push_back(factory());
+    builtCount = 1;
+}
+
+std::unique_ptr<TraceSource>
+GeneratorPool::acquire()
+{
+    std::unique_ptr<TraceSource> gen;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!idle.empty()) {
+            gen = std::move(idle.back());
+            idle.pop_back();
+        } else {
+            ++builtCount;
+        }
+    }
+    if (gen) {
+        // Rewind outside the lock: reset() reseeds and clears pending
+        // state, which is the replay-determinism contract — the reused
+        // generator yields the exact stream a fresh one would.
+        gen->reset();
+        return gen;
+    }
+    return factory();
+}
+
+void
+GeneratorPool::release(std::unique_ptr<TraceSource> gen)
+{
+    if (!gen)
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (idle.size() < maxIdle)
+        idle.push_back(std::move(gen));
+}
+
+size_t
+GeneratorPool::built() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return builtCount;
+}
+
 namespace {
 
 /**
- * One live stream: a ring plus the producer thread feeding it.
- * next() blocks on the ring; the destructor detaches the consumer
- * (unblocking a producer stalled on backpressure) and joins.
+ * The producer loop shared by single streams and fan-outs: run the
+ * generator to @p limit instructions, pushing fixed-size chunks.
+ * Returns (without close()) if every consumer detached mid-stream.
+ */
+void
+produceAll(ChunkRing &ring, TraceSource &src, uint64_t limit,
+           uint32_t chunk_cap)
+{
+    uint64_t produced = 0;
+    Instruction inst;
+    bool more = true;
+    while (produced < limit && more) {
+        auto chunk = std::make_shared<TraceChunk>(produced, chunk_cap);
+        ChunkFiller fill(*chunk);
+        while (!fill.full() && produced < limit && (more = src.next(inst))) {
+            fill.append(inst);
+            ++produced;
+        }
+        fill.publish();
+        if (chunk->empty())
+            break;
+        if (!ring.push(std::move(chunk))) {
+            // Every consumer detached: the simulation was destroyed or
+            // cancelled; abandon the stream.
+            return;
+        }
+    }
+    ring.close();
+}
+
+/**
+ * One live single-consumer stream: a ring plus the producer thread
+ * feeding it. next() blocks on the ring; the destructor detaches the
+ * consumer (unblocking a producer stalled on backpressure), joins,
+ * and returns the generator to the pool for the next pass.
  */
 class GeneratedStream : public ChunkStream
 {
   public:
-    GeneratedStream(std::unique_ptr<TraceSource> source, uint64_t limit,
+    GeneratedStream(GeneratorPool &generator_pool,
+                    std::unique_ptr<TraceSource> source, uint64_t limit,
                     uint32_t chunk_cap, size_t ring_chunks)
-        : ring(ring_chunks)
+        : pool(generator_pool), src(std::move(source)), ring(ring_chunks)
     {
         consumer = ring.addConsumer();
-        producer = std::thread(
-            [this, limit, chunk_cap, src = std::move(source)]() mutable {
-                produce(*src, limit, chunk_cap);
-            });
+        producer = std::thread([this, limit, chunk_cap]() {
+            produceAll(ring, *src, limit, chunk_cap);
+        });
     }
 
     ~GeneratedStream() override
@@ -34,41 +118,109 @@ class GeneratedStream : public ChunkStream
         ring.detach(consumer);
         if (producer.joinable())
             producer.join();
+        pool.release(std::move(src));
     }
 
     ChunkPtr next() override { return ring.pop(consumer); }
 
   private:
-    void
-    produce(TraceSource &src, uint64_t limit, uint32_t chunk_cap)
-    {
-        uint64_t produced = 0;
-        Instruction inst;
-        bool more = true;
-        while (produced < limit && more) {
-            auto chunk = std::make_shared<TraceChunk>(produced,
-                                                      chunk_cap);
-            ChunkFiller fill(*chunk);
-            while (!fill.full() && produced < limit &&
-                   (more = src.next(inst))) {
-                fill.append(inst);
-                ++produced;
-            }
-            fill.publish();
-            if (chunk->empty())
-                break;
-            if (!ring.push(std::move(chunk))) {
-                // Every consumer detached: the simulation was
-                // destroyed or cancelled; abandon the stream.
-                return;
-            }
-        }
-        ring.close();
-    }
-
+    GeneratorPool &pool;
+    std::unique_ptr<TraceSource> src;
     ChunkRing ring;
     int consumer = -1;
     std::thread producer;
+};
+
+/**
+ * The shared spine of one fan-out group: the ring, the generator, and
+ * the single producer thread. Held by shared_ptr from the fan-out
+ * handle and every claimed stream; the last owner's destructor joins
+ * the producer (all cursors are detached by then, so it exits
+ * promptly) and returns the generator.
+ */
+struct FanoutState
+{
+    FanoutState(GeneratorPool &generator_pool,
+                std::unique_ptr<TraceSource> source, uint64_t limit,
+                uint32_t chunk_cap, size_t ring_chunks, size_t consumers)
+        : pool(generator_pool), src(std::move(source)), ring(ring_chunks)
+    {
+        // Register every cursor before the first push so no consumer
+        // can miss a chunk.
+        for (size_t i = 0; i < consumers; ++i)
+            ring.addConsumer();
+        producer = std::thread([this, limit, chunk_cap]() {
+            produceAll(ring, *src, limit, chunk_cap);
+        });
+    }
+
+    ~FanoutState()
+    {
+        if (producer.joinable())
+            producer.join();
+        pool.release(std::move(src));
+    }
+
+    GeneratorPool &pool;
+    std::unique_ptr<TraceSource> src;
+    ChunkRing ring;
+    std::thread producer;
+};
+
+/** One claimed cursor into the shared ring. */
+class FanoutStream : public ChunkStream
+{
+  public:
+    FanoutStream(std::shared_ptr<FanoutState> shared, int consumer_id)
+        : state(std::move(shared)), consumer(consumer_id)
+    {
+    }
+
+    ~FanoutStream() override { state->ring.detach(consumer); }
+
+    ChunkPtr next() override { return state->ring.pop(consumer); }
+
+  private:
+    std::shared_ptr<FanoutState> state;
+    int consumer;
+};
+
+/**
+ * The fan-out handle: tracks which slots were claimed and, on
+ * destruction, detaches the unclaimed ones so they never pin the ring
+ * against slots that are still draining.
+ */
+class GeneratedFanout : public StreamFanout
+{
+  public:
+    GeneratedFanout(std::shared_ptr<FanoutState> shared, size_t consumers)
+        : state(std::move(shared)), claimed(consumers, false)
+    {
+    }
+
+    ~GeneratedFanout() override
+    {
+        for (size_t i = 0; i < claimed.size(); ++i)
+            if (!claimed[i])
+                state->ring.detach(int(i));
+    }
+
+    std::unique_ptr<ChunkStream>
+    stream(size_t index) override
+    {
+        std::lock_guard<std::mutex> lock(claimMutex);
+        MLPSIM_ASSERT(index < claimed.size(), "fan-out slot out of range");
+        MLPSIM_ASSERT(!claimed[index], "fan-out slot claimed twice");
+        claimed[index] = true;
+        return std::make_unique<FanoutStream>(state, int(index));
+    }
+
+    size_t consumers() const override { return claimed.size(); }
+
+  private:
+    std::shared_ptr<FanoutState> state;
+    std::mutex claimMutex;
+    std::vector<bool> claimed;
 };
 
 } // namespace
@@ -79,18 +231,28 @@ GeneratedChunkSource::GeneratedChunkSource(std::string stream_name,
                                            uint32_t chunk_capacity,
                                            size_t ring_chunks)
     : label(std::move(stream_name)), limit(limit_insts),
-      factory(std::move(source_factory)), chunkCap(chunk_capacity),
-      ringChunks(ring_chunks)
+      chunkCap(chunk_capacity), ringChunks(ring_chunks),
+      pool(std::move(source_factory))
 {
     MLPSIM_ASSERT(chunkCap > 0, "chunk capacity must be positive");
-    MLPSIM_ASSERT(factory != nullptr, "stream source needs a factory");
 }
 
 std::unique_ptr<ChunkStream>
 GeneratedChunkSource::open() const
 {
-    return std::make_unique<GeneratedStream>(factory(), limit, chunkCap,
-                                             ringChunks);
+    return std::make_unique<GeneratedStream>(pool, pool.acquire(), limit,
+                                             chunkCap, ringChunks);
+}
+
+std::unique_ptr<StreamFanout>
+GeneratedChunkSource::openFanout(size_t consumers, size_t ring_chunks) const
+{
+    MLPSIM_ASSERT(consumers > 0, "fan-out needs at least one consumer");
+    const size_t cap =
+        ring_chunks ? ring_chunks : std::max<size_t>(ringChunks, 4);
+    auto state = std::make_shared<FanoutState>(pool, pool.acquire(), limit,
+                                               chunkCap, cap, consumers);
+    return std::make_unique<GeneratedFanout>(std::move(state), consumers);
 }
 
 } // namespace mlpsim::trace

@@ -18,6 +18,44 @@ TraceChunk::TraceChunk(uint64_t base_index, uint32_t capacity)
     src2.resize(cap);
 }
 
+namespace {
+
+/**
+ * Fallback fan-out: each slot is an ordinary independent stream.
+ * Used by sources whose open() is cheap (materialised buffers, file
+ * readers) where sharing a generation buys nothing.
+ */
+class IndependentFanout : public StreamFanout
+{
+  public:
+    IndependentFanout(const ChunkSource &source, size_t consumer_count)
+        : src(source), count(consumer_count)
+    {
+    }
+
+    std::unique_ptr<ChunkStream>
+    stream(size_t index) override
+    {
+        assert(index < count);
+        (void)index;
+        return src.open();
+    }
+
+    size_t consumers() const override { return count; }
+
+  private:
+    const ChunkSource &src;
+    size_t count;
+};
+
+} // namespace
+
+std::unique_ptr<StreamFanout>
+ChunkSource::openFanout(size_t consumers, size_t /* ring_chunks */) const
+{
+    return std::make_unique<IndependentFanout>(*this, consumers);
+}
+
 Instruction
 TraceChunk::get(uint32_t i) const
 {

@@ -185,6 +185,30 @@ class ChunkStream
 };
 
 /**
+ * A registered group of concurrent streams over one trace.
+ *
+ * openFanout() hands one of these back with `consumers()` slots; each
+ * slot is claimed exactly once with stream(i). For broadcast-ring
+ * sources every claimed stream is a cursor into ONE generation, so
+ * all slots must be consumed concurrently (a slot that is claimed but
+ * never drained — or never claimed before the fan-out is destroyed —
+ * pins the ring and stalls its siblings). Sources without a shared
+ * producer fall back to independent streams, where the slots are
+ * fully decoupled.
+ */
+class StreamFanout
+{
+  public:
+    virtual ~StreamFanout() = default;
+
+    /** Claim consumer slot @p index's stream. Each slot exactly once. */
+    virtual std::unique_ptr<ChunkStream> stream(size_t index) = 0;
+
+    /** Number of consumer slots this fan-out was opened with. */
+    virtual size_t consumers() const = 0;
+};
+
+/**
  * A replayable chunk-stream factory: every open() yields the same
  * chunk sequence from the start (the replay-determinism contract the
  * simulators rely on — each engine run re-streams the trace).
@@ -197,6 +221,17 @@ class ChunkSource
     virtual uint64_t size() const = 0;
     virtual std::string name() const = 0;
     virtual std::unique_ptr<ChunkStream> open() const = 0;
+
+    /**
+     * Open @p consumers streams over the same trace as one group.
+     * Sources with a per-stream generation cost (GeneratedChunkSource)
+     * override this to broadcast ONE generation through a shared ring;
+     * the default simply opens independent streams. @p ring_chunks
+     * bounds the shared ring (0 = implementation default); it is
+     * ignored by the independent fallback.
+     */
+    virtual std::unique_ptr<StreamFanout>
+    openFanout(size_t consumers, size_t ring_chunks = 0) const;
 };
 
 } // namespace mlpsim::trace

@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/mlpsim.hh"
+#include "core/shared_stream.hh"
 #include "core/trace_pipeline.hh"
 #include "cyclesim/cycle_sim.hh"
 #include "trace/stream_source.hh"
@@ -204,6 +207,178 @@ TEST(StreamingTrace, BackToBackEngineRunsReuseTheSameSource)
     const auto second = core::runMlp(cfg, streamed.context());
     EXPECT_EQ(first.epochs, second.epochs);
     EXPECT_EQ(first.usefulAccesses, second.usefulAccesses);
+}
+
+namespace {
+
+std::vector<core::MlpConfig>
+sampleConfigs()
+{
+    std::vector<core::MlpConfig> configs;
+    for (const unsigned window : {16u, 32u, 64u}) {
+        core::MlpConfig cfg = core::MlpConfig::defaultOoO();
+        cfg.warmupInsts = kWarmup;
+        cfg.robSize = window;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+void
+expectSameResult(const core::MlpResult &a, const core::MlpResult &b)
+{
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.usefulAccesses, b.usefulAccesses);
+    EXPECT_EQ(a.dmissAccesses, b.dmissAccesses);
+    EXPECT_EQ(a.imissAccesses, b.imissAccesses);
+    EXPECT_EQ(a.pmissAccesses, b.pmissAccesses);
+    EXPECT_EQ(a.smissAccesses, b.smissAccesses);
+    EXPECT_EQ(a.measuredInsts, b.measuredInsts);
+}
+
+std::vector<core::SharedCell>
+cellsFor(const std::vector<core::MlpConfig> &configs,
+         std::vector<std::optional<core::MlpResult>> &slots)
+{
+    slots.assign(configs.size(), std::nullopt);
+    std::vector<core::SharedCell> cells;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const core::MlpConfig cfg = configs[i];
+        auto *slot = &slots[i];
+        cells.push_back({"cell " + std::to_string(i),
+                         [cfg, slot](const core::WorkloadContext &ctx) {
+                             slot->emplace(core::runMlp(cfg, ctx));
+                         }});
+    }
+    return cells;
+}
+
+} // namespace
+
+TEST(SharedStream, SharedCellsMatchIndependentEngineRuns)
+{
+    const auto source = makeStream(4096);
+    const core::StreamingTrace streamed(source, annotationOptions());
+    const auto configs = sampleConfigs();
+
+    std::vector<core::MlpResult> independent;
+    for (const core::MlpConfig &cfg : configs)
+        independent.push_back(core::runMlp(cfg, streamed.context()));
+
+    std::vector<std::optional<core::MlpResult>> slots;
+    auto cells = cellsFor(configs, slots);
+    core::runSharedCells(streamed.context(), cells);
+
+    const size_t opens_before_shared = source.generatorsBuilt();
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(slots[i].has_value()) << "cell " << i;
+        expectSameResult(*slots[i], independent[i]);
+    }
+    // The shared wave rode one broadcast generation, so it cannot have
+    // constructed more generators than the sequential runs already did.
+    EXPECT_EQ(source.generatorsBuilt(), opens_before_shared);
+}
+
+TEST(SharedStream, FusedAnnotateAndCellsMatchesTwoPassPipeline)
+{
+    const Materialised ref;
+    const auto source = makeStream(4096);
+    const auto configs = sampleConfigs();
+
+    std::vector<core::MlpResult> classic;
+    {
+        const core::StreamingTrace streamed(source, annotationOptions());
+        for (const core::MlpConfig &cfg : configs)
+            classic.push_back(core::runMlp(cfg, streamed.context()));
+    }
+
+    std::vector<std::optional<core::MlpResult>> slots;
+    auto cells = cellsFor(configs, slots);
+    core::FusedRunReport report;
+    auto fused = core::runFusedAnnotateAndCells(
+        source, annotationOptions(), cells, core::SharedRunOptions{},
+        &report);
+    ASSERT_TRUE(fused.ok()) << fused.status().toString();
+    EXPECT_EQ(report.fusedCells, configs.size());
+
+    expectSameAnnotations(*fused, *ref.annotated);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(slots[i].has_value()) << "cell " << i;
+        expectSameResult(*slots[i], classic[i]);
+    }
+}
+
+TEST(SharedStream, FusedHazardFallbackStaysBitIdentical)
+{
+    // specweb99 emits software prefetches whose demand touches credit
+    // them retroactively; a zero-chunk lookahead over tiny chunks pins
+    // the read floor right behind the annotate position, so some
+    // credit lands below the floor, defers, and triggers the re-run
+    // fallback. Results must not change; the report records the path.
+    const std::string name = "specweb99";
+    const trace::GeneratedChunkSource source(
+        name, kInsts,
+        [name] {
+            return workloads::makeWorkload(name,
+                                           workloads::workloadSeed(name));
+        },
+        613);
+    const auto configs = sampleConfigs();
+
+    std::vector<core::MlpResult> classic;
+    {
+        const core::StreamingTrace streamed(source, annotationOptions());
+        for (const core::MlpConfig &cfg : configs)
+            classic.push_back(core::runMlp(cfg, streamed.context()));
+    }
+
+    std::vector<std::optional<core::MlpResult>> slots;
+    auto cells = cellsFor(configs, slots);
+    core::SharedRunOptions options;
+    options.lookaheadChunks = 0;
+    core::FusedRunReport report;
+    auto fused = core::runFusedAnnotateAndCells(
+        source, annotationOptions(), cells, options, &report);
+    ASSERT_TRUE(fused.ok()) << fused.status().toString();
+    EXPECT_TRUE(report.hazardFallback);
+
+    auto generator =
+        workloads::makeWorkload(name, workloads::workloadSeed(name));
+    trace::TraceBuffer buffer(name);
+    buffer.fill(*generator, kInsts);
+    const core::AnnotatedTrace reference(buffer, annotationOptions());
+    expectSameAnnotations(*fused, reference);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(slots[i].has_value()) << "cell " << i;
+        expectSameResult(*slots[i], classic[i]);
+    }
+}
+
+TEST(SharedStream, FusedMoreCellsThanWaveStillAllRun)
+{
+    const auto source = makeStream(4096);
+    const auto configs = sampleConfigs();
+
+    std::vector<core::MlpResult> classic;
+    {
+        const core::StreamingTrace streamed(source, annotationOptions());
+        for (const core::MlpConfig &cfg : configs)
+            classic.push_back(core::runMlp(cfg, streamed.context()));
+    }
+
+    std::vector<std::optional<core::MlpResult>> slots;
+    auto cells = cellsFor(configs, slots);
+    core::SharedRunOptions options;
+    options.maxConcurrent = 2; // 3 cells: 2 fused + 1 shared afterwards
+    core::FusedRunReport report;
+    auto fused = core::runFusedAnnotateAndCells(
+        source, annotationOptions(), cells, options, &report);
+    ASSERT_TRUE(fused.ok()) << fused.status().toString();
+    EXPECT_EQ(report.fusedCells, 2u);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(slots[i].has_value()) << "cell " << i;
+        expectSameResult(*slots[i], classic[i]);
+    }
 }
 
 } // namespace mlpsim::test

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -248,6 +250,158 @@ TEST(GeneratedChunkSource, MidStreamTeardownJoinsTheProducer)
     for (int round = 0; round < 5; ++round) {
         auto stream = source.open();
         ASSERT_NE(stream->next(), nullptr);
+    }
+}
+
+TEST(ChunkRing, SkewedConsumersAllSeeEveryChunkInOrder)
+{
+    // One fast and one deliberately slow consumer on a tiny ring: the
+    // producer must block (condvar wait, not teardown) until the
+    // slowest cursor frees slots, and both cursors still observe the
+    // full sequence in order.
+    constexpr int kChunks = 120;
+    ChunkRing ring(2);
+    const int fast = ring.addConsumer();
+    const int slow = ring.addConsumer();
+
+    auto consume = [&ring](int consumer, bool throttle) {
+        std::vector<uint64_t> bases;
+        while (ChunkPtr c = ring.pop(consumer)) {
+            bases.push_back(c->base);
+            if (throttle && bases.size() % 16 == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+        }
+        return bases;
+    };
+    std::vector<uint64_t> seen_fast, seen_slow;
+    std::thread tf([&] { seen_fast = consume(fast, false); });
+    std::thread ts([&] { seen_slow = consume(slow, true); });
+
+    for (int i = 0; i < kChunks; ++i)
+        ASSERT_TRUE(ring.push(std::make_shared<TraceChunk>(uint64_t(i), 4u)));
+    ring.close();
+    tf.join();
+    ts.join();
+
+    ASSERT_EQ(seen_fast.size(), size_t(kChunks));
+    ASSERT_EQ(seen_slow.size(), size_t(kChunks));
+    for (int i = 0; i < kChunks; ++i) {
+        EXPECT_EQ(seen_fast[size_t(i)], uint64_t(i));
+        EXPECT_EQ(seen_slow[size_t(i)], uint64_t(i));
+    }
+}
+
+TEST(ChunkRing, PushFailsOnceEveryConsumerDetaches)
+{
+    ChunkRing ring(4);
+    // No consumer ever registered: nothing can observe a push.
+    EXPECT_FALSE(ring.push(std::make_shared<TraceChunk>(0, 4u)));
+
+    ChunkRing ring2(4);
+    const int a = ring2.addConsumer();
+    const int b = ring2.addConsumer();
+    EXPECT_TRUE(ring2.push(std::make_shared<TraceChunk>(0, 4u)));
+    ring2.detach(a);
+    EXPECT_TRUE(ring2.push(std::make_shared<TraceChunk>(1, 4u)));
+    ring2.detach(b);
+    EXPECT_FALSE(ring2.push(std::make_shared<TraceChunk>(2, 4u)));
+}
+
+TEST(StreamFanout, BroadcastSlotsReplayOneGenerationIdentically)
+{
+    constexpr uint64_t kInsts = 20000;
+    const auto source = syntheticSource(kInsts, 512);
+    const auto reference = drain(source);
+
+    auto fanout = source.openFanout(3);
+    ASSERT_EQ(fanout->consumers(), 3u);
+    std::vector<std::unique_ptr<ChunkStream>> slots(3);
+    for (size_t i = 0; i < 3; ++i)
+        slots[i] = fanout->stream(i);
+
+    // One generation feeds all three cursors, so the slots must be
+    // drained concurrently (the bounded ring ties them together).
+    std::vector<std::vector<Instruction>> seen(3);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < 3; ++i) {
+        threads.emplace_back([&, i] {
+            while (ChunkPtr c = slots[i]->next())
+                for (uint32_t j = 0; j < c->count; ++j)
+                    seen[i].push_back(c->get(j));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // All slots rode ONE producer: one generator construction total.
+    EXPECT_EQ(source.generatorsBuilt(), 1u);
+    for (size_t i = 0; i < 3; ++i) {
+        ASSERT_EQ(seen[i].size(), reference.size()) << "slot " << i;
+        for (size_t j = 0; j < reference.size(); ++j)
+            expectSameInst(seen[i][j], reference[j]);
+    }
+}
+
+TEST(StreamFanout, AbandonedSlotDoesNotStallSiblings)
+{
+    const auto source = syntheticSource(1u << 18, 1024);
+    auto fanout = source.openFanout(2);
+    auto keeper = fanout->stream(0);
+    {
+        // Claim, take one chunk, abandon: the dropped cursor detaches
+        // so the survivor (and the producer) keep flowing.
+        auto dropped = fanout->stream(1);
+        ASSERT_NE(dropped->next(), nullptr);
+    }
+    uint64_t drained = 0;
+    while (ChunkPtr c = keeper->next())
+        drained += c->count;
+    EXPECT_EQ(drained, uint64_t(1) << 18);
+}
+
+TEST(StreamFanout, UnclaimedSlotsDetachOnDestruction)
+{
+    const auto source = syntheticSource(1u << 18, 1024);
+    auto fanout = source.openFanout(3);
+    auto only = fanout->stream(0);
+    // Slots 1 and 2 are never claimed. They are still registered
+    // consumers (a late claimer must miss nothing), so they hold the
+    // bounded ring back and slot 0 can only run ring-capacity chunks
+    // ahead. Destroying the fan-out mid-trace must detach the
+    // unclaimed slots and join the producer without hanging.
+    const ChunkPtr first = only->next();
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->base, 0u);
+    only.reset();
+    fanout.reset();
+}
+
+TEST(StreamFanout, ZeroLengthTraceEndsEverySlotImmediately)
+{
+    const auto source = syntheticSource(0, 256);
+    auto fanout = source.openFanout(2);
+    auto s0 = fanout->stream(0);
+    auto s1 = fanout->stream(1);
+    EXPECT_EQ(s0->next(), nullptr);
+    EXPECT_EQ(s1->next(), nullptr);
+}
+
+TEST(GeneratedChunkSource, SequentialOpensReuseOneGenerator)
+{
+    // The generator-pool regression handle: reopening a source for
+    // pass after pass (annotate, then each engine) must reset() the
+    // pooled generator, not construct a fresh one per open.
+    const auto source = syntheticSource(5000, 512);
+    const auto first = drain(source);
+    const auto second = drain(source);
+    const auto third = drain(source);
+    EXPECT_EQ(source.generatorsBuilt(), 1u);
+    ASSERT_EQ(third.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        expectSameInst(second[i], first[i]);
+        expectSameInst(third[i], first[i]);
     }
 }
 

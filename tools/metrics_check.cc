@@ -139,14 +139,44 @@ checkBenchPerf(const JsonValue &doc,
     // A plain --require token is a key every result row must carry; a
     // "bench:NAME" token instead asserts that at least one row reports
     // benchmark NAME (e.g. bench:CycleSim for the cyclesim-only pass);
-    // a "max-rss-kb:NAME:KB" token caps peak_rss_kb on NAME's rows.
+    // a "max-rss-kb:NAME:KB" token caps peak_rss_kb on NAME's rows; a
+    // "min-ratio:NUM/DEN:R" token asserts that NUM's best instr_per_s
+    // is at least R times DEN's best — the CI floor that keeps the
+    // streamed fan-out within striking distance of materialised replay.
     std::vector<std::string> keys = {"bench",  "workload",    "config",
                                      "wall_s", "instr_per_s", "peak_rss_kb"};
     std::vector<std::string> benches;
     std::vector<std::pair<std::string, uint64_t>> rss_ceilings;
+    struct RatioFloor
+    {
+        std::string numerator;
+        std::string denominator;
+        double floor;
+    };
+    std::vector<RatioFloor> ratio_floors;
     for (const auto &token : required) {
         if (token.rfind("bench:", 0) == 0) {
             benches.push_back(token.substr(6));
+        } else if (token.rfind("min-ratio:", 0) == 0) {
+            const std::string spec = token.substr(10);
+            const size_t slash = spec.find('/');
+            const size_t colon = spec.find(':', slash + 1);
+            char *end = nullptr;
+            const double floor =
+                colon == std::string::npos
+                    ? 0.0
+                    : std::strtod(spec.c_str() + colon + 1, &end);
+            if (slash == std::string::npos ||
+                colon == std::string::npos || slash == 0 ||
+                colon <= slash + 1 || floor <= 0.0 ||
+                end != spec.c_str() + spec.size()) {
+                fatal("malformed --require token '", token,
+                      "' (want min-ratio:NUM_BENCH/DEN_BENCH:RATIO)");
+            }
+            ratio_floors.push_back({spec.substr(0, slash),
+                                    spec.substr(slash + 1,
+                                                colon - slash - 1),
+                                    floor});
         } else if (token.rfind("max-rss-kb:", 0) == 0) {
             const std::string spec = token.substr(11);
             const size_t colon = spec.find(':');
@@ -203,6 +233,41 @@ checkBenchPerf(const JsonValue &doc,
         if (!found) {
             fatal("bench-perf has no result row for bench '", bench,
                   "' to apply the RSS ceiling to");
+        }
+    }
+    for (const auto &ratio : ratio_floors) {
+        // Best row per bench: the floor compares peak capability, so a
+        // deliberately small config on one side cannot fail the gate.
+        const auto best = [&results](const std::string &bench) {
+            double out = -1.0;
+            for (const JsonValue &row : results.items()) {
+                if (!row.find("bench") || !row.find("bench")->isString() ||
+                    row.find("bench")->string() != bench) {
+                    continue;
+                }
+                const JsonValue *rate = row.find("instr_per_s");
+                if (!rate || !rate->isNumber()) {
+                    fatal("bench-perf row for '", bench,
+                          "' has a non-numeric instr_per_s");
+                }
+                if (rate->number() > out)
+                    out = rate->number();
+            }
+            return out;
+        };
+        const double num = best(ratio.numerator);
+        const double den = best(ratio.denominator);
+        if (num < 0.0 || den < 0.0) {
+            fatal("bench-perf lacks result rows for '",
+                  num < 0.0 ? ratio.numerator : ratio.denominator,
+                  "' to apply the throughput-ratio floor to");
+        }
+        if (num < ratio.floor * den) {
+            fatal("bench-perf throughput ratio ", ratio.numerator, "/",
+                  ratio.denominator, " = ", num / den, " is below the ",
+                  ratio.floor, " floor (", num, " vs ", den,
+                  " instr/s) — the streamed pipeline regressed "
+                  "relative to materialised replay");
         }
     }
 }

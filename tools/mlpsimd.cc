@@ -52,7 +52,8 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     opts.rejectUnknown({"stdio", "socket", "cache-dir", "jobs",
                         "trace-cache", "max-insts", "batch-max",
-                        "kill-after", "no-events", "metrics-out"});
+                        "kill-after", "no-events", "metrics-out",
+                        "stream-chunk"});
 
     const std::string socket_path = opts.getString("socket", "");
     if (opts.has("stdio") && !socket_path.empty())
@@ -67,6 +68,16 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getU64("batch-max", 16));
     config.killAfter = opts.getU64("kill-after", 0);
     config.emitEvents = !opts.has("no-events");
+    const uint64_t stream_chunk = opts.getU64("stream-chunk", 0);
+    if (stream_chunk > (uint64_t(1) << 24))
+        fatal("--stream-chunk must be <= 2^24");
+    config.streamChunk = static_cast<uint32_t>(stream_chunk);
+    if (config.streamChunk != 0 && !config.cacheDir.empty()) {
+        // Streamed traces never spill; the result cache still
+        // persists, so the combination is legal — just note it.
+        std::fprintf(stderr, "mlpsimd: streamed traces do not use the "
+                             "trace spill tier\n");
+    }
     if (config.maxBatch == 0)
         fatal("--batch-max must be >= 1");
     if (config.killAfter != 0 && config.cacheDir.empty())

@@ -46,6 +46,8 @@
  *   --daemon-jobs N         forwarded to a spawned daemon (--jobs)
  *   --cache-dir DIR         forwarded to a spawned daemon
  *   --daemon-kill-after N   forwarded (--kill-after, crash tests)
+ *   --daemon-stream-chunk N forwarded (--stream-chunk, streamed
+ *                           traces + shared-generation batches)
  */
 #include <algorithm>
 #include <chrono>
@@ -223,7 +225,7 @@ main(int argc, char **argv)
          "configs-per-request", "workloads", "warmup", "insts", "seed",
          "window", "requests-out", "responses-out", "bench-out",
          "min-hit-ratio", "min-cell-hits", "daemon-jobs", "cache-dir",
-         "daemon-kill-after"});
+         "daemon-kill-after", "daemon-stream-chunk"});
 
     const std::string spawn = opts.getString("spawn", "");
     const std::string socket_path = opts.getString("socket", "");
@@ -283,6 +285,11 @@ main(int argc, char **argv)
             flags.push_back(
                 "--kill-after=" +
                 std::to_string(opts.getU64("daemon-kill-after", 0)));
+        }
+        if (opts.has("daemon-stream-chunk")) {
+            flags.push_back(
+                "--stream-chunk=" +
+                std::to_string(opts.getU64("daemon-stream-chunk", 0)));
         }
         daemon_pid = spawnDaemon(spawn, flags, &in_fd, &out_fd);
     } else {
